@@ -1,0 +1,86 @@
+// Ablation: the looking-for relevance filter of Section 4.1.
+//
+// χαoς filters every start event against the x-dag before allocating any
+// state. This bench runs the same query with the filter disabled: results
+// are identical, but the number of matching structures (and hence memory)
+// grows by orders of magnitude on selective queries, and time follows.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "xaos.h"
+
+int main(int argc, char** argv) {
+  using namespace xaos;
+  bench::Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.05);
+
+  gen::XMarkOptions options;
+  options.scale = scale;
+  std::string document = gen::GenerateXMark(options);
+
+  const std::vector<const char*> queries = {
+      gen::kXMarkPaperQuery,
+      "//category//name",
+      "//person/name",
+      "//listitem/ancestor::description",
+  };
+
+  std::printf("Ablation: relevance filter (Section 4.1) on XMark scale %.3f "
+              "(%.1f MB)\n\n", scale,
+              static_cast<double>(document.size()) / (1 << 20));
+  std::printf("%-45s | %-9s %-11s %-10s | %-9s %-11s %-10s | %-9s\n", "query",
+              "on(s)", "structs", "peak", "off(s)", "structs", "peak",
+              "x-structs");
+  bench::Rule(10);
+
+  for (const char* expression : queries) {
+    StatusOr<core::Query> query = core::Query::Compile(expression);
+    if (!query.ok()) return 1;
+
+    auto run = [&](bool filter_on, double* seconds, core::EngineStats* stats,
+                   size_t* results) {
+      core::EngineOptions engine_options;
+      engine_options.enable_relevance_filter = filter_on;
+      core::StreamingEvaluator evaluator(*query, engine_options);
+      *seconds = bench::TimeSeconds([&] {
+        if (!xml::ParseString(document, &evaluator).ok()) std::abort();
+      });
+      *stats = evaluator.AggregateStats();
+      *results = evaluator.Result().items.size();
+    };
+
+    double on_s, off_s;
+    core::EngineStats on_stats, off_stats;
+    size_t on_results, off_results;
+    run(true, &on_s, &on_stats, &on_results);
+    run(false, &off_s, &off_stats, &off_results);
+    if (on_results != off_results) {
+      std::printf("RESULT MISMATCH\n");
+      return 1;
+    }
+
+    std::printf("%-45s | %-9.4f %-11llu %-10llu | %-9.4f %-11llu %-10llu | "
+                "%-9.1f\n",
+                expression, on_s,
+                static_cast<unsigned long long>(on_stats.structures_created),
+                static_cast<unsigned long long>(on_stats.structures_live_peak),
+                off_s,
+                static_cast<unsigned long long>(off_stats.structures_created),
+                static_cast<unsigned long long>(off_stats.structures_live_peak),
+                on_stats.structures_created > 0
+                    ? static_cast<double>(off_stats.structures_created) /
+                          static_cast<double>(on_stats.structures_created)
+                    : 0.0);
+  }
+
+  std::printf("\nShape check: identical results; with the filter off, the "
+              "engine allocates a structure for every label-matching\n"
+              "element instead of only the relevant ones — the allocation "
+              "ratio mirrors Table 3's kept/total fraction. (Most\n"
+              "irrelevant structures die at their end event, so peak "
+              "residency moves less than the allocation count.)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks for the χαoς engine: per-event cost for different query
+// shapes. The paper's complexity claim (Section 6) is that each event is
+// processed in constant time for a fixed query, so events/second should be
+// roughly independent of document size and degrade only mildly with query
+// complexity.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/multi_engine.h"
+#include "core/xaos_engine.h"
+#include "gen/xmark_generator.h"
+#include "query/xtree_builder.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+const std::string& Document() {
+  static const std::string* doc = [] {
+    xaos::gen::XMarkOptions options;
+    options.scale = 0.02;
+    return new std::string(xaos::gen::GenerateXMark(options));
+  }();
+  return *doc;
+}
+
+void RunQuery(benchmark::State& state, const char* expression) {
+  const std::string& doc = Document();
+  xaos::StatusOr<xaos::core::Query> query =
+      xaos::core::Query::Compile(expression);
+  if (!query.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t elements = 0;
+  for (auto _ : state) {
+    xaos::core::StreamingEvaluator evaluator(*query);
+    if (!xaos::xml::ParseString(doc, &evaluator).ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    elements = evaluator.AggregateStats().elements_total;
+    benchmark::DoNotOptimize(evaluator.Result().items.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(elements));
+  state.counters["elements"] = static_cast<double>(elements);
+}
+
+void BM_ForwardShallow(benchmark::State& state) {
+  RunQuery(state, "/site/categories/category/name");
+}
+BENCHMARK(BM_ForwardShallow);
+
+void BM_ForwardDescendant(benchmark::State& state) {
+  RunQuery(state, "//category//name");
+}
+BENCHMARK(BM_ForwardDescendant);
+
+void BM_BackwardPaperQuery(benchmark::State& state) {
+  RunQuery(state, xaos::gen::kXMarkPaperQuery);
+}
+BENCHMARK(BM_BackwardPaperQuery);
+
+void BM_BranchingPredicates(benchmark::State& state) {
+  RunQuery(state,
+           "//item[payment and shipping]/description//listitem[text]");
+}
+BENCHMARK(BM_BranchingPredicates);
+
+void BM_HeavyRecursiveMatch(benchmark::State& state) {
+  // listitem is recursive in XMark; ancestor::listitem forces deep
+  // optimistic matching.
+  RunQuery(state, "//listitem/ancestor::listitem");
+}
+BENCHMARK(BM_HeavyRecursiveMatch);
+
+void BM_AttributeTests(benchmark::State& state) {
+  RunQuery(state, "//item[@id]/incategory[@category]");
+}
+BENCHMARK(BM_AttributeTests);
+
+void BM_UnionOfFour(benchmark::State& state) {
+  RunQuery(state, "//name | //price | //listitem | //edge");
+}
+BENCHMARK(BM_UnionOfFour);
+
+void BM_SiblingAxes(benchmark::State& state) {
+  // Deferred-completion machinery: every name is followed by a
+  // description sibling in items/categories.
+  RunQuery(state, "//name[following-sibling::description]");
+}
+BENCHMARK(BM_SiblingAxes);
+
+void BM_FollowingAxisDesugared(benchmark::State& state) {
+  RunQuery(state, "//catgraph/following::person/name");
+}
+BENCHMARK(BM_FollowingAxisDesugared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmarks for the streaming XML parser substrate (supporting
+// infrastructure; no paper counterpart): throughput in MB/s, chunked
+// feeding overhead, DOM construction cost.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "dom/dom_builder.h"
+#include "gen/xmark_generator.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+const std::string& Document() {
+  static const std::string* doc = [] {
+    xaos::gen::XMarkOptions options;
+    options.scale = 0.02;
+    return new std::string(xaos::gen::GenerateXMark(options));
+  }();
+  return *doc;
+}
+
+// Sink that forces event materialization without storing anything.
+class CountingHandler : public xaos::xml::ContentHandler {
+ public:
+  void StartElement(std::string_view name,
+                    const std::vector<xaos::xml::Attribute>& attrs) override {
+    count_ += name.size() + attrs.size();
+  }
+  void Characters(std::string_view text) override { count_ += text.size(); }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+};
+
+void BM_ParseOneShot(benchmark::State& state) {
+  const std::string& doc = Document();
+  for (auto _ : state) {
+    CountingHandler handler;
+    xaos::Status status = xaos::xml::ParseString(doc, &handler);
+    if (!status.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(handler.count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ParseOneShot);
+
+void BM_ParseChunked(benchmark::State& state) {
+  const std::string& doc = Document();
+  size_t chunk = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    CountingHandler handler;
+    xaos::xml::SaxParser parser(&handler);
+    for (size_t i = 0; i < doc.size(); i += chunk) {
+      if (!parser.Feed(std::string_view(doc).substr(i, chunk)).ok()) {
+        state.SkipWithError("feed failed");
+        break;
+      }
+    }
+    if (!parser.Finish().ok()) state.SkipWithError("finish failed");
+    benchmark::DoNotOptimize(handler.count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ParseChunked)->Arg(4096)->Arg(65536);
+
+void BM_BuildDom(benchmark::State& state) {
+  const std::string& doc = Document();
+  for (auto _ : state) {
+    xaos::StatusOr<xaos::dom::Document> built =
+        xaos::dom::ParseToDocument(doc);
+    if (!built.ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(built->node_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_BuildDom);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Publish/subscribe filtering throughput — the XFilter/YFilter workload of
+// the paper's introduction, which motivated streaming XPath in the first
+// place, here with subscriptions that use backward axes (inexpressible in
+// forward-only filters).
+//
+// A pool of random subscriptions is compiled once; a stream of documents
+// is pushed through all of them in a single parse per document. Reported:
+// documents/second and MB/s, with and without early match termination
+// (Section 5.1 eager emission), and the navigational baseline for
+// reference (parse + DOM + per-subscription evaluation).
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "xaos.h"
+
+int main(int argc, char** argv) {
+  using namespace xaos;
+  bench::Flags flags(argc, argv);
+  int num_subscriptions = flags.GetInt("subscriptions", 50);
+  int num_documents = flags.GetInt("documents", 40);
+  int doc_elements = flags.GetInt("doc-elements", 4000);
+  bool include_baseline = flags.GetBool("baseline", true);
+
+  // Subscriptions: random 4-test expressions over the shared alphabet.
+  std::mt19937_64 rng(7);
+  gen::RandomQueryOptions query_options;
+  query_options.node_tests = 4;
+  std::vector<std::string> expressions;
+  for (int i = 0; i < num_subscriptions; ++i) {
+    expressions.push_back(
+        xpath::ToString(gen::GenerateRandomPath(query_options, rng)));
+  }
+
+  // Documents: random, from unrelated random queries (so match rates vary).
+  std::vector<std::string> documents;
+  size_t total_bytes = 0;
+  for (int i = 0; i < num_documents; ++i) {
+    gen::RandomQueryOptions shape;
+    shape.node_tests = 4;
+    xpath::LocationPath path = gen::GenerateRandomPath(shape, rng);
+    gen::RandomDocOptions doc_options;
+    doc_options.target_elements = static_cast<size_t>(doc_elements);
+    StatusOr<std::string> doc =
+        gen::GenerateDocumentForPath(path, doc_options, rng);
+    if (!doc.ok()) return 1;
+    total_bytes += doc->size();
+    documents.push_back(std::move(*doc));
+  }
+
+  auto run = [&](bool stop_early, uint64_t* matches) {
+    core::EngineOptions options;
+    options.stop_after_confirmed_match = stop_early;
+    std::vector<std::unique_ptr<core::Query>> queries;
+    std::vector<std::unique_ptr<core::StreamingEvaluator>> evaluators;
+    for (const std::string& expression : expressions) {
+      StatusOr<core::Query> query = core::Query::Compile(expression);
+      if (!query.ok()) std::abort();
+      queries.push_back(std::make_unique<core::Query>(std::move(*query)));
+      evaluators.push_back(std::make_unique<core::StreamingEvaluator>(
+          *queries.back(), options));
+    }
+
+    // Fan one parse out to all subscriptions.
+    struct Fanout : xml::ContentHandler {
+      std::vector<std::unique_ptr<core::StreamingEvaluator>>* subs;
+      void StartDocument() override {
+        for (auto& s : *subs) s->StartDocument();
+      }
+      void EndDocument() override {
+        for (auto& s : *subs) s->EndDocument();
+      }
+      void StartElement(std::string_view name,
+                        const std::vector<xml::Attribute>& a) override {
+        for (auto& s : *subs) s->StartElement(name, a);
+      }
+      void EndElement(std::string_view name) override {
+        for (auto& s : *subs) s->EndElement(name);
+      }
+      void Characters(std::string_view text) override {
+        for (auto& s : *subs) s->Characters(text);
+      }
+    } fanout;
+    fanout.subs = &evaluators;
+
+    *matches = 0;
+    return bench::TimeSeconds([&] {
+      for (const std::string& document : documents) {
+        if (!xml::ParseString(document, &fanout).ok()) std::abort();
+        for (auto& evaluator : evaluators) {
+          if (evaluator->Result().matched) ++*matches;
+        }
+      }
+    });
+  };
+
+  std::printf("Pub/sub filtering: %d subscriptions x %d documents "
+              "(%.1f MB total, ~%d elements each)\n\n",
+              num_subscriptions, num_documents,
+              static_cast<double>(total_bytes) / (1 << 20), doc_elements);
+  std::printf("%-26s %-10s %-10s %-12s %-12s\n", "configuration", "time(s)",
+              "docs/s", "MB/s", "deliveries");
+  bench::Rule(6);
+
+  uint64_t matches_full = 0, matches_early = 0;
+  double full = run(/*stop_early=*/false, &matches_full);
+  double early = run(/*stop_early=*/true, &matches_early);
+  if (matches_full != matches_early) {
+    std::printf("DELIVERY MISMATCH: %llu vs %llu\n",
+                static_cast<unsigned long long>(matches_full),
+                static_cast<unsigned long long>(matches_early));
+    return 1;
+  }
+
+  auto row = [&](const char* label, double seconds, uint64_t deliveries) {
+    std::printf("%-26s %-10.3f %-10.1f %-12.2f %-12llu\n", label, seconds,
+                num_documents / seconds,
+                static_cast<double>(total_bytes) / (1 << 20) / seconds,
+                static_cast<unsigned long long>(deliveries));
+  };
+  row("xaos", full, matches_full);
+  row("xaos + early termination", early, matches_early);
+
+  if (include_baseline) {
+    uint64_t deliveries = 0;
+    double seconds = bench::TimeSeconds([&] {
+      for (const std::string& document : documents) {
+        StatusOr<dom::Document> doc = dom::ParseToDocument(document);
+        if (!doc.ok()) std::abort();
+        for (const std::string& expression : expressions) {
+          baseline::NavigationalEngine nav(&*doc);
+          StatusOr<std::vector<baseline::NodeRef>> refs =
+              nav.Evaluate(expression);
+          if (refs.ok() && !refs->empty()) ++deliveries;
+        }
+      }
+    });
+    row("navigational baseline", seconds, deliveries);
+    if (deliveries != matches_full) {
+      std::printf("DELIVERY MISMATCH vs baseline: %llu vs %llu\n",
+                  static_cast<unsigned long long>(matches_full),
+                  static_cast<unsigned long long>(deliveries));
+      return 1;
+    }
+  }
+
+  std::printf("\nShape check: identical deliveries across all "
+              "configurations; early match termination (Section 5.1)\n"
+              "multiplies filtering throughput because most matching "
+              "documents confirm long before their end.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared runner for the Section 6.2 experiments (Figures 6 and 7): random
+// 6-node-test expressions, each with a random document generated from it,
+// evaluated by χαoς(SAX), χαoς(DOM) and the navigational baseline.
+
+#ifndef XAOS_BENCH_BENCH_RANDOM_WORKLOAD_H_
+#define XAOS_BENCH_BENCH_RANDOM_WORKLOAD_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "xaos.h"
+
+namespace xaos::bench {
+
+struct RunTimes {
+  // Overall wall time including parsing (Figure 6).
+  double xaos_sax_total = 0;
+  double baseline_total = 0;
+  double xaos_dom_total = 0;
+  // Search-only time, excluding parse and tree construction (Figure 7).
+  double xaos_dom_search = 0;
+  double baseline_search = 0;
+  bool baseline_ok = true;
+  size_t result_count = 0;
+};
+
+// Runs one (query, document) workload through all three configurations.
+// `visit_budget` bounds the baseline's node visits (0 = unlimited).
+inline RunTimes RunWorkload(const gen::RandomWorkload& workload,
+                            uint64_t visit_budget) {
+  RunTimes times;
+
+  StatusOr<core::Query> query = core::Query::Compile(workload.expression);
+  if (!query.ok()) std::abort();
+
+  // χαoς(SAX): parse + evaluate in one streaming pass.
+  {
+    core::StreamingEvaluator evaluator(*query);
+    times.xaos_sax_total = TimeSeconds([&] {
+      if (!xml::ParseString(workload.document, &evaluator).ok()) std::abort();
+    });
+    times.result_count = evaluator.Result().items.size();
+  }
+
+  // Common DOM for the two tree-based configurations.
+  StatusOr<dom::Document> doc{dom::Document{}};
+  double build_seconds = TimeSeconds([&] {
+    doc = dom::ParseToDocument(workload.document);
+  });
+  if (!doc.ok()) std::abort();
+
+  // Navigational baseline (Xalan-style): repeated tree traversals.
+  {
+    baseline::BaselineOptions options;
+    options.max_node_visits = visit_budget;
+    baseline::NavigationalEngine nav(&*doc, options);
+    StatusOr<std::vector<baseline::NodeRef>> refs = std::vector<baseline::NodeRef>{};
+    times.baseline_search = TimeSeconds([&] {
+      refs = nav.Evaluate(workload.expression);
+    });
+    times.baseline_ok = refs.ok();
+    times.baseline_total = build_seconds + times.baseline_search;
+    if (refs.ok() && refs->size() != times.result_count) {
+      std::fprintf(stderr, "RESULT MISMATCH on %s\n",
+                   workload.expression.c_str());
+      std::abort();
+    }
+  }
+
+  // χαoς(DOM): the same engine driven by replaying the tree — isolates
+  // search cost from parsing exactly as the paper's Section 6.2 does.
+  {
+    core::StreamingEvaluator evaluator(*query);
+    times.xaos_dom_search = TimeSeconds([&] {
+      dom::ReplayDocument(*doc, &evaluator);
+    });
+    times.xaos_dom_total = build_seconds + times.xaos_dom_search;
+    if (evaluator.Result().items.size() != times.result_count) std::abort();
+  }
+  return times;
+}
+
+inline std::vector<size_t> SizesUpTo(size_t max_elements) {
+  std::vector<size_t> sizes;
+  for (size_t n = 20000; n <= max_elements; n *= 2) sizes.push_back(n);
+  return sizes;
+}
+
+}  // namespace xaos::bench
+
+#endif  // XAOS_BENCH_BENCH_RANDOM_WORKLOAD_H_

@@ -1,0 +1,98 @@
+// Shared helpers for the paper-reproduction benchmark binaries: flag
+// parsing, wall-clock timing, mean/stddev, and table formatting.
+
+#ifndef XAOS_BENCH_BENCH_UTIL_H_
+#define XAOS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace xaos::bench {
+
+// Minimal --key=value flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string value;
+    return Lookup(name, &value) ? std::atof(value.c_str()) : fallback;
+  }
+  int GetInt(const std::string& name, int fallback) const {
+    std::string value;
+    return Lookup(name, &value) ? std::atoi(value.c_str()) : fallback;
+  }
+  bool GetBool(const std::string& name, bool fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return value != "0" && value != "false";
+  }
+
+ private:
+  bool Lookup(const std::string& name, std::string* value) const {
+    std::string prefix = "--" + name + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) {
+        *value = arg.substr(prefix.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> args_;
+};
+
+// Returns the wall-clock seconds taken by fn().
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Series {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+inline Series Summarize(const std::vector<double>& samples) {
+  Series s;
+  if (samples.empty()) return s;
+  double sum = 0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double v : samples) {
+    sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+// Prints a horizontal rule sized for `width` columns of 12 chars.
+inline void Rule(int width) {
+  for (int i = 0; i < width * 13; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace xaos::bench
+
+#endif  // XAOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Query explanation tool: shows how an XPath expression is compiled — the
+// parsed canonical form, or-expansion into disjuncts, each disjunct's
+// x-tree (paper Section 3.1) and x-dag (Section 3.2, with backward
+// constraints rewritten as forward constraints), output nodes, and
+// GraphViz dumps.
+//
+// Usage: explain_query '<xpath>' [--dot]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "xaos.h"
+
+int main(int argc, char** argv) {
+  std::string expression =
+      argc > 1 ? argv[1]
+               : "/descendant::Y[child::U]/descendant::W[ancestor::Z/"
+                 "child::V]";
+  bool dot = argc > 2 && std::strcmp(argv[2], "--dot") == 0;
+
+  std::cout << "expression:  " << expression << "\n";
+
+  auto parsed = xaos::xpath::ParseExpression(expression);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  std::cout << "canonical:   " << xaos::xpath::ToString(*parsed) << "\n";
+  std::cout << "node tests:  " << xaos::xpath::NodeTestCount(*parsed) << "\n";
+  std::cout << "backward:    "
+            << (xaos::xpath::UsesBackwardAxes(*parsed) ? "yes" : "no")
+            << "\n\n";
+
+  auto trees = xaos::query::CompileToXTrees(expression);
+  if (!trees.ok()) {
+    std::cerr << "compile error: " << trees.status() << "\n";
+    return 1;
+  }
+  std::cout << "disjuncts:   " << trees->size() << "\n\n";
+
+  int index = 0;
+  for (const xaos::query::XTree& tree : *trees) {
+    std::cout << "--- disjunct " << ++index << " ---\n";
+    std::cout << "x-tree: " << tree.ToString() << "\n";
+    xaos::query::XDag dag(tree);
+    std::cout << "x-dag:  " << dag.ToString() << "\n";
+    std::cout << "outputs:";
+    for (xaos::query::XNodeId id : tree.OutputNodes()) {
+      std::cout << " " << tree.node(id).test.Label();
+    }
+    std::cout << "\ntopological order:";
+    for (xaos::query::XNodeId id : dag.TopologicalOrder()) {
+      std::cout << " "
+                << (id == xaos::query::kRootXNode ? "Root"
+                                                  : tree.node(id).test.Label());
+    }
+    std::cout << "\n";
+    if (dot) {
+      std::cout << "\n" << tree.ToDot("xtree_" + std::to_string(index))
+                << "\n" << dag.ToDot("xdag_" + std::to_string(index)) << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

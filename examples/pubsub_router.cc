@@ -1,0 +1,108 @@
+// Publish/subscribe document routing — the XFilter/YFilter use case the
+// paper's introduction motivates, with subscriptions that use backward
+// axes (which pure forward-axis filters cannot express).
+//
+// A set of subscriptions is compiled once; each incoming document is
+// streamed through all subscription evaluators in a single parse, and the
+// router reports which subscribers the document should be delivered to.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xaos.h"
+
+namespace {
+
+struct Subscription {
+  std::string name;
+  std::string expression;
+  std::unique_ptr<xaos::core::Query> query;
+  std::unique_ptr<xaos::core::StreamingEvaluator> evaluator;
+};
+
+// Fans one event stream out to every subscription evaluator.
+class Fanout : public xaos::xml::ContentHandler {
+ public:
+  explicit Fanout(std::vector<Subscription>* subs) : subs_(subs) {}
+  void StartDocument() override {
+    for (auto& s : *subs_) s.evaluator->StartDocument();
+  }
+  void EndDocument() override {
+    for (auto& s : *subs_) s.evaluator->EndDocument();
+  }
+  void StartElement(std::string_view name,
+                    const std::vector<xaos::xml::Attribute>& attrs) override {
+    for (auto& s : *subs_) s.evaluator->StartElement(name, attrs);
+  }
+  void EndElement(std::string_view name) override {
+    for (auto& s : *subs_) s.evaluator->EndElement(name);
+  }
+  void Characters(std::string_view text) override {
+    for (auto& s : *subs_) s.evaluator->Characters(text);
+  }
+
+ private:
+  std::vector<Subscription>* subs_;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, std::string>> rules = {
+      {"alice", "//order[item/@sku='A-17']"},
+      {"bob", "//item[price]/ancestor::order[customer]"},  // backward axis
+      {"carol", "//order[@priority='high'] | //cancellation"},
+      {"dave", "//customer[name/text()='Dave']/ancestor::order"},
+  };
+
+  std::vector<Subscription> subscriptions;
+  for (const auto& [name, expression] : rules) {
+    auto query = xaos::core::Query::Compile(expression);
+    if (!query.ok()) {
+      std::cerr << name << ": " << query.status() << "\n";
+      return 1;
+    }
+    Subscription sub;
+    sub.name = name;
+    sub.expression = expression;
+    sub.query = std::make_unique<xaos::core::Query>(std::move(*query));
+    sub.evaluator =
+        std::make_unique<xaos::core::StreamingEvaluator>(*sub.query);
+    subscriptions.push_back(std::move(sub));
+  }
+
+  const std::vector<std::string> documents = {
+      R"(<order id="1"><item sku="A-17"><price>10</price></item>
+         <customer><name>Dave</name></customer></order>)",
+      R"(<order id="2" priority="high"><item sku="B-2"/></order>)",
+      R"(<order id="3"><item sku="C-9"><price>5</price></item></order>)",
+      R"(<cancellation order="1"/>)",
+      R"(<note>not an order at all</note>)",
+  };
+
+  Fanout fanout(&subscriptions);
+  for (size_t i = 0; i < documents.size(); ++i) {
+    xaos::Status status = xaos::xml::ParseString(documents[i], &fanout);
+    if (!status.ok()) {
+      std::cerr << "document " << i << ": " << status << "\n";
+      return 1;
+    }
+    std::cout << "document " << i + 1 << " -> ";
+    bool any = false;
+    for (const Subscription& sub : subscriptions) {
+      if (sub.evaluator->Result().matched) {
+        std::cout << (any ? ", " : "") << sub.name;
+        any = true;
+      }
+    }
+    std::cout << (any ? "" : "(no subscribers)") << "\n";
+  }
+
+  std::cout << "\nsubscriptions:\n";
+  for (const Subscription& sub : subscriptions) {
+    std::cout << "  " << sub.name << ": " << sub.expression << "\n";
+  }
+  return 0;
+}

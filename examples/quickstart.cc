@@ -1,0 +1,93 @@
+// Quickstart: evaluate XPath expressions with forward AND backward axes
+// over an XML document in a single streaming pass.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+#include <string>
+
+#include "xaos.h"
+
+namespace {
+
+constexpr const char* kCatalog = R"(<catalog>
+  <shelf room="east">
+    <book id="b1">
+      <title>The Streaming Garden</title>
+      <author>A. Writer</author>
+      <chapter><table/><figure/></chapter>
+    </book>
+    <book id="b2">
+      <title>Notes on Automata</title>
+      <chapter><figure/></chapter>
+    </book>
+  </shelf>
+  <shelf room="west">
+    <box>
+      <book id="b3">
+        <title>Joins and Matchings</title>
+        <chapter><table/></chapter>
+      </book>
+    </box>
+  </shelf>
+</catalog>)";
+
+void Run(const std::string& query, const std::string& xml) {
+  std::cout << "query: " << query << "\n";
+  xaos::core::EngineOptions options;
+  options.capture_output_subtrees = true;
+  xaos::StatusOr<xaos::core::QueryResult> result =
+      xaos::core::EvaluateStreaming(query, xml, options);
+  if (!result.ok()) {
+    std::cout << "  error: " << result.status() << "\n";
+    return;
+  }
+  std::cout << "  matched: " << (result->matched ? "yes" : "no") << "\n";
+  for (const xaos::core::OutputItem& item : result->items) {
+    std::cout << "  -> " << item.info.ToString();
+    if (!item.captured_xml.empty()) {
+      std::cout << "  " << item.captured_xml;
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Forward axes only: every book title.
+  Run("//book/title", kCatalog);
+
+  // A backward axis: books that contain a table anywhere — expressed from
+  // the table's point of view. Other streaming processors cannot evaluate
+  // this in one pass; χαoς can.
+  Run("//table/ancestor::book", kCatalog);
+
+  // Mixing directions and predicates: titles of books with a table,
+  // sitting (at any depth) in the east room.
+  Run("//shelf[@room='east']//book[chapter/table]/title", kCatalog);
+
+  // Disjunction and union.
+  Run("//book[chapter/table or chapter/figure]/title", kCatalog);
+
+  // Sibling and order-based axes work too (all XPath 1.0 axes except
+  // namespace): the author element is evaluated only if a title precedes
+  // it under the same book.
+  Run("//title/following-sibling::author", kCatalog);
+  Run("//book[following::box]/title", kCatalog);
+
+  // Compile once, stream many documents (e.g. chunks from a socket).
+  xaos::StatusOr<xaos::core::Query> query =
+      xaos::core::Query::Compile("//book[@id='b3']/title");
+  if (!query.ok()) return 1;
+  xaos::core::StreamingEvaluator evaluator(*query);
+  xaos::xml::SaxParser parser(&evaluator);
+  std::string document(kCatalog);
+  for (size_t i = 0; i < document.size(); i += 64) {
+    if (!parser.Feed(std::string_view(document).substr(i, 64)).ok()) return 1;
+  }
+  if (!parser.Finish().ok()) return 1;
+  std::cout << "chunked run found " << evaluator.Result().items.size()
+            << " item(s)\n";
+  return 0;
+}

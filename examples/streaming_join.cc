@@ -1,0 +1,93 @@
+// Intersections, joins and multi-output tuples (paper Sections 5.3/5.4).
+//
+// Two independently authored queries are composed at their shared output
+// node and evaluated in ONE streaming pass; with $-marked output nodes the
+// engine returns tuples — the projection of every total matching onto the
+// marked nodes.
+
+#include <iostream>
+#include <string>
+
+#include "xaos.h"
+
+namespace {
+
+constexpr const char* kProjects = R"(<company>
+  <division name="research">
+    <team lead="yan">
+      <project status="active"><name>stream-join</name>
+        <member>ada</member><member>lin</member></project>
+      <project status="done"><name>old-parser</name>
+        <member>ada</member></project>
+    </team>
+  </division>
+  <division name="product">
+    <team lead="max">
+      <project status="active"><name>dashboard</name>
+        <member>kim</member></project>
+    </team>
+  </division>
+</company>)";
+
+xaos::query::XTree Compile(const std::string& expression) {
+  auto trees = xaos::query::CompileToXTrees(expression);
+  if (!trees.ok()) {
+    std::cerr << expression << ": " << trees.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(trees->front());
+}
+
+}  // namespace
+
+int main() {
+  // --- Intersection: project elements satisfying BOTH queries -------------
+  xaos::query::XTree q1 = Compile("//division[@name='research']//project");
+  xaos::query::XTree q2 = Compile("//project[@status='active']");
+  auto intersection = xaos::query::Intersect(q1, q2);
+  if (!intersection.ok()) {
+    std::cerr << intersection.status() << "\n";
+    return 1;
+  }
+  std::cout << "intersection x-tree: " << intersection->ToString() << "\n";
+
+  xaos::core::XaosEngine engine(&*intersection);
+  if (auto s = xaos::xml::ParseString(kProjects, &engine); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "active research projects: " << engine.result().items.size()
+            << "\n\n";
+
+  // --- Multi-output tuples: ($team, $member) pairs -------------------------
+  xaos::query::XTree pairs =
+      Compile("//$team//project[@status='active']//$member");
+  xaos::core::XaosEngine tuple_engine(&pairs);
+  if (auto s = xaos::xml::ParseString(kProjects, &tuple_engine); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  xaos::core::TupleEnumeration tuples = tuple_engine.OutputTuples();
+  std::cout << "(team, member) pairs across active projects:\n";
+  for (const xaos::core::OutputTuple& tuple : tuples.tuples) {
+    std::cout << "  team #" << tuple[0].ordinal << " - member #"
+              << tuple[1].ordinal << "\n";
+  }
+
+  // --- Join of two marked queries at their shared output -------------------
+  xaos::query::XTree j1 = Compile("//team//$project");
+  xaos::query::XTree j2 = Compile("//division[@name='research']//$project");
+  auto joined = xaos::query::Join(j1, j2);
+  if (!joined.ok()) {
+    std::cerr << joined.status() << "\n";
+    return 1;
+  }
+  xaos::core::XaosEngine join_engine(&*joined);
+  if (auto s = xaos::xml::ParseString(kProjects, &join_engine); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "\njoined query selects " << join_engine.result().items.size()
+            << " research project(s) reachable through a team\n";
+  return 0;
+}

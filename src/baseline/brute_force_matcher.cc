@@ -1,0 +1,84 @@
+#include "baseline/brute_force_matcher.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xaos::baseline {
+namespace {
+
+// Pre-order list of x-node ids; parents precede children.
+void PreOrder(const query::XTree& tree, query::XNodeId id,
+              std::vector<query::XNodeId>* out) {
+  out->push_back(id);
+  for (query::XNodeId child : tree.node(id).children) {
+    PreOrder(tree, child, out);
+  }
+}
+
+}  // namespace
+
+BruteForceOutcome BruteForceMatch(const dom::Document& document,
+                                  const query::XTree& tree,
+                                  size_t max_explored) {
+  BruteForceOutcome outcome;
+  std::vector<query::XNodeId> order;
+  PreOrder(tree, query::kRootXNode, &order);
+  std::vector<uint32_t> ordinals = ComputeElementOrdinals(document);
+  std::vector<query::XNodeId> outputs = tree.OutputNodes();
+
+  // assignment[x-node id] = chosen document node.
+  std::vector<NodeRef> assignment(static_cast<size_t>(tree.size()));
+  std::set<std::vector<CanonicalItem>> tuple_set;
+  std::set<CanonicalItem> item_set;
+  size_t explored = 0;
+
+  auto record = [&]() {
+    outcome.matched = true;
+    std::vector<CanonicalItem> tuple;
+    tuple.reserve(outputs.size());
+    for (query::XNodeId v : outputs) {
+      CanonicalItem item = CanonicalFromRef(
+          document, assignment[static_cast<size_t>(v)], ordinals);
+      item_set.insert(item);
+      tuple.push_back(std::move(item));
+    }
+    tuple_set.insert(std::move(tuple));
+  };
+
+  auto recurse = [&](auto&& self, size_t k) -> void {
+    if (explored > max_explored) {
+      outcome.complete = false;
+      return;
+    }
+    if (k == order.size()) {
+      record();
+      return;
+    }
+    query::XNodeId v = order[k];
+    const query::XNode& node = tree.node(v);
+    if (v == query::kRootXNode) {
+      assignment[static_cast<size_t>(v)] =
+          NodeRef{document.document_node(), -1};
+      ++explored;
+      self(self, k + 1);
+      return;
+    }
+    NodeRef context = assignment[static_cast<size_t>(node.parent)];
+    std::vector<NodeRef> candidates;
+    AxisNodes(document, context, node.incoming_axis, &candidates, nullptr);
+    for (NodeRef candidate : candidates) {
+      if (!RefMatchesSpec(document, candidate, node.test)) continue;
+      assignment[static_cast<size_t>(v)] = candidate;
+      ++explored;
+      self(self, k + 1);
+      if (!outcome.complete) return;
+    }
+  };
+  recurse(recurse, 0);
+
+  outcome.tuples.assign(tuple_set.begin(), tuple_set.end());
+  outcome.items.assign(item_set.begin(), item_set.end());
+  return outcome;
+}
+
+}  // namespace xaos::baseline

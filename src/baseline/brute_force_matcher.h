@@ -1,0 +1,41 @@
+// Exhaustive x-tree matcher over the DOM — the testing oracle.
+//
+// Enumerates *all* total matchings of an x-tree at Root (paper Section 3.3)
+// by backtracking over the document, with none of the streaming machinery.
+// Exponential in the worst case, so only suitable for tests; but it
+// implements the matching semantics directly from the definition, giving an
+// independent ground truth for the engine's results, including multiple
+// output nodes and composed (intersection/join) trees.
+
+#ifndef XAOS_BASELINE_BRUTE_FORCE_MATCHER_H_
+#define XAOS_BASELINE_BRUTE_FORCE_MATCHER_H_
+
+#include <vector>
+
+#include "baseline/node_ref.h"
+#include "dom/document.h"
+#include "query/xtree.h"
+
+namespace xaos::baseline {
+
+struct BruteForceOutcome {
+  // True if at least one total matching at Root exists.
+  bool matched = false;
+  // Distinct projections of the matchings onto the output x-nodes
+  // (ordered by x-node id), sorted.
+  std::vector<std::vector<CanonicalItem>> tuples;
+  // Union of all per-output projections, sorted, duplicate-free.
+  std::vector<CanonicalItem> items;
+  // False if the enumeration hit `max_explored`.
+  bool complete = true;
+};
+
+// Runs the exhaustive matcher. `max_explored` bounds the number of partial
+// assignments considered.
+BruteForceOutcome BruteForceMatch(const dom::Document& document,
+                                  const query::XTree& tree,
+                                  size_t max_explored = 5'000'000);
+
+}  // namespace xaos::baseline
+
+#endif  // XAOS_BASELINE_BRUTE_FORCE_MATCHER_H_

@@ -1,0 +1,39 @@
+#include "baseline/compare.h"
+
+#include <algorithm>
+
+namespace xaos::baseline {
+
+CanonicalItem CanonicalFromOutputItem(const core::OutputItem& item) {
+  CanonicalItem out;
+  out.ordinal = item.info.ordinal;
+  out.kind = item.info.kind;
+  out.name = item.info.name;
+  out.value = item.info.value;
+  return out;
+}
+
+std::vector<CanonicalItem> CanonicalFromResult(
+    const core::QueryResult& result) {
+  std::vector<CanonicalItem> items;
+  items.reserve(result.items.size());
+  for (const core::OutputItem& item : result.items) {
+    items.push_back(CanonicalFromOutputItem(item));
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+std::vector<CanonicalItem> CanonicalFromRefs(const dom::Document& document,
+                                             const std::vector<NodeRef>& refs) {
+  std::vector<uint32_t> ordinals = ComputeElementOrdinals(document);
+  std::vector<CanonicalItem> items;
+  items.reserve(refs.size());
+  for (NodeRef ref : refs) {
+    items.push_back(CanonicalFromRef(document, ref, ordinals));
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace xaos::baseline

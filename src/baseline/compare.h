@@ -1,0 +1,27 @@
+// Converters that bring χαoς and baseline results into the shared
+// CanonicalItem representation, for differential tests and benchmarks.
+
+#ifndef XAOS_BASELINE_COMPARE_H_
+#define XAOS_BASELINE_COMPARE_H_
+
+#include <vector>
+
+#include "baseline/node_ref.h"
+#include "core/result.h"
+#include "dom/document.h"
+
+namespace xaos::baseline {
+
+// Converts a χαoς output item.
+CanonicalItem CanonicalFromOutputItem(const core::OutputItem& item);
+
+// Converts and sorts a full χαoς result.
+std::vector<CanonicalItem> CanonicalFromResult(const core::QueryResult& result);
+
+// Converts and sorts a list of baseline node refs.
+std::vector<CanonicalItem> CanonicalFromRefs(
+    const dom::Document& document, const std::vector<NodeRef>& refs);
+
+}  // namespace xaos::baseline
+
+#endif  // XAOS_BASELINE_COMPARE_H_

@@ -1,0 +1,111 @@
+#include "baseline/navigational_engine.h"
+
+#include <algorithm>
+
+#include "xpath/parser.h"
+
+namespace xaos::baseline {
+
+using xpath::Expression;
+using xpath::LocationPath;
+using xpath::PredExpr;
+using xpath::Step;
+
+NavigationalEngine::NavigationalEngine(const dom::Document* document,
+                                       BaselineOptions options)
+    : document_(document), options_(options) {}
+
+Status NavigationalEngine::CheckBudget() const {
+  if (options_.max_node_visits != 0 &&
+      node_visits_ > options_.max_node_visits) {
+    return ResourceExhaustedError(
+        "baseline exceeded the node-visit budget of " +
+        std::to_string(options_.max_node_visits));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<NodeRef>> NavigationalEngine::Evaluate(
+    std::string_view xpath) {
+  XAOS_ASSIGN_OR_RETURN(Expression expression,
+                        xpath::ParseExpression(xpath));
+  return Evaluate(expression);
+}
+
+StatusOr<std::vector<NodeRef>> NavigationalEngine::Evaluate(
+    const Expression& expression) {
+  std::vector<NodeRef> all;
+  NodeRef document_node{document_->document_node(), -1};
+  for (const LocationPath& path : expression.union_branches) {
+    XAOS_ASSIGN_OR_RETURN(std::vector<NodeRef> branch,
+                          EvaluatePath(path, document_node));
+    all.insert(all.end(), branch.begin(), branch.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+StatusOr<std::vector<NodeRef>> NavigationalEngine::EvaluatePath(
+    const LocationPath& path, NodeRef context) {
+  NodeRef start =
+      path.absolute ? NodeRef{document_->document_node(), -1} : context;
+  std::vector<NodeRef> contexts{start};
+  std::vector<NodeRef> scratch;
+  for (const Step& step : path.steps) {
+    std::vector<NodeRef> next;
+    for (NodeRef node : contexts) {
+      // One axis traversal per context node — Xalan's evaluation strategy:
+      // no sharing between context nodes, so overlapping subtrees are
+      // visited repeatedly.
+      scratch.clear();
+      AxisNodes(*document_, node, step.axis, &scratch, &node_visits_);
+      XAOS_RETURN_IF_ERROR(CheckBudget());
+      for (NodeRef candidate : scratch) {
+        if (!RefMatchesStep(*document_, candidate, step)) continue;
+        bool keep = true;
+        for (const PredExpr& pred : step.predicates) {
+          XAOS_ASSIGN_OR_RETURN(bool ok, EvaluatePredicate(pred, candidate));
+          if (!ok) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) next.push_back(candidate);
+      }
+    }
+    // Xalan keeps context sets in document order and duplicate-free
+    // between steps.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+  return contexts;
+}
+
+StatusOr<bool> NavigationalEngine::EvaluatePredicate(const PredExpr& pred,
+                                                     NodeRef context) {
+  switch (pred.kind) {
+    case PredExpr::Kind::kPath: {
+      XAOS_ASSIGN_OR_RETURN(std::vector<NodeRef> nodes,
+                            EvaluatePath(pred.path, context));
+      return !nodes.empty();
+    }
+    case PredExpr::Kind::kAnd:
+      for (const PredExpr& child : pred.children) {
+        XAOS_ASSIGN_OR_RETURN(bool ok, EvaluatePredicate(child, context));
+        if (!ok) return false;
+      }
+      return true;
+    case PredExpr::Kind::kOr:
+      for (const PredExpr& child : pred.children) {
+        XAOS_ASSIGN_OR_RETURN(bool ok, EvaluatePredicate(child, context));
+        if (ok) return true;
+      }
+      return false;
+  }
+  return InternalError("unknown PredExpr kind");
+}
+
+}  // namespace xaos::baseline

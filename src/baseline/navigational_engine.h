@@ -1,0 +1,61 @@
+// A Xalan-style navigational XPath engine over the in-memory DOM.
+//
+// This is the comparison baseline of the paper's Section 6. Like the Xalan
+// engine the paper measures, it (a) requires the whole document in memory,
+// (b) evaluates a location path step by step over context node sets, and
+// (c) re-evaluates every predicate for every context node with no
+// memoization — so expressions with descendant/ancestor steps and nested
+// predicates repeatedly re-traverse subtrees (worst case O(D^n), Gottlob et
+// al. [11]), which is precisely the behaviour χαoς avoids.
+
+#ifndef XAOS_BASELINE_NAVIGATIONAL_ENGINE_H_
+#define XAOS_BASELINE_NAVIGATIONAL_ENGINE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "baseline/node_ref.h"
+#include "dom/document.h"
+#include "util/statusor.h"
+#include "xpath/ast.h"
+
+namespace xaos::baseline {
+
+struct BaselineOptions {
+  // Abort with ResourceExhausted after this many node visits (0 =
+  // unlimited). Guards benchmark sweeps against the engine's super-linear
+  // blow-up on unfavourable expressions.
+  uint64_t max_node_visits = 0;
+};
+
+class NavigationalEngine {
+ public:
+  // `document` must outlive the engine.
+  explicit NavigationalEngine(const dom::Document* document,
+                              BaselineOptions options = {});
+
+  // Evaluates the expression; returns the selected nodes in document order
+  // without duplicates. The context node is the document node.
+  StatusOr<std::vector<NodeRef>> Evaluate(const xpath::Expression& expression);
+  StatusOr<std::vector<NodeRef>> Evaluate(std::string_view xpath);
+
+  // Nodes touched by axis enumeration since construction — the baseline's
+  // work measure.
+  uint64_t node_visits() const { return node_visits_; }
+
+ private:
+  StatusOr<std::vector<NodeRef>> EvaluatePath(const xpath::LocationPath& path,
+                                              NodeRef context);
+  StatusOr<bool> EvaluatePredicate(const xpath::PredExpr& pred,
+                                   NodeRef context);
+  Status CheckBudget() const;
+
+  const dom::Document* document_;
+  BaselineOptions options_;
+  uint64_t node_visits_ = 0;
+};
+
+}  // namespace xaos::baseline
+
+#endif  // XAOS_BASELINE_NAVIGATIONAL_ENGINE_H_

@@ -1,0 +1,286 @@
+#include "baseline/node_ref.h"
+
+namespace xaos::baseline {
+namespace {
+
+using dom::Document;
+using dom::kInvalidNode;
+using dom::NodeId;
+using dom::NodeKind;
+using xpath::Axis;
+
+void Touch(uint64_t* counter) {
+  if (counter != nullptr) ++*counter;
+}
+
+// Appends the subtree below `node` (excluding it) in document order.
+void AppendDescendants(const Document& doc, NodeId node,
+                       std::vector<NodeRef>* out, uint64_t* counter) {
+  NodeId current = node;
+  while (true) {
+    NodeId next = doc.first_child(current);
+    if (next == kInvalidNode || doc.kind(current) == NodeKind::kText) {
+      while (current != node && doc.next_sibling(current) == kInvalidNode) {
+        current = doc.parent(current);
+      }
+      if (current == node) break;
+      next = doc.next_sibling(current);
+    }
+    current = next;
+    Touch(counter);
+    out->push_back({current, -1});
+  }
+}
+
+}  // namespace
+
+void AxisNodes(const Document& doc, NodeRef context, Axis axis,
+               std::vector<NodeRef>* out, uint64_t* visit_counter) {
+  if (context.IsAttribute()) {
+    switch (axis) {
+      case Axis::kSelf:
+        Touch(visit_counter);
+        out->push_back(context);
+        break;
+      case Axis::kParent:
+      case Axis::kAncestorOrSelf:
+        if (axis == Axis::kAncestorOrSelf) {
+          Touch(visit_counter);
+          out->push_back(context);
+        }
+        [[fallthrough]];
+      case Axis::kAncestor: {
+        // The element that carries the attribute, then its ancestors.
+        NodeId node = context.node;
+        Touch(visit_counter);
+        out->push_back({node, -1});
+        if (axis != Axis::kParent) {
+          for (NodeId up = doc.parent(node); up != kInvalidNode;
+               up = doc.parent(up)) {
+            Touch(visit_counter);
+            out->push_back({up, -1});
+          }
+        }
+        break;
+      }
+      default:
+        break;  // attributes have no children/descendants/attributes
+    }
+    return;
+  }
+
+  NodeId node = context.node;
+  switch (axis) {
+    case Axis::kChild:
+      for (NodeId child = doc.first_child(node); child != kInvalidNode;
+           child = doc.next_sibling(child)) {
+        Touch(visit_counter);
+        out->push_back({child, -1});
+      }
+      break;
+    case Axis::kDescendant:
+      AppendDescendants(doc, node, out, visit_counter);
+      break;
+    case Axis::kDescendantOrSelf:
+      Touch(visit_counter);
+      out->push_back(context);
+      AppendDescendants(doc, node, out, visit_counter);
+      break;
+    case Axis::kParent:
+      if (doc.parent(node) != kInvalidNode) {
+        Touch(visit_counter);
+        out->push_back({doc.parent(node), -1});
+      }
+      break;
+    case Axis::kAncestor:
+      for (NodeId up = doc.parent(node); up != kInvalidNode;
+           up = doc.parent(up)) {
+        Touch(visit_counter);
+        out->push_back({up, -1});
+      }
+      break;
+    case Axis::kAncestorOrSelf:
+      Touch(visit_counter);
+      out->push_back(context);
+      for (NodeId up = doc.parent(node); up != kInvalidNode;
+           up = doc.parent(up)) {
+        Touch(visit_counter);
+        out->push_back({up, -1});
+      }
+      break;
+    case Axis::kSelf:
+      Touch(visit_counter);
+      out->push_back(context);
+      break;
+    case Axis::kAttribute:
+      if (doc.kind(node) == NodeKind::kElement) {
+        const auto& attrs = doc.attributes(node);
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          Touch(visit_counter);
+          out->push_back({node, static_cast<int>(i)});
+        }
+      }
+      break;
+    case Axis::kFollowingSibling:
+      for (NodeId sib = doc.next_sibling(node); sib != kInvalidNode;
+           sib = doc.next_sibling(sib)) {
+        Touch(visit_counter);
+        out->push_back({sib, -1});
+      }
+      break;
+    case Axis::kPrecedingSibling: {
+      if (doc.parent(node) == kInvalidNode) break;
+      for (NodeId sib = doc.first_child(doc.parent(node)); sib != node;
+           sib = doc.next_sibling(sib)) {
+        Touch(visit_counter);
+        out->push_back({sib, -1});
+      }
+      break;
+    }
+    case Axis::kFollowing:
+      // Everything after this node in document order, excluding its own
+      // descendants: subtrees of following siblings along the ancestor
+      // chain.
+      for (NodeId up = node; up != kInvalidNode; up = doc.parent(up)) {
+        for (NodeId sib = doc.next_sibling(up); sib != kInvalidNode;
+             sib = doc.next_sibling(sib)) {
+          Touch(visit_counter);
+          out->push_back({sib, -1});
+          AppendDescendants(doc, sib, out, visit_counter);
+        }
+      }
+      break;
+    case Axis::kPreceding:
+      // Everything before this node in document order, excluding its
+      // ancestors: subtrees of preceding siblings along the ancestor chain.
+      for (NodeId up = node; up != kInvalidNode; up = doc.parent(up)) {
+        if (doc.parent(up) == kInvalidNode) break;
+        for (NodeId sib = doc.first_child(doc.parent(up)); sib != up;
+             sib = doc.next_sibling(sib)) {
+          Touch(visit_counter);
+          out->push_back({sib, -1});
+          AppendDescendants(doc, sib, out, visit_counter);
+        }
+      }
+      break;
+  }
+}
+
+query::DocNodeKind RefKind(const Document& doc, NodeRef ref) {
+  if (ref.IsAttribute()) return query::DocNodeKind::kAttribute;
+  switch (doc.kind(ref.node)) {
+    case NodeKind::kDocument:
+      return query::DocNodeKind::kRoot;
+    case NodeKind::kElement:
+      return query::DocNodeKind::kElement;
+    case NodeKind::kText:
+      return query::DocNodeKind::kText;
+  }
+  return query::DocNodeKind::kElement;
+}
+
+bool RefMatchesSpec(const Document& doc, NodeRef ref,
+                    const query::NodeTestSpec& spec) {
+  query::DocNodeKind kind = RefKind(doc, ref);
+  std::string_view name;
+  std::string_view value;
+  if (ref.IsAttribute()) {
+    const xml::Attribute& attr =
+        doc.attributes(ref.node)[static_cast<size_t>(ref.attr_index)];
+    name = attr.name;
+    value = attr.value;
+  } else if (kind == query::DocNodeKind::kElement) {
+    name = doc.name(ref.node);
+  } else if (kind == query::DocNodeKind::kText) {
+    value = doc.text(ref.node);
+  }
+  return query::MatchesSpec(spec, kind, name, value);
+}
+
+bool RefMatchesStep(const Document& doc, NodeRef ref,
+                    const xpath::Step& step) {
+  query::DocNodeKind kind = RefKind(doc, ref);
+  using xpath::NodeTestKind;
+  if (step.axis == xpath::Axis::kAttribute) {
+    if (kind != query::DocNodeKind::kAttribute) return false;
+    const xml::Attribute& attr =
+        doc.attributes(ref.node)[static_cast<size_t>(ref.attr_index)];
+    if (step.test.kind == NodeTestKind::kName && attr.name != step.test.name) {
+      return false;
+    }
+    return !step.compare_literal.has_value() ||
+           attr.value == *step.compare_literal;
+  }
+  switch (step.test.kind) {
+    case NodeTestKind::kName:
+      return kind == query::DocNodeKind::kElement &&
+             doc.name(ref.node) == step.test.name;
+    case NodeTestKind::kWildcard:
+      return kind == query::DocNodeKind::kElement;
+    case NodeTestKind::kText:
+      return kind == query::DocNodeKind::kText &&
+             (!step.compare_literal.has_value() ||
+              doc.text(ref.node) == *step.compare_literal);
+  }
+  return false;
+}
+
+std::vector<uint32_t> ComputeElementOrdinals(const Document& doc) {
+  std::vector<uint32_t> ordinals(doc.node_count(), 0);
+  uint32_t next = 0;
+  // NodeIds are assigned in document order by DomBuilder; number elements
+  // in id order and let other nodes inherit their parent element's ordinal.
+  for (NodeId id = 0; id < doc.node_count(); ++id) {
+    switch (doc.kind(id)) {
+      case NodeKind::kDocument:
+        ordinals[id] = 0;
+        break;
+      case NodeKind::kElement:
+        ordinals[id] = ++next;
+        break;
+      case NodeKind::kText:
+        ordinals[id] = ordinals[doc.parent(id)];
+        break;
+    }
+  }
+  return ordinals;
+}
+
+std::string CanonicalItem::ToString() const {
+  std::string out;
+  switch (kind) {
+    case query::DocNodeKind::kRoot:
+      out = "#root";
+      break;
+    case query::DocNodeKind::kElement:
+      out = name;
+      break;
+    case query::DocNodeKind::kAttribute:
+      out = "@" + name + "='" + value + "'";
+      break;
+    case query::DocNodeKind::kText:
+      out = "text('" + value + "')";
+      break;
+  }
+  return out + "#" + std::to_string(ordinal);
+}
+
+CanonicalItem CanonicalFromRef(const Document& doc, NodeRef ref,
+                               const std::vector<uint32_t>& ordinals) {
+  CanonicalItem item;
+  item.kind = RefKind(doc, ref);
+  item.ordinal = ordinals[ref.node];
+  if (ref.IsAttribute()) {
+    const xml::Attribute& attr =
+        doc.attributes(ref.node)[static_cast<size_t>(ref.attr_index)];
+    item.name = attr.name;
+    item.value = attr.value;
+  } else if (item.kind == query::DocNodeKind::kElement) {
+    item.name = doc.name(ref.node);
+  } else if (item.kind == query::DocNodeKind::kText) {
+    item.value = doc.text(ref.node);
+  }
+  return item;
+}
+
+}  // namespace xaos::baseline

@@ -1,0 +1,82 @@
+// Shared navigation helpers for the DOM-based engines: a node reference
+// type that can also denote attributes, XPath axis enumeration over the
+// DOM, node-test matching, and a canonical item representation that makes
+// results comparable across engines.
+
+#ifndef XAOS_BASELINE_NODE_REF_H_
+#define XAOS_BASELINE_NODE_REF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dom/document.h"
+#include "query/xtree.h"
+#include "xpath/ast.h"
+
+namespace xaos::baseline {
+
+// A document node: an element / text / document node (attr_index == -1), or
+// the attr_index-th attribute of an element.
+struct NodeRef {
+  dom::NodeId node = dom::kInvalidNode;
+  int attr_index = -1;
+
+  bool IsAttribute() const { return attr_index >= 0; }
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+  // Document order: an element precedes its attributes, which precede its
+  // content.
+  friend auto operator<=>(const NodeRef& a, const NodeRef& b) {
+    if (a.node != b.node) return a.node <=> b.node;
+    return a.attr_index <=> b.attr_index;
+  }
+};
+
+// Appends the nodes on `axis` from `context` to `out` (unsorted, may
+// contain duplicates across calls). `visit_counter`, if non-null, is
+// incremented once per node touched — the cost model of the navigational
+// baseline. Attribute contexts support parent/ancestor/self only; other
+// axes yield nothing (XPath: attributes have no children).
+void AxisNodes(const dom::Document& doc, NodeRef context, xpath::Axis axis,
+               std::vector<NodeRef>* out, uint64_t* visit_counter);
+
+// True if `ref` satisfies the node test of `spec`.
+bool RefMatchesSpec(const dom::Document& doc, NodeRef ref,
+                    const query::NodeTestSpec& spec);
+
+// True if `ref` passes `step`'s axis-independent node test (name/kind and
+// optional value comparison).
+bool RefMatchesStep(const dom::Document& doc, NodeRef ref,
+                    const xpath::Step& step);
+
+// The DocNodeKind of `ref`.
+query::DocNodeKind RefKind(const dom::Document& doc, NodeRef ref);
+
+// Element ordinals in document order (document node 0, document element 1,
+// ...), aligned with core::ElementInfo::ordinal. Index by NodeId; attribute
+// and text nodes map to their owning/parent element's ordinal.
+std::vector<uint32_t> ComputeElementOrdinals(const dom::Document& doc);
+
+// Canonical, engine-independent description of a selected node; used to
+// compare χαoς results with baseline results in tests and benchmarks.
+struct CanonicalItem {
+  uint32_t ordinal = 0;
+  query::DocNodeKind kind = query::DocNodeKind::kElement;
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const CanonicalItem&, const CanonicalItem&) = default;
+  friend auto operator<=>(const CanonicalItem&, const CanonicalItem&) = default;
+
+  std::string ToString() const;
+};
+
+// Builds the canonical item for `ref`. `ordinals` must come from
+// ComputeElementOrdinals on the same document.
+CanonicalItem CanonicalFromRef(const dom::Document& doc, NodeRef ref,
+                               const std::vector<uint32_t>& ordinals);
+
+}  // namespace xaos::baseline
+
+#endif  // XAOS_BASELINE_NODE_REF_H_

@@ -1,0 +1,43 @@
+// Counters the engine maintains while processing a document. These back the
+// paper's storage claims (Table 3: fraction of elements discarded as not
+// relevant) and the ablation benchmarks.
+
+#ifndef XAOS_CORE_ENGINE_STATS_H_
+#define XAOS_CORE_ENGINE_STATS_H_
+
+#include <cstdint>
+
+namespace xaos::core {
+
+struct EngineStats {
+  // Element start events seen (excluding the virtual root and synthetic
+  // attribute/text nodes).
+  uint64_t elements_total = 0;
+  // Elements for which no matching-structure was created — either no x-node
+  // label matched or the looking-for relevance filter rejected them
+  // (Section 4.1). These contribute no storage.
+  uint64_t elements_discarded = 0;
+
+  uint64_t structures_created = 0;
+  // Structures retracted by the undo mechanism (Section 4.3).
+  uint64_t structures_undone = 0;
+  // Currently allocated structures (maintained via destructor hooks).
+  uint64_t structures_live = 0;
+  uint64_t structures_live_peak = 0;
+
+  // Slot insertions, split into normal propagation (forward axes) and
+  // optimistic propagation (backward axes).
+  uint64_t propagations = 0;
+  uint64_t optimistic_propagations = 0;
+
+  double DiscardedFraction() const {
+    return elements_total == 0
+               ? 0.0
+               : static_cast<double>(elements_discarded) /
+                     static_cast<double>(elements_total);
+  }
+};
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_ENGINE_STATS_H_

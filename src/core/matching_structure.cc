@@ -1,0 +1,75 @@
+#include "core/matching_structure.h"
+
+namespace xaos::core {
+
+std::string ElementInfo::ToString() const {
+  std::string out;
+  switch (kind) {
+    case query::DocNodeKind::kRoot:
+      out = "Root";
+      break;
+    case query::DocNodeKind::kElement:
+      out = name;
+      break;
+    case query::DocNodeKind::kAttribute:
+      out = "@";
+      out += name;
+      break;
+    case query::DocNodeKind::kText:
+      out = "#text";
+      break;
+  }
+  out += "(" + std::to_string(ordinal) + ")@" + std::to_string(level);
+  return out;
+}
+
+MatchingStructure::MatchingStructure(query::XNodeId xnode, ElementInfo element,
+                                     int slot_count, uint64_t* live_counter)
+    : xnode_(xnode),
+      element_(std::move(element)),
+      slots_(static_cast<size_t>(slot_count)),
+      confirmed_counts_(static_cast<size_t>(slot_count), 0),
+      live_counter_(live_counter) {
+  if (live_counter_ != nullptr) ++*live_counter_;
+}
+
+MatchingStructure::~MatchingStructure() {
+  if (live_counter_ != nullptr) --*live_counter_;
+}
+
+bool MatchingStructure::AllSlotsNonEmpty() const {
+  for (int i = 0; i < slot_count(); ++i) {
+    if (SlotEmpty(i)) return false;
+  }
+  return true;
+}
+
+bool MatchingStructure::AllSlotsConfirmed() const {
+  for (int count : confirmed_counts_) {
+    if (count == 0) return false;
+  }
+  return true;
+}
+
+void MatchingStructure::Link(const MatchingPtr& parent, int i,
+                             MatchingPtr child, bool optimistic) {
+  child->backrefs_.push_back({parent, i, optimistic});
+  // A child confirmed before this link counts immediately; children
+  // confirmed later bump the counter through the engine's cascade (which
+  // walks the backrefs existing at confirmation time).
+  if (child->confirmed_) parent->bump_confirmed(i);
+  parent->slots_[static_cast<size_t>(i)].push_back(std::move(child));
+}
+
+bool MatchingStructure::RemoveFromSlot(int i, const MatchingStructure* child) {
+  std::vector<MatchingPtr>& slot = slots_[static_cast<size_t>(i)];
+  for (size_t k = 0; k < slot.size(); ++k) {
+    if (slot[k].get() == child) {
+      slot.erase(slot.begin() + static_cast<ptrdiff_t>(k));
+      return slot.empty();
+    }
+  }
+  return false;
+}
+
+}  // namespace xaos::core

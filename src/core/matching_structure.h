@@ -1,0 +1,117 @@
+// The matching-structure: the paper's compact representation of all
+// matchings at an x-node (Section 4.2, Figure 4).
+//
+// A MatchingStructure M(v, e) records that document node `e` matches x-node
+// `v`, and holds one *submatching slot* per x-tree child of `v`. Each slot
+// is a set of references to child structures M(w, e') with (v,e) consistent
+// with (w,e'). M(v,e) represents at least one total matching at `v` exactly
+// when every slot is non-empty (with all referenced structures themselves
+// total) — the engine maintains this invariant through propagation and undo
+// (Section 4.3).
+
+#ifndef XAOS_CORE_MATCHING_STRUCTURE_H_
+#define XAOS_CORE_MATCHING_STRUCTURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/element_info.h"
+#include "query/xtree.h"
+
+namespace xaos::core {
+
+class MatchingStructure;
+using MatchingPtr = std::shared_ptr<MatchingStructure>;
+
+class MatchingStructure {
+ public:
+  // `live_counter`, if non-null, is incremented now and decremented on
+  // destruction (for the engine's live-structure statistics).
+  MatchingStructure(query::XNodeId xnode, ElementInfo element, int slot_count,
+                    uint64_t* live_counter);
+  ~MatchingStructure();
+
+  MatchingStructure(const MatchingStructure&) = delete;
+  MatchingStructure& operator=(const MatchingStructure&) = delete;
+
+  query::XNodeId xnode() const { return xnode_; }
+  const ElementInfo& element() const { return element_; }
+
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  const std::vector<MatchingPtr>& slot(int i) const {
+    return slots_[static_cast<size_t>(i)];
+  }
+  // A slot counts as non-empty if it stores an entry or has accumulated
+  // confirmed entries (boolean submatchings release confirmed entries and
+  // keep only the count — paper Section 5.1).
+  bool SlotEmpty(int i) const {
+    return slots_[static_cast<size_t>(i)].empty() &&
+           confirmed_counts_[static_cast<size_t>(i)] == 0;
+  }
+  // True when every submatching slot is non-empty (a leaf is trivially
+  // satisfied).
+  bool AllSlotsNonEmpty() const;
+
+  // Inserts `child` into slot `i` of `parent` and records the back
+  // reference used by undo. `parent` must be a shared_ptr because the child
+  // keeps a weak reference to it. `optimistic` marks links made before the
+  // child's own satisfaction is known (backward-axis and sibling pulls);
+  // they are preserved when a push-propagation is retracted.
+  static void Link(const MatchingPtr& parent, int i, MatchingPtr child,
+                   bool optimistic);
+
+  // Removes the entry `child` from slot `i`; returns true if the slot is
+  // now empty. No-op (returns false) if the entry is absent.
+  bool RemoveFromSlot(int i, const MatchingStructure* child);
+
+  bool closed() const { return closed_; }
+  void set_closed() { closed_ = true; }
+  bool dead() const { return dead_; }
+  void set_dead() { dead_ = true; }
+  // True while this structure's satisfaction has been pushed into its
+  // parent-matchings. Cleared if the propagation is retracted because a
+  // refillable (following-sibling) slot emptied.
+  bool propagated() const { return propagated_; }
+  void set_propagated(bool value) { propagated_ = value; }
+
+  // --- confirmation (eager output, paper Section 5.1) ---
+  // A structure is *confirmed* once it provably represents a total matching
+  // regardless of future events: it is closed and every slot holds at least
+  // one confirmed entry. Confirmation is monotone — confirmed structures
+  // are never undone — which lets the engine report a guaranteed document
+  // match before the end of the stream.
+  bool confirmed() const { return confirmed_; }
+  void set_confirmed() { confirmed_ = true; }
+  // Number of confirmed entries in slot `i`.
+  int confirmed_count(int i) const {
+    return confirmed_counts_[static_cast<size_t>(i)];
+  }
+  void bump_confirmed(int i) { ++confirmed_counts_[static_cast<size_t>(i)]; }
+  // True if every slot holds a confirmed entry.
+  bool AllSlotsConfirmed() const;
+
+  // Parents that currently reference this structure, for undo cascades.
+  struct BackRef {
+    std::weak_ptr<MatchingStructure> parent;
+    int slot;
+    bool optimistic;
+  };
+  std::vector<BackRef>& backrefs() { return backrefs_; }
+
+ private:
+  query::XNodeId xnode_;
+  ElementInfo element_;
+  std::vector<std::vector<MatchingPtr>> slots_;
+  std::vector<int> confirmed_counts_;  // parallel to slots_
+  std::vector<BackRef> backrefs_;
+  bool closed_ = false;
+  bool dead_ = false;
+  bool confirmed_ = false;
+  bool propagated_ = false;
+  uint64_t* live_counter_;
+};
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_MATCHING_STRUCTURE_H_

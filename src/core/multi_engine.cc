@@ -1,0 +1,138 @@
+#include "core/multi_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "dom/dom_replayer.h"
+#include "query/xtree_builder.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::core {
+
+StatusOr<Query> Query::Compile(std::string_view xpath, int max_paths) {
+  XAOS_ASSIGN_OR_RETURN(std::vector<query::XTree> trees,
+                        query::CompileToXTrees(xpath, max_paths));
+  Query query;
+  query.expression_.assign(xpath);
+  query.trees_ = std::make_shared<const std::vector<query::XTree>>(
+      std::move(trees));
+  return query;
+}
+
+Query Query::FromTrees(std::vector<query::XTree> trees,
+                       std::string expression) {
+  Query query;
+  query.expression_ = std::move(expression);
+  query.trees_ =
+      std::make_shared<const std::vector<query::XTree>>(std::move(trees));
+  return query;
+}
+
+StreamingEvaluator::StreamingEvaluator(const Query& query,
+                                       EngineOptions options)
+    : trees_(query.trees_) {
+  engines_.reserve(trees_->size());
+  for (const query::XTree& tree : *trees_) {
+    engines_.push_back(std::make_unique<XaosEngine>(&tree, options));
+  }
+}
+
+void StreamingEvaluator::StartDocument() {
+  for (auto& engine : engines_) engine->StartDocument();
+}
+
+void StreamingEvaluator::EndDocument() {
+  for (auto& engine : engines_) engine->EndDocument();
+}
+
+void StreamingEvaluator::StartElement(
+    std::string_view name, const std::vector<xml::Attribute>& attributes) {
+  for (auto& engine : engines_) engine->StartElement(name, attributes);
+}
+
+void StreamingEvaluator::EndElement(std::string_view name) {
+  for (auto& engine : engines_) engine->EndElement(name);
+}
+
+void StreamingEvaluator::Characters(std::string_view text) {
+  for (auto& engine : engines_) engine->Characters(text);
+}
+
+bool StreamingEvaluator::MatchConfirmed() const {
+  for (const auto& engine : engines_) {
+    if (engine->match_confirmed()) return true;
+  }
+  return false;
+}
+
+Status StreamingEvaluator::status() const {
+  for (const auto& engine : engines_) {
+    if (!engine->status().ok()) return engine->status();
+  }
+  return Status::Ok();
+}
+
+QueryResult StreamingEvaluator::Result() const {
+  QueryResult merged;
+  std::unordered_set<ElementId> seen;
+  for (const auto& engine : engines_) {
+    const QueryResult& result = engine->result();
+    merged.matched = merged.matched || result.matched;
+    for (const OutputItem& item : result.items) {
+      if (seen.insert(item.info.id).second) {
+        merged.items.push_back(item);
+      }
+    }
+  }
+  std::sort(merged.items.begin(), merged.items.end(),
+            [](const OutputItem& a, const OutputItem& b) {
+              return a.info.id < b.info.id;
+            });
+  return merged;
+}
+
+EngineStats StreamingEvaluator::AggregateStats() const {
+  EngineStats total;
+  bool first = true;
+  for (const auto& engine : engines_) {
+    const EngineStats& s = engine->stats();
+    // Per-document event counts are identical across engines; report them
+    // once. An element counts as discarded if every engine discarded it —
+    // approximated by the minimum. Structure counts accumulate.
+    total.elements_total = s.elements_total;
+    total.elements_discarded =
+        first ? s.elements_discarded
+              : std::min(total.elements_discarded, s.elements_discarded);
+    first = false;
+    total.structures_created += s.structures_created;
+    total.structures_undone += s.structures_undone;
+    total.structures_live += s.structures_live;
+    total.structures_live_peak += s.structures_live_peak;
+    total.propagations += s.propagations;
+    total.optimistic_propagations += s.optimistic_propagations;
+  }
+  return total;
+}
+
+StatusOr<QueryResult> EvaluateStreaming(std::string_view xpath,
+                                        std::string_view xml_text,
+                                        EngineOptions options) {
+  XAOS_ASSIGN_OR_RETURN(Query query, Query::Compile(xpath));
+  StreamingEvaluator evaluator(query, options);
+  XAOS_RETURN_IF_ERROR(xml::ParseString(xml_text, &evaluator));
+  XAOS_RETURN_IF_ERROR(evaluator.status());
+  return evaluator.Result();
+}
+
+StatusOr<QueryResult> EvaluateOnDocument(std::string_view xpath,
+                                         const dom::Document& document,
+                                         EngineOptions options) {
+  XAOS_ASSIGN_OR_RETURN(Query query, Query::Compile(xpath));
+  StreamingEvaluator evaluator(query, options);
+  dom::ReplayDocument(document, &evaluator);
+  XAOS_RETURN_IF_ERROR(evaluator.status());
+  return evaluator.Result();
+}
+
+}  // namespace xaos::core

@@ -1,0 +1,96 @@
+// Top-level query API: compile an XPath expression (possibly containing
+// `or` / `|`) into a set of x-trees and evaluate them together over a
+// single event stream, unioning the results (paper Section 5.2).
+
+#ifndef XAOS_CORE_MULTI_ENGINE_H_
+#define XAOS_CORE_MULTI_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "core/xaos_engine.h"
+#include "dom/document.h"
+#include "query/xtree.h"
+#include "util/statusor.h"
+#include "xml/sax_event.h"
+
+namespace xaos::core {
+
+// A compiled query: the original expression plus one x-tree per or-free
+// disjunct. Queries are immutable and reusable across documents and
+// evaluators.
+class Query {
+ public:
+  // Parses and compiles `xpath`. `max_paths` bounds the or-expansion.
+  static StatusOr<Query> Compile(std::string_view xpath, int max_paths = 64);
+
+  // Wraps externally built x-trees (e.g. from query::Intersect).
+  static Query FromTrees(std::vector<query::XTree> trees,
+                         std::string expression = "");
+
+  const std::string& expression() const { return expression_; }
+  const std::vector<query::XTree>& trees() const { return *trees_; }
+
+ private:
+  Query() = default;
+
+  std::string expression_;
+  // Shared so evaluators can keep the trees alive independently of the
+  // Query object's lifetime.
+  std::shared_ptr<const std::vector<query::XTree>> trees_;
+
+  friend class StreamingEvaluator;
+};
+
+// Evaluates a compiled query over one document at a time. The evaluator is
+// itself a ContentHandler: feed it parser or replayer events; one XaosEngine
+// runs per disjunct. Reusable: each StartDocument resets all engines.
+class StreamingEvaluator : public xml::ContentHandler {
+ public:
+  explicit StreamingEvaluator(const Query& query, EngineOptions options = {});
+
+  void StartDocument() override;
+  void EndDocument() override;
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+  // First engine error, if any.
+  Status status() const;
+  // True as soon as any disjunct's match is guaranteed (usable mid-stream;
+  // see XaosEngine::match_confirmed).
+  bool MatchConfirmed() const;
+  // Union of the disjuncts' results (document order, deduplicated). Valid
+  // after EndDocument.
+  QueryResult Result() const;
+  // Sum of the per-engine statistics.
+  EngineStats AggregateStats() const;
+
+  const std::vector<std::unique_ptr<XaosEngine>>& engines() const {
+    return engines_;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<query::XTree>> trees_;
+  std::vector<std::unique_ptr<XaosEngine>> engines_;
+};
+
+// One-shot convenience: parse `xml_text` and evaluate `xpath` over it in a
+// single streaming pass.
+StatusOr<QueryResult> EvaluateStreaming(std::string_view xpath,
+                                        std::string_view xml_text,
+                                        EngineOptions options = {});
+
+// Evaluates `xpath` over an already-built document by replaying it as
+// events (the paper's χαoς(DOM) configuration).
+StatusOr<QueryResult> EvaluateOnDocument(std::string_view xpath,
+                                         const dom::Document& document,
+                                         EngineOptions options = {});
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_MULTI_ENGINE_H_

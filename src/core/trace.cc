@@ -1,0 +1,93 @@
+#include "core/trace.h"
+
+#include <utility>
+
+#include "xml/sax_parser.h"
+
+namespace xaos::core {
+
+TraceHandler::TraceHandler(XaosEngine* engine, TraceSink sink)
+    : engine_(engine), sink_(std::move(sink)) {}
+
+std::string TraceHandler::LookingForString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const LookingForEntry& entry : engine_->DebugLookingForSet()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "(" + entry.label + ", ";
+    out += entry.level == LookingForEntry::kAnyLevel
+               ? "inf"
+               : std::to_string(entry.level);
+    out += ")";
+  }
+  return out + "}";
+}
+
+void TraceHandler::Emit(const std::string& event) {
+  const EngineStats& now = engine_->stats();
+  std::string line = std::to_string(++step_) + "  " + event;
+  line.append(line.size() < 24 ? 24 - line.size() : 1, ' ');
+
+  std::string actions;
+  auto delta = [&](uint64_t now_v, uint64_t before_v, const char* label) {
+    if (now_v > before_v) {
+      if (!actions.empty()) actions += ", ";
+      actions += std::to_string(now_v - before_v) + " " + label;
+    }
+  };
+  delta(now.structures_created, before_.structures_created, "matched");
+  delta(now.propagations, before_.propagations, "propagated");
+  delta(now.optimistic_propagations, before_.optimistic_propagations,
+        "optimistic");
+  delta(now.structures_undone, before_.structures_undone, "undone");
+  delta(now.elements_discarded, before_.elements_discarded, "discarded");
+  if (actions.empty()) actions = "-";
+  actions.append(actions.size() < 44 ? 44 - actions.size() : 1, ' ');
+
+  line += actions + "L = " + LookingForString() + "\n";
+  before_ = now;
+  sink_(line);
+}
+
+void TraceHandler::StartDocument() {
+  step_ = 0;
+  engine_->StartDocument();
+  before_ = engine_->stats();
+  Emit("S: Root");
+}
+
+void TraceHandler::EndDocument() {
+  engine_->EndDocument();
+  Emit("E: Root");
+  sink_(engine_->Matched() ? "=> matched\n" : "=> no match\n");
+}
+
+void TraceHandler::StartElement(std::string_view name,
+                                const std::vector<xml::Attribute>& attrs) {
+  engine_->StartElement(name, attrs);
+  Emit("S: " + std::string(name));
+}
+
+void TraceHandler::EndElement(std::string_view name) {
+  engine_->EndElement(name);
+  Emit("E: " + std::string(name));
+}
+
+void TraceHandler::Characters(std::string_view text) {
+  engine_->Characters(text);
+}
+
+std::string TraceDocument(XaosEngine* engine, std::string_view xml_text) {
+  std::string trace;
+  TraceHandler handler(engine, [&trace](std::string_view line) {
+    trace.append(line.data(), line.size());
+  });
+  Status status = xml::ParseString(xml_text, &handler);
+  if (!status.ok()) {
+    trace += "parse error: " + status.ToString() + "\n";
+  }
+  return trace;
+}
+
+}  // namespace xaos::core

@@ -1,0 +1,56 @@
+// Event-by-event execution tracing in the style of the paper's Table 2.
+//
+// TraceHandler wraps a XaosEngine: it forwards every event and emits, per
+// element event, a line with the event, the engine's activity delta
+// (structures created/undone, propagations) and the resulting looking-for
+// set. Useful for debugging queries and for teaching the algorithm — the
+// output of the paper's walkthrough query over its Figure 2 document
+// reproduces Table 2's columns.
+
+#ifndef XAOS_CORE_TRACE_H_
+#define XAOS_CORE_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/xaos_engine.h"
+#include "xml/sax_event.h"
+
+namespace xaos::core {
+
+// Sink for trace lines (e.g. [](std::string_view s){ std::cout << s; }).
+using TraceSink = std::function<void(std::string_view)>;
+
+class TraceHandler : public xml::ContentHandler {
+ public:
+  // `engine` must outlive the handler; `sink` receives one line per event
+  // (newline included).
+  TraceHandler(XaosEngine* engine, TraceSink sink);
+
+  void StartDocument() override;
+  void EndDocument() override;
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+ private:
+  // Emits the trace line for the event named `event`.
+  void Emit(const std::string& event);
+  std::string LookingForString() const;
+
+  XaosEngine* engine_;
+  TraceSink sink_;
+  int step_ = 0;
+  EngineStats before_;
+};
+
+// Convenience: evaluates `tree` over `xml_text` with tracing, returning the
+// full trace as one string (and the engine's result through `engine`).
+std::string TraceDocument(XaosEngine* engine, std::string_view xml_text);
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_TRACE_H_

@@ -1,0 +1,984 @@
+#include "core/xaos_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace xaos::core {
+
+using query::DocNodeKind;
+using query::kRootXNode;
+using query::NodeTestSpec;
+using query::XNodeId;
+using xpath::Axis;
+
+XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
+    : tree_(tree), xdag_(*tree), options_(options) {
+  XAOS_CHECK(tree_->node(kRootXNode).test.kind == NodeTestSpec::Kind::kRoot)
+      << "x-tree node 0 must test for the virtual root";
+
+  int n = tree_->size();
+  slot_in_parent_.assign(static_cast<size_t>(n), -1);
+  is_output_.assign(static_cast<size_t>(n), false);
+  for (XNodeId v = 0; v < n; ++v) {
+    const query::XNode& node = tree_->node(v);
+    is_output_[static_cast<size_t>(v)] = node.is_output;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      slot_in_parent_[static_cast<size_t>(node.children[i])] =
+          static_cast<int>(i);
+    }
+    switch (node.test.kind) {
+      case NodeTestSpec::Kind::kRoot:
+        root_candidates_.push_back(v);
+        break;
+      case NodeTestSpec::Kind::kElement:
+        element_candidates_[node.test.name].push_back(v);
+        break;
+      case NodeTestSpec::Kind::kAnyElement:
+        any_element_candidates_.push_back(v);
+        break;
+      case NodeTestSpec::Kind::kAttribute:
+        attribute_candidates_[node.test.name].push_back(v);
+        wants_attributes_ = true;
+        break;
+      case NodeTestSpec::Kind::kAnyAttribute:
+        any_attribute_candidates_.push_back(v);
+        wants_attributes_ = true;
+        break;
+      case NodeTestSpec::Kind::kText:
+        text_candidates_.push_back(v);
+        wants_text_ = true;
+        break;
+    }
+  }
+  // Pre-sort every candidate list by topological rank so that self-edges
+  // are resolved in order within a single event.
+  auto by_rank = [this](XNodeId a, XNodeId b) {
+    return xdag_.TopologicalRank(a) < xdag_.TopologicalRank(b);
+  };
+  std::sort(root_candidates_.begin(), root_candidates_.end(), by_rank);
+  std::sort(any_element_candidates_.begin(), any_element_candidates_.end(),
+            by_rank);
+  std::sort(any_attribute_candidates_.begin(), any_attribute_candidates_.end(),
+            by_rank);
+  std::sort(text_candidates_.begin(), text_candidates_.end(), by_rank);
+  for (auto& [name, list] : element_candidates_) {
+    std::sort(list.begin(), list.end(), by_rank);
+  }
+  for (auto& [name, list] : attribute_candidates_) {
+    std::sort(list.begin(), list.end(), by_rank);
+  }
+  open_by_xnode_.resize(static_cast<size_t>(n));
+
+  // Boolean submatchings (Section 5.1): an x-node whose subtree contains no
+  // output node never needs its matchings enumerated — confirmed ones are
+  // counted and released.
+  counted_subtree_.assign(static_cast<size_t>(n), false);
+  if (options_.enable_boolean_submatchings) {
+    // Post-order: a subtree is output-free if the node itself is not an
+    // output and all child subtrees are output-free. Children have larger
+    // ids than their parents (builder order), so a reverse scan works.
+    for (XNodeId v = n - 1; v >= 0; --v) {
+      bool output_free = !tree_->node(v).is_output;
+      for (XNodeId w : tree_->node(v).children) {
+        output_free = output_free && counted_subtree_[static_cast<size_t>(w)];
+      }
+      counted_subtree_[static_cast<size_t>(v)] = output_free;
+    }
+    counted_subtree_[kRootXNode] = false;
+  }
+
+  // Sibling support tables: a closed child structure must stay reachable
+  // from its parent frame when its x-node (a) supports following-sibling
+  // relevance, (b) is a preceding-sibling pull source, or (c) is the target
+  // of deferred following-sibling propagation.
+  sibling_listed_.assign(static_cast<size_t>(n), false);
+  for (XNodeId v = 0; v < n; ++v) {
+    for (const query::XDagEdge& edge : xdag_.outgoing(v)) {
+      if (edge.axis == Axis::kFollowingSibling) {
+        sibling_listed_[static_cast<size_t>(v)] = true;  // (a)
+        wants_siblings_ = true;
+      }
+    }
+    if (v != kRootXNode) {
+      Axis incoming = tree_->node(v).incoming_axis;
+      if (incoming == Axis::kPrecedingSibling) {
+        sibling_listed_[static_cast<size_t>(v)] = true;  // (b)
+        wants_siblings_ = true;
+      }
+      if (incoming == Axis::kFollowingSibling) {
+        sibling_listed_[static_cast<size_t>(tree_->node(v).parent)] =
+            true;  // (c)
+        wants_siblings_ = true;
+      }
+    }
+  }
+}
+
+void XaosEngine::ResetDocumentState() {
+  for (Frame& frame : stack_) {
+    frame.xnodes.clear();
+    frame.structures.clear();
+    for (auto& list : frame.closed_by_xnode) list.clear();
+    frame.capture_index = -1;
+  }
+  depth_ = 0;
+  for (std::vector<MatchingPtr>& open : open_by_xnode_) open.clear();
+  active_captures_.clear();
+  captured_.clear();
+  root_structure_.reset();
+  live_root_ = nullptr;
+  next_id_ = 0;
+  done_ = false;
+  early_match_ = false;
+  inert_ = false;
+  error_ = Status::Ok();
+  stats_ = EngineStats{};
+  result_ = QueryResult{};
+}
+
+void XaosEngine::FailWith(Status status) {
+  error_ = std::move(status);
+  for (Frame& frame : stack_) {
+    frame.xnodes.clear();
+    frame.structures.clear();
+    for (auto& list : frame.closed_by_xnode) list.clear();
+    frame.capture_index = -1;
+  }
+  depth_ = 0;
+  for (std::vector<MatchingPtr>& open : open_by_xnode_) open.clear();
+  active_captures_.clear();
+  root_structure_.reset();
+  live_root_ = nullptr;
+}
+
+const MatchingPtr* XaosEngine::FindMatch(const Frame& frame, XNodeId xnode) {
+  for (size_t i = 0; i < frame.xnodes.size(); ++i) {
+    if (frame.xnodes[i] == xnode) return &frame.structures[i];
+  }
+  return nullptr;
+}
+
+void XaosEngine::CollectCandidates(DocNodeKind kind, std::string_view name,
+                                   std::vector<XNodeId>* out) const {
+  out->clear();
+  auto append = [out](const std::vector<XNodeId>& list) {
+    out->insert(out->end(), list.begin(), list.end());
+  };
+  switch (kind) {
+    case DocNodeKind::kRoot:
+      append(root_candidates_);
+      break;
+    case DocNodeKind::kElement: {
+      auto it = element_candidates_.find(name);  // heterogeneous lookup
+      if (it != element_candidates_.end()) append(it->second);
+      append(any_element_candidates_);
+      break;
+    }
+    case DocNodeKind::kAttribute: {
+      auto it = attribute_candidates_.find(name);
+      if (it != attribute_candidates_.end()) append(it->second);
+      append(any_attribute_candidates_);
+      break;
+    }
+    case DocNodeKind::kText:
+      append(text_candidates_);
+      break;
+  }
+  // The per-kind lists are pre-sorted by topological rank; a merge is only
+  // needed when two lists actually contributed.
+  if (out->size() > 1) {
+    std::sort(out->begin(), out->end(), [this](XNodeId a, XNodeId b) {
+      return xdag_.TopologicalRank(a) < xdag_.TopologicalRank(b);
+    });
+  }
+}
+
+bool XaosEngine::IsRelevant(XNodeId v, const Frame& frame) const {
+  for (const query::XDagEdge& edge : xdag_.incoming(v)) {
+    XNodeId u = edge.from;
+    switch (edge.axis) {
+      case Axis::kChild:
+      case Axis::kAttribute:
+        // The would-be parent of the new node is the current stack top.
+        if (depth_ == 0 || FindMatch(stack_[depth_ - 1], u) == nullptr) {
+          return false;
+        }
+        break;
+      case Axis::kDescendant:
+        // Every open element is a proper ancestor of the new node.
+        if (open_by_xnode_[static_cast<size_t>(u)].empty()) return false;
+        break;
+      case Axis::kDescendantOrSelf:
+        if (open_by_xnode_[static_cast<size_t>(u)].empty() &&
+            FindMatch(frame, u) == nullptr) {
+          return false;
+        }
+        break;
+      case Axis::kSelf:
+        // Candidates are processed in topological order, so a match of `u`
+        // on this very node has already been decided.
+        if (FindMatch(frame, u) == nullptr) return false;
+        break;
+      case Axis::kFollowingSibling: {
+        // A preceding sibling (a closed child of the would-be parent) must
+        // match `u`.
+        if (depth_ == 0) return false;
+        const Frame& parent = stack_[depth_ - 1];
+        bool found = false;
+        for (const MatchingPtr& p :
+             parent.closed_by_xnode[static_cast<size_t>(u)]) {
+          if (!p->dead()) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+        break;
+      }
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kPrecedingSibling:
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        // Backward axes never appear in an x-dag; following/preceding are
+        // desugared by the x-tree builder.
+        XAOS_CHECK(false) << "unexpected axis in x-dag";
+    }
+  }
+  return true;
+}
+
+void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
+                              std::string_view value) {
+  // Acquire (or reuse) the frame at the current depth; it is only made
+  // visible (depth_ incremented) after matching, so relevance checks still
+  // see the previous top as the parent.
+  if (depth_ == stack_.size()) stack_.emplace_back();
+  Frame& frame = stack_[depth_];
+  frame.xnodes.clear();
+  frame.structures.clear();
+  frame.capture_index = -1;
+  if (wants_siblings_) {
+    if (frame.closed_by_xnode.size() != open_by_xnode_.size()) {
+      frame.closed_by_xnode.assign(open_by_xnode_.size(), {});
+    } else {
+      for (auto& list : frame.closed_by_xnode) list.clear();
+    }
+  }
+
+  frame.info.id = next_id_++;
+  frame.info.parent_id = depth_ > 0 ? stack_[depth_ - 1].info.id : 0;
+  frame.info.level = static_cast<int>(depth_);
+  frame.info.kind = kind;
+  if (kind == DocNodeKind::kElement) {
+    ++stats_.elements_total;
+    frame.info.ordinal = static_cast<uint32_t>(stats_.elements_total);
+  } else {
+    frame.info.ordinal = depth_ > 0 ? stack_[depth_ - 1].info.ordinal : 0;
+  }
+
+  CollectCandidates(kind, name, &candidate_scratch_);
+  bool info_filled = false;
+  for (XNodeId v : candidate_scratch_) {
+    const NodeTestSpec& spec = tree_->node(v).test;
+    if (!query::MatchesSpec(spec, kind, name, value)) continue;
+    if (options_.enable_relevance_filter && !IsRelevant(v, frame)) continue;
+    if (!info_filled) {
+      // Node names/values are only retained for nodes that match — the
+      // storage frugality the paper's Table 3 measures.
+      frame.info.name.assign(name);
+      frame.info.value.assign(value);
+      info_filled = true;
+    }
+    auto structure = std::make_shared<MatchingStructure>(
+        v, frame.info, static_cast<int>(tree_->node(v).children.size()),
+        &stats_.structures_live);
+    ++stats_.structures_created;
+    stats_.structures_live_peak =
+        std::max(stats_.structures_live_peak, stats_.structures_live);
+    frame.xnodes.push_back(v);
+    frame.structures.push_back(std::move(structure));
+  }
+  if (!info_filled) {
+    frame.info.name.clear();
+    frame.info.value.clear();
+  }
+  if (kind == DocNodeKind::kElement && frame.xnodes.empty()) {
+    ++stats_.elements_discarded;
+  }
+
+  ++depth_;
+  for (size_t i = 0; i < frame.xnodes.size(); ++i) {
+    open_by_xnode_[static_cast<size_t>(frame.xnodes[i])].push_back(
+        frame.structures[i]);
+  }
+
+  if (options_.max_live_structures != 0 &&
+      stats_.structures_live > options_.max_live_structures) {
+    FailWith(ResourceExhaustedError(
+        "live matching structures exceeded the configured limit of " +
+        std::to_string(options_.max_live_structures)));
+  }
+}
+
+// Inserts `child` into `parent`'s slot and, if the child is already
+// confirmed, lets the confirmation propagate into the parent immediately.
+void XaosEngine::LinkChild(const MatchingPtr& parent, int slot,
+                           const MatchingPtr& child, bool optimistic) {
+  if (child->confirmed() && IsCountedXNode(child->xnode())) {
+    // Boolean submatching: a confirmed, output-free sub-matching only needs
+    // to be counted. No storage, and no back reference either — confirmed
+    // structures are never retracted.
+    parent->bump_confirmed(slot);
+    TryConfirm(parent.get());
+    return;
+  }
+  bool was_confirmed = child->confirmed();
+  MatchingStructure::Link(parent, slot, child, optimistic);
+  if (was_confirmed) TryConfirm(parent.get());
+}
+
+bool XaosEngine::SlotRefillable(const MatchingStructure& parent,
+                                int slot) const {
+  XNodeId w = tree_->node(parent.xnode()).children[static_cast<size_t>(slot)];
+  if (tree_->node(w).incoming_axis != Axis::kFollowingSibling) return false;
+  // Following-sibling entries can still arrive while the element's parent
+  // is open (later siblings have not been seen yet).
+  int level = parent.element().level;
+  if (level == 0) return false;
+  size_t parent_depth = static_cast<size_t>(level - 1);
+  return parent_depth < depth_ &&
+         stack_[parent_depth].info.id == parent.element().parent_id;
+}
+
+void XaosEngine::CascadeRemoval(MatchingStructure* m, bool retract_only) {
+  std::vector<MatchingStructure::BackRef> kept;
+  std::vector<MatchingStructure::BackRef> refs;
+  refs.swap(m->backrefs());
+  for (const MatchingStructure::BackRef& ref : refs) {
+    if (retract_only && ref.optimistic) {
+      // Optimistic links (backward/sibling pulls) are kept: the consumer
+      // will learn of this structure's fate through a later undo or keep
+      // the reference if it completes again.
+      kept.push_back(ref);
+      continue;
+    }
+    MatchingPtr parent = ref.parent.lock();
+    if (parent == nullptr || parent->dead()) continue;
+    parent->RemoveFromSlot(ref.slot, m);
+    // An open parent may still receive entries for this slot. A closed
+    // parent's emptiness is final (Table 2, step 23) — unless the slot is a
+    // refillable following-sibling slot, in which case the parent merely
+    // returns to the pending state. Emptiness accounts for released
+    // (counted) confirmed entries, which keep the slot satisfied forever.
+    if (!parent->SlotEmpty(ref.slot) || !parent->closed()) continue;
+    if (SlotRefillable(*parent, ref.slot)) {
+      RetractPropagation(parent.get());
+    } else {
+      Undo(parent.get());
+    }
+  }
+  m->backrefs() = std::move(kept);
+}
+
+void XaosEngine::Undo(MatchingStructure* m) {
+  m->set_dead();
+  ++stats_.structures_undone;
+  CascadeRemoval(m, /*retract_only=*/false);
+}
+
+void XaosEngine::RetractPropagation(MatchingStructure* m) {
+  if (m->dead() || !m->propagated()) return;
+  XAOS_CHECK(!m->confirmed()) << "confirmed matchings cannot be retracted";
+  m->set_propagated(false);
+  CascadeRemoval(m, /*retract_only=*/true);
+}
+
+void XaosEngine::MaybeCompleteDeferred(const MatchingPtr& m) {
+  if (m->closed() && !m->dead() && !m->propagated() && m->AllSlotsNonEmpty()) {
+    PropagateUp(m);
+  }
+}
+
+// Pushes a (possibly optimistically) total matching into the appropriate
+// submatchings of its parent-matchings. Runs at the structure's own end
+// event, or later (deferred) when a pending following-sibling slot fills —
+// in that case the current stack top is a later sibling, so the parent
+// frame index and the open-ancestor registry are still valid for this
+// structure's element.
+void XaosEngine::PropagateUp(const MatchingPtr& m) {
+  if (m->propagated() || m->dead()) return;
+  m->set_propagated(true);
+  XNodeId v = m->xnode();
+  const ElementId element_id = m->element().id;
+  if (v != kRootXNode) {
+    XNodeId parent_xnode = tree_->node(v).parent;
+    int slot = slot_in_parent_[static_cast<size_t>(v)];
+    switch (tree_->node(v).incoming_axis) {
+      case Axis::kChild:
+      case Axis::kAttribute: {
+        if (depth_ < 2) break;
+        const MatchingPtr* p = FindMatch(stack_[depth_ - 2], parent_xnode);
+        if (p != nullptr && !(*p)->dead()) {
+          LinkChild(*p, slot, m, /*optimistic=*/false);
+          ++stats_.propagations;
+        }
+        break;
+      }
+      case Axis::kDescendant:
+        for (const MatchingPtr& p :
+             open_by_xnode_[static_cast<size_t>(parent_xnode)]) {
+          // Proper ancestors only: they opened before this element did.
+          if (p->element().id >= element_id || p->dead()) continue;
+          LinkChild(p, slot, m, /*optimistic=*/false);
+          ++stats_.propagations;
+        }
+        break;
+      case Axis::kDescendantOrSelf:
+        // The self part is pulled by the parent at its own close; here only
+        // proper ancestors receive the push.
+        for (const MatchingPtr& p :
+             open_by_xnode_[static_cast<size_t>(parent_xnode)]) {
+          if (p->element().id >= element_id || p->dead()) continue;
+          LinkChild(p, slot, m, /*optimistic=*/false);
+          ++stats_.propagations;
+        }
+        break;
+      case Axis::kFollowingSibling: {
+        // Targets are the already-closed preceding siblings matched to the
+        // parent x-node; filling their slot may complete them (deferred
+        // propagation).
+        if (depth_ < 2) break;
+        Frame& parent_frame = stack_[depth_ - 2];
+        // Copy: deferred completion may append to this list... it cannot
+        // (registration happens at pop), but undo cascades may mutate it.
+        std::vector<MatchingPtr> targets =
+            parent_frame.closed_by_xnode[static_cast<size_t>(parent_xnode)];
+        for (const MatchingPtr& p : targets) {
+          if (p->dead() || p->element().id >= element_id) continue;
+          LinkChild(p, slot, m, /*optimistic=*/false);
+          ++stats_.propagations;
+          MaybeCompleteDeferred(p);
+        }
+        break;
+      }
+      case Axis::kSelf:
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kPrecedingSibling:
+        // Self submatchings are pulled by the x-tree parent at its own end
+        // event; backward-axis parent-matchings adopted this structure
+        // optimistically when they closed. Nothing to push.
+        break;
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        XAOS_CHECK(false) << "desugared axis in x-tree";
+    }
+  }
+  TryConfirm(m.get());
+}
+
+void XaosEngine::ProcessEnd() {
+  XAOS_CHECK(depth_ > 0);
+  Frame& frame = stack_[depth_ - 1];
+  const ElementId element_id = frame.info.id;
+
+  // Children that were pending on a following sibling can no longer
+  // complete: once this element closes, no further siblings of its children
+  // will ever arrive. Retract them now.
+  if (wants_siblings_) {
+    for (std::vector<MatchingPtr>& list : frame.closed_by_xnode) {
+      for (const MatchingPtr& child : list) {
+        if (!child->dead() && !child->AllSlotsNonEmpty()) {
+          Undo(child.get());
+        }
+      }
+    }
+  }
+
+  // Process deepest x-tree nodes first: x-tree children that may be mapped
+  // to this very element (self / *-or-self axes) must be finalized before
+  // their x-tree parent fills its slots.
+  std::vector<size_t>& order = order_scratch_;
+  order.resize(frame.xnodes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (order.size() > 1) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return tree_->node(frame.xnodes[a]).depth >
+             tree_->node(frame.xnodes[b]).depth;
+    });
+  }
+
+  for (size_t idx : order) {
+    XNodeId v = frame.xnodes[idx];
+    const MatchingPtr& m = frame.structures[idx];
+    if (m->dead()) continue;
+    m->set_closed();
+
+    // Pull phase: submatchings whose candidates are known at this end event
+    // but may not yet be total are adopted *optimistically* and retracted
+    // later if they fail (Section 4.3): backward axes map to open
+    // ancestors, preceding-sibling to closed earlier siblings, self /
+    // descendant-or-self's self part to this very element.
+    const std::vector<XNodeId>& children = tree_->node(v).children;
+    for (size_t slot = 0; slot < children.size(); ++slot) {
+      XNodeId w = children[slot];
+      switch (tree_->node(w).incoming_axis) {
+        case Axis::kParent: {
+          if (depth_ < 2) break;
+          const MatchingPtr* p = FindMatch(stack_[depth_ - 2], w);
+          if (p != nullptr && !(*p)->dead()) {
+            LinkChild(m, static_cast<int>(slot), *p, /*optimistic=*/true);
+            ++stats_.optimistic_propagations;
+          }
+          break;
+        }
+        case Axis::kAncestor:
+          for (const MatchingPtr& p :
+               open_by_xnode_[static_cast<size_t>(w)]) {
+            if (p->element().id == element_id || p->dead()) continue;
+            LinkChild(m, static_cast<int>(slot), p, /*optimistic=*/true);
+            ++stats_.optimistic_propagations;
+          }
+          break;
+        case Axis::kAncestorOrSelf:
+          for (const MatchingPtr& p :
+               open_by_xnode_[static_cast<size_t>(w)]) {
+            if (p->dead()) continue;
+            LinkChild(m, static_cast<int>(slot), p, /*optimistic=*/true);
+            ++stats_.optimistic_propagations;
+          }
+          break;
+        case Axis::kSelf:
+        case Axis::kDescendantOrSelf: {
+          // The same element may match `w` (its structure was finalized
+          // earlier in this event — deeper x-tree nodes first). For
+          // descendant-or-self this is the "self" part; proper descendants
+          // were pushed when they closed.
+          const MatchingPtr* p = FindMatch(frame, w);
+          if (p != nullptr && p->get() != m.get() && !(*p)->dead()) {
+            LinkChild(m, static_cast<int>(slot), *p, /*optimistic=*/true);
+            ++stats_.optimistic_propagations;
+          }
+          break;
+        }
+        case Axis::kPrecedingSibling: {
+          if (depth_ < 2) break;
+          Frame& parent_frame = stack_[depth_ - 2];
+          for (const MatchingPtr& p :
+               parent_frame.closed_by_xnode[static_cast<size_t>(w)]) {
+            if (p->dead()) continue;
+            LinkChild(m, static_cast<int>(slot), p, /*optimistic=*/true);
+            ++stats_.optimistic_propagations;
+          }
+          break;
+        }
+        default:
+          break;  // child/descendant/following-sibling: filled by pushes
+      }
+    }
+
+    if (!m->AllSlotsNonEmpty()) {
+      // Distinguish dead from *pending*: an empty following-sibling slot
+      // can still fill while this element's parent remains open.
+      bool pending = depth_ >= 2;
+      if (pending) {
+        for (size_t slot = 0; slot < children.size(); ++slot) {
+          if (!m->SlotEmpty(static_cast<int>(slot))) continue;
+          if (tree_->node(children[slot]).incoming_axis !=
+              Axis::kFollowingSibling) {
+            pending = false;
+            break;
+          }
+        }
+      }
+      if (!pending) Undo(m.get());
+      // Pending structures stay registered (closed, unpropagated) and are
+      // completed by MaybeCompleteDeferred or retracted at parent close.
+      continue;
+    }
+
+    PropagateUp(m);
+  }
+
+  // A confirmed entry in every Root slot guarantees a total matching at
+  // Root no matter what the rest of the stream contains (Section 5.1).
+  if (!early_match_ && live_root_ != nullptr && !live_root_->dead() &&
+      live_root_->AllSlotsConfirmed()) {
+    early_match_ = true;
+    if (options_.stop_after_confirmed_match) inert_ = true;
+  }
+
+  // Unregister this element's open matches (they are the newest entries of
+  // their per-x-node stacks).
+  for (size_t i = 0; i < frame.xnodes.size(); ++i) {
+    std::vector<MatchingPtr>& open =
+        open_by_xnode_[static_cast<size_t>(frame.xnodes[i])];
+    XAOS_CHECK(!open.empty() && open.back().get() == frame.structures[i].get());
+    open.pop_back();
+  }
+  // Keep sibling-relevant matches reachable from the parent frame until the
+  // parent closes.
+  if (wants_siblings_ && depth_ >= 2) {
+    Frame& parent_frame = stack_[depth_ - 2];
+    for (size_t i = 0; i < frame.xnodes.size(); ++i) {
+      XNodeId v = frame.xnodes[i];
+      if (sibling_listed_[static_cast<size_t>(v)] &&
+          !frame.structures[i]->dead()) {
+        parent_frame.closed_by_xnode[static_cast<size_t>(v)].push_back(
+            frame.structures[i]);
+      }
+    }
+  }
+  // Spend the frame: release structure references but keep the vectors'
+  // capacity for reuse at this depth.
+  frame.xnodes.clear();
+  frame.structures.clear();
+  frame.capture_index = -1;
+  --depth_;
+}
+
+void XaosEngine::TryConfirm(MatchingStructure* m) {
+  // Note: open structures are confirmable too — their slots only ever gain
+  // entries, confirmed entries are never retracted, and the consistency of
+  // every existing link was checked when it was made. An open structure
+  // with a confirmed entry in every slot is therefore guaranteed to
+  // represent a total matching once it closes.
+  if (m->confirmed() || m->dead() || !m->AllSlotsConfirmed()) {
+    return;
+  }
+  m->set_confirmed();
+  // Walk the parents that linked this structure before it was confirmed
+  // (later links count it directly, see LinkChild).
+  bool counted = IsCountedXNode(m->xnode());
+  std::vector<MatchingStructure::BackRef> backrefs;
+  if (counted) {
+    // Once counted, the stored entries (and back references) are released:
+    // confirmed structures are immutable, so nothing will ever need to
+    // retract or re-find them. This is what frees predicate-only matchings
+    // long before end of document.
+    backrefs.swap(m->backrefs());
+  } else {
+    backrefs = m->backrefs();
+  }
+  for (const MatchingStructure::BackRef& ref : backrefs) {
+    MatchingPtr parent = ref.parent.lock();
+    if (parent == nullptr || parent->dead()) continue;
+    parent->bump_confirmed(ref.slot);
+    if (counted) {
+      // Migrate from stored entry to count. Note: this may release the last
+      // strong reference to `m` held by `parent`; callers of TryConfirm keep
+      // `m` alive for the duration of the call.
+      parent->RemoveFromSlot(ref.slot, m);
+    }
+    TryConfirm(parent.get());
+  }
+}
+
+void XaosEngine::StartDocument() {
+  ResetDocumentState();
+  ProcessStart(DocNodeKind::kRoot, "", "");
+  const MatchingPtr* root = FindMatch(stack_[0], kRootXNode);
+  live_root_ = (root != nullptr) ? root->get() : nullptr;
+}
+
+void XaosEngine::StartElement(std::string_view name,
+                              const std::vector<xml::Attribute>& attributes) {
+  if (!error_.ok() || inert_) return;
+  ProcessStart(DocNodeKind::kElement, name, "");
+  if (!error_.ok()) return;
+
+  if (options_.capture_output_subtrees) {
+    for (const std::unique_ptr<Capture>& capture : active_captures_) {
+      capture->writer.StartElement(name);
+      for (const xml::Attribute& attr : attributes) {
+        capture->writer.WriteAttribute(attr.name, attr.value);
+      }
+    }
+    Frame& top = stack_[depth_ - 1];
+    bool output_match = false;
+    for (XNodeId v : top.xnodes) {
+      if (is_output_[static_cast<size_t>(v)]) {
+        output_match = true;
+        break;
+      }
+    }
+    if (output_match) {
+      auto capture = std::make_unique<Capture>();
+      capture->element_id = top.info.id;
+      capture->writer.StartElement(name);
+      for (const xml::Attribute& attr : attributes) {
+        capture->writer.WriteAttribute(attr.name, attr.value);
+      }
+      top.capture_index = static_cast<int>(active_captures_.size());
+      active_captures_.push_back(std::move(capture));
+    }
+  }
+
+  if (wants_attributes_) {
+    for (const xml::Attribute& attr : attributes) {
+      ProcessStart(DocNodeKind::kAttribute, attr.name, attr.value);
+      if (!error_.ok()) return;
+      ProcessEnd();
+    }
+  }
+}
+
+void XaosEngine::Characters(std::string_view text) {
+  if (!error_.ok() || inert_ || depth_ == 0) return;
+  if (options_.capture_output_subtrees) {
+    for (const std::unique_ptr<Capture>& capture : active_captures_) {
+      capture->writer.WriteText(text);
+    }
+  }
+  if (wants_text_) {
+    ProcessStart(DocNodeKind::kText, "", text);
+    if (!error_.ok()) return;
+    ProcessEnd();
+  }
+}
+
+void XaosEngine::EndElement(std::string_view /*name*/) {
+  if (!error_.ok() || inert_) return;
+  if (options_.capture_output_subtrees) {
+    for (const std::unique_ptr<Capture>& capture : active_captures_) {
+      capture->writer.EndElement();
+    }
+    Frame& top = stack_[depth_ - 1];
+    if (top.capture_index >= 0) {
+      XAOS_CHECK_EQ(top.capture_index,
+                    static_cast<int>(active_captures_.size()) - 1);
+      Capture& capture = *active_captures_.back();
+      captured_[capture.element_id] = std::move(capture.xml);
+      active_captures_.pop_back();
+    }
+  }
+  ProcessEnd();
+}
+
+void XaosEngine::EndDocument() {
+  if (!error_.ok()) return;
+  if (inert_) {
+    // Early-terminated filtering mode: the match is guaranteed; per-item
+    // results were not tracked past the confirmation point.
+    result_ = QueryResult{};
+    result_.matched = true;
+    done_ = true;
+    return;
+  }
+  XAOS_CHECK_EQ(depth_, 1u) << "unbalanced events";
+  const MatchingPtr* root = FindMatch(stack_[0], kRootXNode);
+  root_structure_ = (root != nullptr) ? *root : nullptr;
+  ProcessEnd();
+  BuildResult(root_structure_);
+  done_ = true;
+}
+
+void XaosEngine::BuildResult(const MatchingPtr& root_structure) {
+  result_ = QueryResult{};
+  if (root_structure == nullptr || root_structure->dead() ||
+      !root_structure->AllSlotsNonEmpty()) {
+    return;
+  }
+  result_.matched = true;
+
+  // Marked traversal (Section 4.4): every structure reachable from a
+  // satisfied root participates in at least one total matching, so each
+  // output x-node's reachable structures are exactly the selected nodes.
+  std::unordered_set<const MatchingStructure*> visited;
+  std::unordered_set<ElementId> emitted;
+  std::vector<const MatchingStructure*> pending{root_structure.get()};
+  visited.insert(root_structure.get());
+  while (!pending.empty()) {
+    const MatchingStructure* m = pending.back();
+    pending.pop_back();
+    if (is_output_[static_cast<size_t>(m->xnode())] &&
+        emitted.insert(m->element().id).second) {
+      OutputItem item;
+      item.info = m->element();
+      auto it = captured_.find(m->element().id);
+      if (it != captured_.end()) item.captured_xml = it->second;
+      result_.items.push_back(std::move(item));
+    }
+    for (int i = 0; i < m->slot_count(); ++i) {
+      for (const MatchingPtr& child : m->slot(i)) {
+        if (visited.insert(child.get()).second) {
+          pending.push_back(child.get());
+        }
+      }
+    }
+  }
+  std::sort(result_.items.begin(), result_.items.end(),
+            [](const OutputItem& a, const OutputItem& b) {
+              return a.info.id < b.info.id;
+            });
+}
+
+TupleEnumeration XaosEngine::OutputTuples(size_t max_tuples) const {
+  TupleEnumeration enumeration;
+  if (!done_ || !result_.matched || root_structure_ == nullptr) {
+    return enumeration;
+  }
+  std::vector<XNodeId> out_nodes;
+  for (XNodeId v = 0; v < tree_->size(); ++v) {
+    if (is_output_[static_cast<size_t>(v)]) out_nodes.push_back(v);
+  }
+
+  std::vector<const ElementInfo*> assignment(
+      static_cast<size_t>(tree_->size()), nullptr);
+  std::set<std::vector<ElementId>> seen;
+  size_t explored = 0;
+  const size_t explore_budget = max_tuples * 64;
+
+  // Full product enumeration over the structure graph: one entry is chosen
+  // per slot, recursively; a complete choice is a total matching (x-tree
+  // subtree domains are disjoint, so any per-slot combination is valid).
+  // The work list holds (structure, next slot to decide) pairs.
+  std::function<bool(std::vector<std::pair<const MatchingStructure*, int>>&)>
+      run = [&](std::vector<std::pair<const MatchingStructure*, int>>& work)
+      -> bool {
+    if (++explored > explore_budget) {
+      enumeration.complete = false;
+      return false;
+    }
+    if (work.empty()) {
+      std::vector<ElementId> key;
+      OutputTuple tuple;
+      key.reserve(out_nodes.size());
+      for (XNodeId v : out_nodes) {
+        const ElementInfo* info = assignment[static_cast<size_t>(v)];
+        XAOS_CHECK(info != nullptr);
+        key.push_back(info->id);
+        tuple.push_back(*info);
+      }
+      if (seen.insert(std::move(key)).second) {
+        enumeration.tuples.push_back(std::move(tuple));
+        if (enumeration.tuples.size() >= max_tuples) {
+          enumeration.complete = false;
+          return false;
+        }
+      }
+      return true;
+    }
+    auto [m, slot] = work.back();
+    if (slot == m->slot_count()) {
+      work.pop_back();
+      bool keep_going = run(work);
+      work.push_back({m, slot});
+      return keep_going;
+    }
+    // Boolean submatchings: output-free slots contribute nothing to the
+    // projection; their (released) entries need not be enumerated.
+    XNodeId slot_child =
+        tree_->node(m->xnode()).children[static_cast<size_t>(slot)];
+    if (IsCountedXNode(slot_child)) {
+      work.back().second = slot + 1;
+      bool keep_going = run(work);
+      work.back().second = slot;
+      return keep_going;
+    }
+    work.back().second = slot + 1;
+    bool keep_going = true;
+    for (const MatchingPtr& child : m->slot(slot)) {
+      assignment[static_cast<size_t>(child->xnode())] = &child->element();
+      work.push_back({child.get(), 0});
+      keep_going = run(work);
+      work.pop_back();
+      assignment[static_cast<size_t>(child->xnode())] = nullptr;
+      if (!keep_going) break;
+    }
+    work.back().second = slot;
+    return keep_going;
+  };
+
+  assignment[kRootXNode] = &root_structure_->element();
+  std::vector<std::pair<const MatchingStructure*, int>> work{
+      {root_structure_.get(), 0}};
+  run(work);
+  return enumeration;
+}
+
+std::vector<LookingForEntry> XaosEngine::DebugLookingForSet() const {
+  std::vector<LookingForEntry> out;
+  if (depth_ == 0 || done_) {
+    out.push_back({kRootXNode, 0, "Root"});
+    return out;
+  }
+  constexpr int kAbsent = -3;
+  constexpr int kAny = LookingForEntry::kAnyLevel;  // -1
+  int top_level = stack_[depth_ - 1].info.level;
+  std::vector<int> lf(static_cast<size_t>(tree_->size()), kAbsent);
+
+  for (XNodeId v : xdag_.TopologicalOrder()) {
+    if (v == kRootXNode) continue;  // the root is already matched, not sought
+    int combined = kAny;
+    for (const query::XDagEdge& edge : xdag_.incoming(v)) {
+      XNodeId u = edge.from;
+      int constraint = kAbsent;
+      bool top_has_u = FindMatch(stack_[depth_ - 1], u) != nullptr;
+      bool any_open_u = !open_by_xnode_[static_cast<size_t>(u)].empty();
+      switch (edge.axis) {
+        case Axis::kChild:
+        case Axis::kAttribute:
+          if (top_has_u) constraint = top_level + 1;
+          break;
+        case Axis::kDescendant:
+          if (any_open_u) constraint = kAny;
+          break;
+        case Axis::kDescendantOrSelf:
+          if (any_open_u) {
+            constraint = kAny;
+          } else if (lf[static_cast<size_t>(u)] != kAbsent) {
+            constraint = lf[static_cast<size_t>(u)];
+          }
+          break;
+        case Axis::kSelf:
+          if (lf[static_cast<size_t>(u)] != kAbsent) {
+            constraint = lf[static_cast<size_t>(u)];
+          }
+          break;
+        case Axis::kFollowingSibling: {
+          const Frame& top = stack_[depth_ - 1];
+          for (const MatchingPtr& p :
+               top.closed_by_xnode[static_cast<size_t>(u)]) {
+            if (!p->dead()) {
+              constraint = top_level + 1;
+              break;
+            }
+          }
+          break;
+        }
+        case Axis::kParent:
+        case Axis::kAncestor:
+        case Axis::kAncestorOrSelf:
+        case Axis::kPrecedingSibling:
+        case Axis::kFollowing:
+        case Axis::kPreceding:
+          XAOS_CHECK(false) << "unexpected axis in x-dag";
+      }
+      if (constraint == kAbsent) {
+        combined = kAbsent;
+        break;
+      }
+      if (constraint == kAny) continue;
+      if (combined == kAny) {
+        combined = constraint;
+      } else if (combined != constraint) {
+        combined = kAbsent;
+        break;
+      }
+    }
+    lf[static_cast<size_t>(v)] = combined;
+    if (combined != kAbsent) {
+      out.push_back({v, combined, tree_->node(v).test.Label()});
+    }
+  }
+  return out;
+}
+
+}  // namespace xaos::core

@@ -1,0 +1,304 @@
+// The χαoς streaming XPath engine (paper Section 4).
+//
+// XaosEngine evaluates one x-tree over a stream of SAX events in a single
+// document-order pass, in time linear in the document and with storage
+// proportional to the *relevant* part of the document only. It combines:
+//
+//   * relevance filtering driven by the x-dag — the looking-for machinery
+//     of Section 4.1: an element is examined further only if every incoming
+//     (forward-only) x-dag constraint of a candidate x-node is supported by
+//     currently open elements;
+//   * matching-structure composition over the x-tree (Sections 4.2/4.3):
+//     at each end-element event, structures of completed sub-matchings are
+//     propagated into their parent structures; backward-axis submatchings
+//     are filled in *optimistically* from the open ancestor stack and
+//     retracted (undone, recursively) if the optimism proves wrong;
+//   * output emission (Section 4.4): at end of document, a marked traversal
+//     of the structure graph projects all total matchings at Root onto the
+//     output x-node(s).
+//
+// The engine is a ContentHandler, so it can be driven by xml::SaxParser
+// (streaming), by dom::ReplayDocument (the paper's χαoς(DOM) configuration)
+// or by any other event source.
+//
+// Attribute and text() node tests are supported by synthesizing leaf child
+// nodes for attributes and character runs; this is an extension beyond the
+// paper's element-only data model and is enabled automatically when the
+// query mentions attributes or text().
+
+#ifndef XAOS_CORE_XAOS_ENGINE_H_
+#define XAOS_CORE_XAOS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_info.h"
+#include "core/engine_stats.h"
+#include "core/matching_structure.h"
+#include "core/result.h"
+#include "query/xdag.h"
+#include "query/xtree.h"
+#include "util/statusor.h"
+#include "xml/sax_event.h"
+#include "xml/xml_writer.h"
+
+namespace xaos::core {
+
+struct EngineOptions {
+  // The looking-for relevance filter of Section 4.1. Disabling it is only
+  // useful for the ablation study: results are unchanged but every
+  // label-matching element allocates a structure.
+  bool enable_relevance_filter = true;
+
+  // Record the serialized XML subtree of every element matched to an output
+  // x-node (whether or not it survives to the final result); survivors
+  // carry it in OutputItem::captured_xml. This implements "storing the
+  // relevant portions of the document" for consumers that need content,
+  // not just node identities.
+  bool capture_output_subtrees = false;
+
+  // Abort processing with ResourceExhausted when more than this many
+  // matching structures are simultaneously alive (0 = unlimited).
+  uint64_t max_live_structures = 0;
+
+  // Boolean submatchings (paper Section 5.1): slots whose x-tree subtree
+  // contains no output node do not need stored matchings — a count of
+  // confirmed sub-matchings suffices, and confirmed entries are released
+  // immediately. Cuts retained memory on predicate-heavy queries; results
+  // are identical.
+  bool enable_boolean_submatchings = true;
+
+  // Stop doing any per-event work once a total matching at Root is
+  // *guaranteed* (see match_confirmed()). The final result then reports
+  // matched == true with no items — the publish/subscribe filtering mode,
+  // where only the boolean answer is needed and documents can be routed
+  // without reading them to the end (paper Section 5.1's eager emission).
+  bool stop_after_confirmed_match = false;
+};
+
+// Result of tuple enumeration (multiple output nodes, Section 5.3).
+struct TupleEnumeration {
+  std::vector<OutputTuple> tuples;
+  // False if enumeration stopped at the tuple or exploration limit.
+  bool complete = true;
+};
+
+// An entry of the paper's looking-for set L (Table 2): an x-node we are
+// prepared to match, at a specific level or at any level (kAnyLevel).
+struct LookingForEntry {
+  query::XNodeId xnode;
+  int level;  // kAnyLevel for the paper's ∞
+  std::string label;
+
+  static constexpr int kAnyLevel = -1;
+};
+
+class XaosEngine : public xml::ContentHandler {
+ public:
+  // `tree` must outlive the engine. Node 0 of the tree must test for the
+  // virtual root (which every tree built by BuildXTree does).
+  explicit XaosEngine(const query::XTree* tree, EngineOptions options = {});
+
+  // ContentHandler interface. StartDocument resets per-document state, so
+  // one engine can process a sequence of documents.
+  void StartDocument() override;
+  void EndDocument() override;
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+  const query::XTree& tree() const { return *tree_; }
+  const query::XDag& xdag() const { return xdag_; }
+  const EngineStats& stats() const { return stats_; }
+
+  // Non-OK if processing hit a configured limit; the engine then ignores
+  // further events and reports no results.
+  const Status& status() const { return error_; }
+  // True once EndDocument has been processed.
+  bool done() const { return done_; }
+
+  // True if at least one total matching at Root exists. Valid after
+  // EndDocument.
+  bool Matched() const { return result_.matched; }
+
+  // True as soon as a total matching at Root is guaranteed regardless of
+  // future events — typically long before EndDocument. Monotone:
+  // confirmation is only granted to matchings with no optimistic
+  // (retractable) constituents, so it is never revoked. Usable mid-stream
+  // for early routing decisions (see EngineOptions::
+  // stop_after_confirmed_match).
+  bool match_confirmed() const {
+    return early_match_ || (done_ && result_.matched);
+  }
+  // The computed result. Valid after EndDocument.
+  const QueryResult& result() const { return result_; }
+
+  // Enumerates distinct output tuples (projections of total matchings onto
+  // the output x-nodes, ordered by x-node id). Exploration stops after
+  // `max_tuples` tuples or `max_tuples * 64` partial matchings. Valid after
+  // EndDocument.
+  TupleEnumeration OutputTuples(size_t max_tuples = 10000) const;
+
+  // The current looking-for set in the paper's presentation (Table 2);
+  // intended for tests and debugging. {(Root, 0)} before the document
+  // starts and after it ends.
+  std::vector<LookingForEntry> DebugLookingForSet() const;
+
+ private:
+  struct Frame {
+    ElementInfo info;
+    std::vector<query::XNodeId> xnodes;       // matched x-nodes (topo order)
+    std::vector<MatchingPtr> structures;      // parallel to xnodes
+    // Structures of already-closed children, per x-node; only maintained
+    // (and only for sibling-relevant x-nodes) when the query uses sibling
+    // axes. Sources of following-sibling relevance, targets of deferred
+    // following-sibling propagation, and candidates for preceding-sibling
+    // pulls.
+    std::vector<std::vector<MatchingPtr>> closed_by_xnode;
+    int capture_index = -1;                   // index into active_captures_
+  };
+
+  struct Capture {
+    ElementId element_id;
+    std::string xml;
+    xml::XmlWriter writer{&xml};
+  };
+
+  // Creates the frame for a new document node, matching it against
+  // candidate x-nodes, and pushes it onto the stack.
+  void ProcessStart(query::DocNodeKind kind, std::string_view name,
+                    std::string_view value);
+  // Closes the top frame: optimistic pulls, satisfaction checks,
+  // propagation/undo, and stack maintenance (Section 4.3).
+  void ProcessEnd();
+
+  // The relevance check of Section 4.1 for candidate x-node `v` against the
+  // not-yet-pushed `frame`.
+  bool IsRelevant(query::XNodeId v, const Frame& frame) const;
+
+  // Collects x-nodes whose tests could match the given node, sorted by
+  // x-dag topological rank (so self-edges see their sources first).
+  void CollectCandidates(query::DocNodeKind kind, std::string_view name,
+                         std::vector<query::XNodeId>* out) const;
+
+  // Recursively retracts a structure that cannot be part of a total
+  // matching (the undo of Section 4.3 / Table 2 step 23).
+  void Undo(MatchingStructure* m);
+
+  // Pushes a satisfied structure into its parent-matchings (the forward
+  // half of Section 4.3's propagation) and attempts confirmation. Safe to
+  // call late for structures whose following-sibling slots filled after
+  // their close (deferred completion).
+  void PropagateUp(const MatchingPtr& m);
+
+  // If `m` (a closed sibling-axis target) just became satisfied, runs its
+  // deferred propagation.
+  void MaybeCompleteDeferred(const MatchingPtr& m);
+
+  // Removes `m` from its parents. In full mode (dead structure) all links
+  // go; in retract mode only push-links go, optimistic links stay.
+  void CascadeRemoval(MatchingStructure* m, bool retract_only);
+
+  // Un-propagates a closed structure whose refillable (following-sibling)
+  // slot emptied; it may complete and re-propagate later.
+  void RetractPropagation(MatchingStructure* m);
+
+  // True if slot `slot` of `parent` can still gain entries: it is a
+  // following-sibling slot and the element's parent is still open.
+  bool SlotRefillable(const MatchingStructure& parent, int slot) const;
+
+  // True if entries of this x-node are counted rather than stored once
+  // confirmed (its subtree contains no output node).
+  bool IsCountedXNode(query::XNodeId xnode) const {
+    return counted_subtree_[static_cast<size_t>(xnode)];
+  }
+
+  // Marks `m` confirmed if it provably represents a total matching, and
+  // cascades the confirmation into its parents.
+  void TryConfirm(MatchingStructure* m);
+
+  // Links a child into a parent slot, propagating confirmation if the
+  // child is already confirmed. `optimistic` — see MatchingStructure::Link.
+  void LinkChild(const MatchingPtr& parent, int slot, const MatchingPtr& child,
+                 bool optimistic);
+
+  // Finds the structure matched to `xnode` in `frame`, or null.
+  static const MatchingPtr* FindMatch(const Frame& frame,
+                                      query::XNodeId xnode);
+
+  void BuildResult(const MatchingPtr& root_structure);
+  void ResetDocumentState();
+  void FailWith(Status status);
+
+  // Hash/equality functors enabling string_view lookups without a
+  // temporary std::string (C++20 heterogeneous unordered lookup).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using CandidateMap =
+      std::unordered_map<std::string, std::vector<query::XNodeId>, StringHash,
+                         std::equal_to<>>;
+
+  const query::XTree* tree_;
+  query::XDag xdag_;
+  EngineOptions options_;
+
+  // --- immutable query-derived tables ---
+  // Candidate x-node ids by element tag / attribute name, plus wildcard and
+  // kind lists; all pre-sorted by topological rank.
+  CandidateMap element_candidates_;
+  std::vector<query::XNodeId> any_element_candidates_;
+  CandidateMap attribute_candidates_;
+  std::vector<query::XNodeId> any_attribute_candidates_;
+  std::vector<query::XNodeId> text_candidates_;
+  std::vector<query::XNodeId> root_candidates_;
+  std::vector<int> slot_in_parent_;  // x-node id -> slot index in its parent
+  std::vector<bool> is_output_;
+  // X-nodes whose closed structures must stay reachable from the parent
+  // frame for sibling-axis processing.
+  std::vector<bool> sibling_listed_;
+  // X-nodes whose subtree contains no output node: structures matched to
+  // them are counted, not stored, once confirmed (boolean submatchings).
+  std::vector<bool> counted_subtree_;
+  bool wants_attributes_ = false;
+  bool wants_text_ = false;
+  bool wants_siblings_ = false;
+
+  // --- per-document state ---
+  // Frame stack. `stack_` is used as an arena indexed by `depth_` so that
+  // frame vectors keep their capacity across elements (allocation-free in
+  // steady state). Frames at index >= depth_ are spent and empty.
+  std::vector<Frame> stack_;
+  size_t depth_ = 0;
+  // Structures of currently open document nodes, per x-node (stack
+  // discipline: the newest open match is at the back).
+  std::vector<std::vector<MatchingPtr>> open_by_xnode_;
+  std::vector<std::unique_ptr<Capture>> active_captures_;
+  std::unordered_map<ElementId, std::string> captured_;
+  MatchingPtr root_structure_;
+  // The Root structure of the document in progress (owned by stack_[0]);
+  // used to detect early match confirmation.
+  MatchingStructure* live_root_ = nullptr;
+  ElementId next_id_ = 0;
+  bool done_ = false;
+  bool early_match_ = false;
+  bool inert_ = false;  // stop_after_confirmed_match triggered
+  Status error_;
+  EngineStats stats_;
+  QueryResult result_;
+
+  mutable std::vector<query::XNodeId> candidate_scratch_;
+  std::vector<size_t> order_scratch_;
+};
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_XAOS_ENGINE_H_

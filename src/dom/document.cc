@@ -1,0 +1,99 @@
+#include "dom/document.h"
+
+namespace xaos::dom {
+
+Document::Document() {
+  Node doc;
+  doc.kind = NodeKind::kDocument;
+  doc.level = 0;
+  nodes_.push_back(std::move(doc));
+}
+
+NodeId Document::root_element() const {
+  for (NodeId child = first_child(0); child != kInvalidNode;
+       child = next_sibling(child)) {
+    if (IsElement(child)) return child;
+  }
+  return kInvalidNode;
+}
+
+NodeId Document::CreateElement(std::string_view name) {
+  Node node;
+  node.kind = NodeKind::kElement;
+  node.name.assign(name);
+  nodes_.push_back(std::move(node));
+  ++element_count_;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Document::CreateText(std::string_view text) {
+  Node node;
+  node.kind = NodeKind::kText;
+  node.text.assign(text);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Document::AppendChild(NodeId parent, NodeId child) {
+  XAOS_CHECK(parent < nodes_.size() && child < nodes_.size());
+  XAOS_CHECK(nodes_[child].parent == kInvalidNode)
+      << "node already has a parent";
+  XAOS_CHECK(kind(parent) != NodeKind::kText) << "text nodes are leaves";
+  Node& p = nodes_[parent];
+  Node& c = nodes_[child];
+  c.parent = parent;
+  c.level = p.level + 1;
+  if (p.last_child == kInvalidNode) {
+    p.first_child = child;
+  } else {
+    nodes_[p.last_child].next_sibling = child;
+  }
+  p.last_child = child;
+}
+
+void Document::AddAttribute(NodeId id, std::string_view name,
+                            std::string_view value) {
+  XAOS_CHECK(IsElement(id));
+  nodes_[id].attributes.push_back({std::string(name), std::string(value)});
+}
+
+const std::string* Document::FindAttribute(NodeId id,
+                                           std::string_view name) const {
+  for (const xml::Attribute& attr : nodes_[id].attributes) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  std::string out;
+  // Iterative pre-order walk of the subtree rooted at `id`.
+  NodeId node = id;
+  while (true) {
+    if (kind(node) == NodeKind::kText) out += text(node);
+    if (first_child(node) != kInvalidNode && kind(node) != NodeKind::kText) {
+      node = first_child(node);
+      continue;
+    }
+    while (node != id && next_sibling(node) == kInvalidNode) {
+      node = parent(node);
+    }
+    if (node == id) break;
+    node = next_sibling(node);
+  }
+  return out;
+}
+
+size_t Document::ApproximateMemoryBytes() const {
+  size_t total = nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.name.capacity() + node.text.capacity();
+    total += node.attributes.capacity() * sizeof(xml::Attribute);
+    for (const xml::Attribute& attr : node.attributes) {
+      total += attr.name.capacity() + attr.value.capacity();
+    }
+  }
+  return total;
+}
+
+}  // namespace xaos::dom

@@ -1,0 +1,105 @@
+// In-memory XML tree (DOM) substrate.
+//
+// The navigational baseline engine (src/baseline) evaluates XPath over this
+// tree, mirroring how Xalan keeps the whole document in memory (paper
+// Section 6). The χαoς(DOM) configuration of Section 6.2 replays a Document
+// as SAX events (see dom_replayer.h).
+//
+// Nodes live in a flat arena indexed by NodeId. When built through
+// DomBuilder, NodeIds are assigned in document order (pre-order), so id
+// comparison is document-order comparison.
+
+#ifndef XAOS_DOM_DOCUMENT_H_
+#define XAOS_DOM_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+#include "xml/sax_event.h"
+
+namespace xaos::dom {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : uint8_t {
+  kDocument,  // the virtual root (level 0); exactly one, id 0
+  kElement,
+  kText,
+};
+
+// A document tree. Create nodes with CreateElement/CreateText and link them
+// with AppendChild, or build from XML text via dom::DomBuilder.
+class Document {
+ public:
+  // Constructs a document containing only the virtual document node (id 0).
+  Document();
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  NodeId document_node() const { return 0; }
+  // The document (root) element, or kInvalidNode if none was added yet.
+  NodeId root_element() const;
+
+  NodeId CreateElement(std::string_view name);
+  NodeId CreateText(std::string_view text);
+  // Appends `child` under `parent`. `child` must not already have a parent.
+  void AppendChild(NodeId parent, NodeId child);
+
+  // Accessors. All ids must be valid.
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  bool IsElement(NodeId id) const { return kind(id) == NodeKind::kElement; }
+  const std::string& name(NodeId id) const { return nodes_[id].name; }
+  const std::string& text(NodeId id) const { return nodes_[id].text; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+  // Distance from the document node (document node: 0, root element: 1).
+  int level(NodeId id) const { return nodes_[id].level; }
+
+  const std::vector<xml::Attribute>& attributes(NodeId id) const {
+    return nodes_[id].attributes;
+  }
+  void AddAttribute(NodeId id, std::string_view name, std::string_view value);
+  // Returns the attribute value, or nullptr if absent.
+  const std::string* FindAttribute(NodeId id, std::string_view name) const;
+
+  // Total number of nodes (including the document node and text nodes).
+  size_t node_count() const { return nodes_.size(); }
+  // Number of element nodes.
+  size_t element_count() const { return element_count_; }
+
+  // Concatenation of all descendant text (the XPath string-value of an
+  // element).
+  std::string StringValue(NodeId id) const;
+
+  // Rough memory footprint in bytes (nodes + strings + attributes); used by
+  // the benchmarks to report the baseline's memory behaviour.
+  size_t ApproximateMemoryBytes() const;
+
+ private:
+  struct Node {
+    NodeKind kind;
+    int level = 0;
+    NodeId parent = kInvalidNode;
+    NodeId first_child = kInvalidNode;
+    NodeId last_child = kInvalidNode;
+    NodeId next_sibling = kInvalidNode;
+    std::string name;
+    std::string text;
+    std::vector<xml::Attribute> attributes;
+  };
+
+  std::vector<Node> nodes_;
+  size_t element_count_ = 0;
+};
+
+}  // namespace xaos::dom
+
+#endif  // XAOS_DOM_DOCUMENT_H_

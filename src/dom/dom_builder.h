@@ -1,0 +1,40 @@
+// Builds a dom::Document from a stream of SAX events.
+
+#ifndef XAOS_DOM_DOM_BUILDER_H_
+#define XAOS_DOM_DOM_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "dom/document.h"
+#include "util/statusor.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::dom {
+
+// ContentHandler that materializes the event stream into a Document.
+// NodeIds are assigned in document order.
+class DomBuilder : public xml::ContentHandler {
+ public:
+  // `document` must be freshly constructed and outlive the builder.
+  explicit DomBuilder(Document* document);
+
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+ private:
+  Document* document_;
+  std::vector<NodeId> stack_;
+};
+
+// Parses `xml_text` into a Document. Whitespace-only text runs are kept or
+// dropped according to `options`.
+StatusOr<Document> ParseToDocument(std::string_view xml_text,
+                                   xml::ParserOptions options = {});
+
+}  // namespace xaos::dom
+
+#endif  // XAOS_DOM_DOM_BUILDER_H_

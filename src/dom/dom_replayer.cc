@@ -1,0 +1,42 @@
+#include "dom/dom_replayer.h"
+
+namespace xaos::dom {
+
+void ReplaySubtree(const Document& document, NodeId subtree_root,
+                   xml::ContentHandler* handler) {
+  // Iterative pre-order traversal with explicit end-element emission.
+  NodeId node = subtree_root;
+  while (true) {
+    bool descend = false;
+    if (document.kind(node) == NodeKind::kText) {
+      handler->Characters(document.text(node));
+    } else if (document.IsElement(node)) {
+      handler->StartElement(document.name(node), document.attributes(node));
+      descend = document.first_child(node) != kInvalidNode;
+      if (!descend) handler->EndElement(document.name(node));
+    } else {
+      // Document node: descend through children without emitting events.
+      descend = document.first_child(node) != kInvalidNode;
+    }
+    if (descend) {
+      node = document.first_child(node);
+      continue;
+    }
+    // Climb until a next sibling exists, closing elements on the way.
+    while (node != subtree_root &&
+           document.next_sibling(node) == kInvalidNode) {
+      node = document.parent(node);
+      if (document.IsElement(node)) handler->EndElement(document.name(node));
+    }
+    if (node == subtree_root) break;
+    node = document.next_sibling(node);
+  }
+}
+
+void ReplayDocument(const Document& document, xml::ContentHandler* handler) {
+  handler->StartDocument();
+  ReplaySubtree(document, document.document_node(), handler);
+  handler->EndDocument();
+}
+
+}  // namespace xaos::dom

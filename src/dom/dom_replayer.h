@@ -1,0 +1,25 @@
+// Replays a dom::Document as a stream of SAX events.
+//
+// This is the χαoς(DOM) configuration of the paper's Section 6.2: to factor
+// out parse cost, the document is materialized once and then traversed in
+// depth-first order, generating the events a SAX parser would.
+
+#ifndef XAOS_DOM_DOM_REPLAYER_H_
+#define XAOS_DOM_DOM_REPLAYER_H_
+
+#include "dom/document.h"
+#include "xml/sax_event.h"
+
+namespace xaos::dom {
+
+// Emits StartDocument, the depth-first element/text events of `document`,
+// and EndDocument into `handler`.
+void ReplayDocument(const Document& document, xml::ContentHandler* handler);
+
+// Replays only the subtree rooted at `subtree_root` (no document events).
+void ReplaySubtree(const Document& document, NodeId subtree_root,
+                   xml::ContentHandler* handler);
+
+}  // namespace xaos::dom
+
+#endif  // XAOS_DOM_DOM_REPLAYER_H_

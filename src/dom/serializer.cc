@@ -1,0 +1,50 @@
+#include "dom/serializer.h"
+
+#include "dom/dom_replayer.h"
+#include "xml/entities.h"
+#include "xml/xml_writer.h"
+
+namespace xaos::dom {
+namespace {
+
+// Bridges replayed events into an XmlWriter.
+class WriterHandler : public xml::ContentHandler {
+ public:
+  explicit WriterHandler(xml::XmlWriter* writer) : writer_(writer) {}
+
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>& attributes) override {
+    writer_->StartElement(name);
+    for (const xml::Attribute& attr : attributes) {
+      writer_->WriteAttribute(attr.name, attr.value);
+    }
+  }
+  void EndElement(std::string_view /*name*/) override {
+    writer_->EndElement();
+  }
+  void Characters(std::string_view text) override { writer_->WriteText(text); }
+
+ private:
+  xml::XmlWriter* writer_;
+};
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& document, NodeId node,
+                             int indent) {
+  std::string out;
+  if (document.kind(node) == NodeKind::kText) {
+    out = xml::EscapeText(document.text(node));
+    return out;
+  }
+  xml::XmlWriter writer(&out, indent);
+  WriterHandler handler(&writer);
+  ReplaySubtree(document, node, &handler);
+  return out;
+}
+
+std::string SerializeDocument(const Document& document, int indent) {
+  return SerializeSubtree(document, document.document_node(), indent);
+}
+
+}  // namespace xaos::dom

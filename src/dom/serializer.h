@@ -1,0 +1,24 @@
+// Serializes a dom::Document (or subtree) back to XML text.
+
+#ifndef XAOS_DOM_SERIALIZER_H_
+#define XAOS_DOM_SERIALIZER_H_
+
+#include <string>
+
+#include "dom/document.h"
+
+namespace xaos::dom {
+
+// Serializes the subtree rooted at `node` (an element, text node, or the
+// document node). `indent` spaces per nesting level; 0 = single line.
+// Note: indentation inserts whitespace and is meant for human inspection;
+// round-tripping tests should use indent = 0.
+std::string SerializeSubtree(const Document& document, NodeId node,
+                             int indent = 0);
+
+// Serializes the whole document.
+std::string SerializeDocument(const Document& document, int indent = 0);
+
+}  // namespace xaos::dom
+
+#endif  // XAOS_DOM_SERIALIZER_H_

@@ -1,0 +1,72 @@
+// The custom XPath / document generator of the paper's Section 6.2.
+//
+// Generates (a) random Rxp expressions of a given size (number of node
+// tests, default 6) over a small tag alphabet, mixing forward and backward
+// axes and branching predicates; and (b) for each expression, a random XML
+// document in which instantiations of the expression (full matches) and
+// mutated instantiations (near matches) are embedded among noise elements,
+// "so that for large document sizes the expression has many matches (and
+// near matches)".
+
+#ifndef XAOS_GEN_RANDOM_WORKLOAD_H_
+#define XAOS_GEN_RANDOM_WORKLOAD_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "util/statusor.h"
+#include "xpath/ast.h"
+
+namespace xaos::gen {
+
+struct RandomQueryOptions {
+  int node_tests = 6;     // the paper's expression size
+  int alphabet = 8;       // element tags A, B, C, ...
+  bool allow_backward = true;   // include parent/ancestor axes
+  bool allow_siblings = false;  // include following/preceding-sibling axes
+};
+
+// Generates a random location path. The first step is a descendant step
+// (queries anchor anywhere in the document); later steps draw from
+// child/descendant/parent/ancestor; extra node tests become branching
+// predicates. Steps reached through a child (or attribute) edge never grow
+// parent-axis branches (which would be trivially unsatisfiable), and each
+// node grows at most one parent-axis branch.
+xpath::LocationPath GenerateRandomPath(const RandomQueryOptions& options,
+                                       std::mt19937_64& rng);
+
+struct RandomDocOptions {
+  size_t target_elements = 20000;
+  double full_embed_probability = 0.04;    // full instantiation of the query
+  double partial_embed_probability = 0.06; // mutated (near-miss) instantiation
+  // Documents are deep (nested noise + embedded fragments inside noise), so
+  // descendant steps produce overlapping context subtrees — the situation
+  // in which per-context navigational evaluation re-visits elements
+  // repeatedly while χαoς visits each exactly once.
+  int max_noise_depth = 16;
+  int alphabet = 8;  // must match the query generator's alphabet
+};
+
+// Generates a document for `path` per the options. Returns ParseError /
+// Unsupported if the path cannot be compiled to an x-tree (generated paths
+// always can).
+StatusOr<std::string> GenerateDocumentForPath(const xpath::LocationPath& path,
+                                              const RandomDocOptions& options,
+                                              std::mt19937_64& rng);
+
+// One Section 6.2 workload unit: expression + document.
+struct RandomWorkload {
+  xpath::LocationPath path;
+  std::string expression;  // ToString(path)
+  std::string document;
+};
+
+// Convenience: generates a query and a matching document from one seed.
+StatusOr<RandomWorkload> GenerateWorkload(const RandomQueryOptions& query_options,
+                                          const RandomDocOptions& doc_options,
+                                          uint64_t seed);
+
+}  // namespace xaos::gen
+
+#endif  // XAOS_GEN_RANDOM_WORKLOAD_H_

@@ -1,0 +1,52 @@
+#include "gen/wordlist.h"
+
+namespace xaos::gen {
+namespace {
+
+// A fixed vocabulary in the spirit of the XMark generator's Shakespeare
+// word list.
+constexpr std::string_view kWords[] = {
+    "gold",     "silver",   "copper",   "market",  "auction",  "seller",
+    "buyer",    "bid",      "price",    "quality", "vintage",  "rare",
+    "antique",  "modern",   "classic",  "grand",   "small",    "large",
+    "crimson",  "azure",    "emerald",  "amber",   "ivory",    "ebony",
+    "harbor",   "village",  "city",     "river",   "mountain", "valley",
+    "merchant", "craft",    "guild",    "trade",   "cargo",    "vessel",
+    "letter",   "scroll",   "ledger",   "account", "coin",     "note",
+    "garden",   "orchard",  "meadow",   "forest",  "grove",    "field",
+    "winter",   "summer",   "autumn",   "spring",  "morning",  "evening",
+    "north",    "south",    "east",     "west",    "upper",    "lower",
+    "first",    "second",   "third",    "final",   "prime",    "chief",
+    "quiet",    "loud",     "swift",    "slow",    "bright",   "dark",
+    "honest",   "fair",     "noble",    "humble",  "keen",     "bold",
+    "wooden",   "iron",     "stone",    "glass",   "woolen",   "linen",
+    "painted",  "carved",   "woven",    "forged",  "printed",  "bound",
+    "chamber",  "hall",     "tower",    "bridge",  "gate",     "wall",
+    "journey",  "voyage",   "passage",  "route",   "path",     "road",
+    "story",    "song",     "verse",    "tale",    "fable",    "rhyme",
+    "amount",   "measure",  "weight",   "length",  "volume",   "count",
+    "offer",    "request",  "promise",  "pledge",  "bargain",  "deal",
+};
+
+constexpr int kWordCount = static_cast<int>(std::size(kWords));
+
+}  // namespace
+
+int WordCount() { return kWordCount; }
+
+std::string_view Word(int i) { return kWords[i % kWordCount]; }
+
+std::string_view RandomWord(std::mt19937_64& rng) {
+  return kWords[rng() % kWordCount];
+}
+
+std::string RandomSentence(std::mt19937_64& rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += RandomWord(rng);
+  }
+  return out;
+}
+
+}  // namespace xaos::gen

@@ -1,0 +1,26 @@
+// Deterministic filler-text vocabulary for the document generators.
+
+#ifndef XAOS_GEN_WORDLIST_H_
+#define XAOS_GEN_WORDLIST_H_
+
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace xaos::gen {
+
+// Number of distinct words available.
+int WordCount();
+
+// The i-th word (0 <= i < WordCount()).
+std::string_view Word(int i);
+
+// A uniformly random word.
+std::string_view RandomWord(std::mt19937_64& rng);
+
+// A space-separated sentence of `words` random words.
+std::string RandomSentence(std::mt19937_64& rng, int words);
+
+}  // namespace xaos::gen
+
+#endif  // XAOS_GEN_WORDLIST_H_

@@ -1,0 +1,311 @@
+#include "gen/xmark_generator.h"
+
+#include <algorithm>
+#include <random>
+
+#include "gen/wordlist.h"
+#include "xml/xml_writer.h"
+
+namespace xaos::gen {
+namespace {
+
+using xml::XmlWriter;
+
+// XMark entity counts at scale factor 1.
+constexpr double kPeopleAtScale1 = 25500;
+constexpr double kItemsAtScale1 = 21750;
+constexpr double kOpenAuctionsAtScale1 = 12000;
+constexpr double kClosedAuctionsAtScale1 = 9750;
+constexpr double kCategoriesAtScale1 = 1000;
+
+constexpr const char* kRegions[] = {"africa",   "asia",     "australia",
+                                    "europe",   "namerica", "samerica"};
+
+int Scaled(double base, double scale) {
+  return std::max(1, static_cast<int>(base * scale));
+}
+
+class Generator {
+ public:
+  Generator(const XMarkOptions& options, std::string* out)
+      : rng_(options.seed), writer_(out, options.indent) {}
+
+  void Run(const XMarkOptions& options) {
+    int people = Scaled(kPeopleAtScale1, options.scale);
+    int items = Scaled(kItemsAtScale1, options.scale);
+    int open_auctions = Scaled(kOpenAuctionsAtScale1, options.scale);
+    int closed_auctions = Scaled(kClosedAuctionsAtScale1, options.scale);
+    int categories = Scaled(kCategoriesAtScale1, options.scale);
+
+    writer_.WriteDeclaration();
+    writer_.StartElement("site");
+    WriteRegions(items);
+    WriteCategories(categories);
+    WriteCatgraph(categories);
+    WritePeople(people);
+    WriteOpenAuctions(open_auctions, people, items);
+    WriteClosedAuctions(closed_auctions, people, items);
+    writer_.EndElement();
+  }
+
+ private:
+  int Uniform(int lo, int hi) {  // inclusive bounds
+    return lo + static_cast<int>(rng_() % static_cast<uint64_t>(hi - lo + 1));
+  }
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+
+  void WriteText(int words) {
+    writer_.WriteText(RandomSentence(rng_, words));
+  }
+
+  // description := text | parlist; parlist := listitem+;
+  // listitem := text | parlist (recursive).
+  void WriteListitem(int depth) {
+    writer_.StartElement("listitem");
+    if (depth < 3 && Chance(0.2)) {
+      WriteParlist(depth + 1);
+    } else {
+      writer_.StartElement("text");
+      WriteText(Uniform(4, 12));
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteParlist(int depth) {
+    writer_.StartElement("parlist");
+    int n = Uniform(2, 4);
+    for (int i = 0; i < n; ++i) WriteListitem(depth);
+    writer_.EndElement();
+  }
+
+  void WriteDescription() {
+    writer_.StartElement("description");
+    if (Chance(0.3)) {
+      WriteParlist(0);
+    } else {
+      writer_.StartElement("text");
+      WriteText(Uniform(6, 20));
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteItem(int id) {
+    writer_.StartElement("item");
+    writer_.WriteAttribute("id", "item" + std::to_string(id));
+    writer_.WriteTextElement("location", std::string(RandomWord(rng_)));
+    writer_.WriteTextElement("quantity", std::to_string(Uniform(1, 5)));
+    writer_.WriteTextElement("name", RandomSentence(rng_, 2));
+    writer_.StartElement("payment");
+    WriteText(3);
+    writer_.EndElement();
+    WriteDescription();
+    writer_.StartElement("shipping");
+    WriteText(3);
+    writer_.EndElement();
+    int incats = Uniform(1, 3);
+    for (int i = 0; i < incats; ++i) {
+      writer_.StartElement("incategory");
+      writer_.WriteAttribute("category",
+                             "category" + std::to_string(Uniform(0, 999)));
+      writer_.EndElement();
+    }
+    if (Chance(0.4)) {
+      writer_.StartElement("mailbox");
+      int mails = Uniform(1, 3);
+      for (int i = 0; i < mails; ++i) {
+        writer_.StartElement("mail");
+        writer_.WriteTextElement("from", RandomSentence(rng_, 2));
+        writer_.WriteTextElement("to", RandomSentence(rng_, 2));
+        writer_.WriteTextElement("date", RandomDate());
+        writer_.StartElement("text");
+        WriteText(Uniform(5, 15));
+        writer_.EndElement();
+        writer_.EndElement();
+      }
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteRegions(int items) {
+    writer_.StartElement("regions");
+    int region_count = static_cast<int>(std::size(kRegions));
+    int next_id = 0;
+    for (int r = 0; r < region_count; ++r) {
+      writer_.StartElement(kRegions[r]);
+      int share = items / region_count + (r < items % region_count ? 1 : 0);
+      for (int i = 0; i < share; ++i) WriteItem(next_id++);
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteCategories(int categories) {
+    writer_.StartElement("categories");
+    for (int c = 0; c < categories; ++c) {
+      writer_.StartElement("category");
+      writer_.WriteAttribute("id", "category" + std::to_string(c));
+      writer_.WriteTextElement("name", RandomSentence(rng_, 2));
+      WriteDescription();
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteCatgraph(int categories) {
+    writer_.StartElement("catgraph");
+    for (int e = 0; e < categories; ++e) {
+      writer_.StartElement("edge");
+      writer_.WriteAttribute(
+          "from", "category" + std::to_string(Uniform(0, categories - 1)));
+      writer_.WriteAttribute(
+          "to", "category" + std::to_string(Uniform(0, categories - 1)));
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  std::string RandomDate() {
+    return std::to_string(Uniform(1, 28)) + "/" +
+           std::to_string(Uniform(1, 12)) + "/" +
+           std::to_string(Uniform(1998, 2001));
+  }
+
+  void WritePeople(int people) {
+    writer_.StartElement("people");
+    for (int p = 0; p < people; ++p) {
+      writer_.StartElement("person");
+      writer_.WriteAttribute("id", "person" + std::to_string(p));
+      writer_.WriteTextElement("name", RandomSentence(rng_, 2));
+      std::string email = "mailto:";
+      email += RandomWord(rng_);
+      email += "@example.org";
+      writer_.WriteTextElement("emailaddress", email);
+      if (Chance(0.5)) {
+        writer_.WriteTextElement("phone", "+" + std::to_string(Uniform(1, 99)) +
+                                              " " +
+                                              std::to_string(Uniform(0, 999)));
+      }
+      if (Chance(0.3)) {
+        writer_.StartElement("address");
+        writer_.WriteTextElement("street", RandomSentence(rng_, 2));
+        writer_.WriteTextElement("city", std::string(RandomWord(rng_)));
+        writer_.WriteTextElement("country", std::string(RandomWord(rng_)));
+        writer_.WriteTextElement("zipcode", std::to_string(Uniform(0, 99)));
+        writer_.EndElement();
+      }
+      if (Chance(0.5)) {
+        writer_.StartElement("watches");
+        int watches = Uniform(1, 3);
+        for (int w = 0; w < watches; ++w) {
+          writer_.StartElement("watch");
+          writer_.WriteAttribute("open_auction",
+                                 "open_auction" + std::to_string(w));
+          writer_.EndElement();
+        }
+        writer_.EndElement();
+      }
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteOpenAuctions(int auctions, int people, int items) {
+    writer_.StartElement("open_auctions");
+    for (int a = 0; a < auctions; ++a) {
+      writer_.StartElement("open_auction");
+      writer_.WriteAttribute("id", "open_auction" + std::to_string(a));
+      writer_.WriteTextElement("initial", std::to_string(Uniform(1, 200)));
+      int bidders = Uniform(0, 4);
+      for (int b = 0; b < bidders; ++b) {
+        writer_.StartElement("bidder");
+        writer_.WriteTextElement("date", RandomDate());
+        writer_.StartElement("personref");
+        writer_.WriteAttribute(
+            "person", "person" + std::to_string(Uniform(0, people - 1)));
+        writer_.EndElement();
+        writer_.WriteTextElement("increase", std::to_string(Uniform(1, 20)));
+        writer_.EndElement();
+      }
+      writer_.WriteTextElement("current", std::to_string(Uniform(1, 400)));
+      writer_.StartElement("itemref");
+      writer_.WriteAttribute("item",
+                             "item" + std::to_string(Uniform(0, items - 1)));
+      writer_.EndElement();
+      writer_.StartElement("seller");
+      writer_.WriteAttribute(
+          "person", "person" + std::to_string(Uniform(0, people - 1)));
+      writer_.EndElement();
+      writer_.StartElement("annotation");
+      writer_.WriteTextElement("author", RandomSentence(rng_, 2));
+      WriteDescription();
+      writer_.EndElement();
+      writer_.WriteTextElement("quantity", std::to_string(Uniform(1, 5)));
+      writer_.WriteTextElement("type", Chance(0.5) ? "Regular" : "Featured");
+      writer_.StartElement("interval");
+      writer_.WriteTextElement("start", RandomDate());
+      writer_.WriteTextElement("end", RandomDate());
+      writer_.EndElement();
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  void WriteClosedAuctions(int auctions, int people, int items) {
+    writer_.StartElement("closed_auctions");
+    for (int a = 0; a < auctions; ++a) {
+      writer_.StartElement("closed_auction");
+      writer_.StartElement("seller");
+      writer_.WriteAttribute(
+          "person", "person" + std::to_string(Uniform(0, people - 1)));
+      writer_.EndElement();
+      writer_.StartElement("buyer");
+      writer_.WriteAttribute(
+          "person", "person" + std::to_string(Uniform(0, people - 1)));
+      writer_.EndElement();
+      writer_.StartElement("itemref");
+      writer_.WriteAttribute("item",
+                             "item" + std::to_string(Uniform(0, items - 1)));
+      writer_.EndElement();
+      writer_.WriteTextElement("price", std::to_string(Uniform(1, 400)));
+      writer_.WriteTextElement("date", RandomDate());
+      writer_.WriteTextElement("quantity", std::to_string(Uniform(1, 5)));
+      writer_.WriteTextElement("type", Chance(0.5) ? "Regular" : "Featured");
+      writer_.StartElement("annotation");
+      writer_.WriteTextElement("author", RandomSentence(rng_, 2));
+      WriteDescription();
+      writer_.EndElement();
+      writer_.EndElement();
+    }
+    writer_.EndElement();
+  }
+
+  std::mt19937_64 rng_;
+  XmlWriter writer_;
+};
+
+}  // namespace
+
+std::string GenerateXMark(const XMarkOptions& options) {
+  std::string out;
+  Generator generator(options, &out);
+  generator.Run(options);
+  return out;
+}
+
+uint64_t ApproximateXMarkElements(double scale) {
+  // Average elements per entity, estimated from the generator's structure:
+  // item ≈ 17, person ≈ 10, open auction ≈ 22, closed auction ≈ 16,
+  // category ≈ 7 (descriptions add recursive parlists on top).
+  double total = kItemsAtScale1 * scale * 17 + kPeopleAtScale1 * scale * 10 +
+                 kOpenAuctionsAtScale1 * scale * 22 +
+                 kClosedAuctionsAtScale1 * scale * 16 +
+                 kCategoriesAtScale1 * scale * 7 + 10;
+  return static_cast<uint64_t>(total);
+}
+
+}  // namespace xaos::gen

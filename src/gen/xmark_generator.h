@@ -1,0 +1,45 @@
+// XMark-like auction-site document generator.
+//
+// The paper's Section 6.1 evaluates χαoς against Xalan on documents
+// produced by the XMark benchmark generator [15] at scale factors 1/32..4,
+// with the query //listitem/ancestor::category//name. This module
+// reproduces the XMark document *structure* relevant to that experiment —
+// the category/description/parlist/listitem recursion the query probes,
+// plus the regions/items, people, and auctions subtrees in the published
+// XMark entity ratios — with deterministic pseudo-text. Element counts
+// scale linearly with the scale factor, as in XMark (scale 1 ≈ 2M
+// elements ≈ 100 MB for the original generator; this one reproduces the
+// proportions, and absolute size can be verified with ApproximateElements).
+
+#ifndef XAOS_GEN_XMARK_GENERATOR_H_
+#define XAOS_GEN_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xaos::gen {
+
+struct XMarkOptions {
+  // XMark scale factor; entity counts scale linearly. The defaults follow
+  // XMark's published ratios: at scale 1 — 25500 people, 21750 items,
+  // 12000 open auctions, 9750 closed auctions, 1000 categories.
+  double scale = 0.01;
+  uint64_t seed = 42;
+  // Spaces of indentation per level; 0 keeps the document compact.
+  int indent = 0;
+};
+
+// Generates the document text.
+std::string GenerateXMark(const XMarkOptions& options);
+
+// A rough prediction of the element count for a scale factor (useful for
+// sizing benchmark sweeps without generating).
+uint64_t ApproximateXMarkElements(double scale);
+
+// The paper's benchmark query for this document class.
+inline constexpr const char* kXMarkPaperQuery =
+    "//listitem/ancestor::category//name";
+
+}  // namespace xaos::gen
+
+#endif  // XAOS_GEN_XMARK_GENERATOR_H_

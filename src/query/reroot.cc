@@ -1,0 +1,150 @@
+#include "query/reroot.h"
+
+#include <utility>
+#include <vector>
+
+namespace xaos::query {
+namespace {
+
+using xpath::Axis;
+
+// Recursively copies the subtree below `src_node` into `dst` under
+// `dst_parent`, preserving axes. Output marks are carried over when
+// `keep_outputs` is set. `id_map`, if non-null, receives dst ids indexed by
+// src id.
+void CopyChildren(const XTree& src, XNodeId src_node, XTree* dst,
+                  XNodeId dst_parent, bool keep_outputs,
+                  std::vector<XNodeId>* id_map) {
+  for (XNodeId child : src.node(src_node).children) {
+    const XNode& c = src.node(child);
+    XNodeId copied = dst->AddNode(dst_parent, c.incoming_axis, c.test);
+    if (keep_outputs && c.is_output) dst->MarkOutput(copied);
+    if (id_map != nullptr) (*id_map)[static_cast<size_t>(child)] = copied;
+    CopyChildren(src, child, dst, copied, keep_outputs, id_map);
+  }
+}
+
+// Merges two node tests; fails if no document node can satisfy both.
+StatusOr<NodeTestSpec> MergeSpecs(const NodeTestSpec& a,
+                                  const NodeTestSpec& b) {
+  NodeTestSpec merged;
+  using Kind = NodeTestSpec::Kind;
+  auto incompatible = [&]() {
+    return InvalidArgumentError("incompatible node tests: " + a.Label() +
+                                " vs " + b.Label());
+  };
+
+  if (a.kind == b.kind && a.name == b.name) {
+    merged = a;
+  } else if (a.kind == Kind::kAnyElement && b.kind == Kind::kElement) {
+    merged = b;
+  } else if (b.kind == Kind::kAnyElement && a.kind == Kind::kElement) {
+    merged = a;
+  } else if (a.kind == Kind::kAnyAttribute && b.kind == Kind::kAttribute) {
+    merged = b;
+  } else if (b.kind == Kind::kAnyAttribute && a.kind == Kind::kAttribute) {
+    merged = a;
+  } else {
+    return incompatible();
+  }
+
+  if (a.value.has_value() && b.value.has_value() && *a.value != *b.value) {
+    return incompatible();
+  }
+  merged.value = a.value.has_value() ? a.value : b.value;
+  return merged;
+}
+
+}  // namespace
+
+StatusOr<XTree> Reroot(const XTree& tree, XNodeId new_root) {
+  XAOS_CHECK(new_root >= 0 && new_root < tree.size());
+  XTree result;
+  result.SetTest(kRootXNode, tree.node(new_root).test);
+  if (tree.node(new_root).is_output) result.MarkOutput(kRootXNode);
+
+  // DFS over the undirected tree from new_root. `from` avoids revisiting.
+  auto visit = [&](auto&& self, XNodeId src, XNodeId from,
+                   XNodeId dst) -> Status {
+    const XNode& node = tree.node(src);
+    // Original children (edges src -> child keep their axis).
+    for (XNodeId child : node.children) {
+      if (child == from) continue;
+      const XNode& c = tree.node(child);
+      XNodeId copied = result.AddNode(dst, c.incoming_axis, c.test);
+      if (c.is_output) result.MarkOutput(copied);
+      XAOS_RETURN_IF_ERROR(self(self, child, src, copied));
+    }
+    // Original parent (edge parent -> src is inverted into src -> parent).
+    if (node.parent != kInvalidXNode && node.parent != from) {
+      if (node.incoming_axis == Axis::kAttribute) {
+        return UnsupportedError("cannot re-root across an attribute edge");
+      }
+      const XNode& p = tree.node(node.parent);
+      XNodeId copied =
+          result.AddNode(dst, InverseAxis(node.incoming_axis), p.test);
+      if (p.is_output) result.MarkOutput(copied);
+      XAOS_RETURN_IF_ERROR(self(self, node.parent, src, copied));
+    }
+    return Status::Ok();
+  };
+  XAOS_RETURN_IF_ERROR(visit(visit, new_root, kInvalidXNode, kRootXNode));
+  return result;
+}
+
+namespace {
+
+StatusOr<XTree> Compose(const XTree& a, const XTree& b, bool keep_all_marks) {
+  std::vector<XNodeId> a_outputs = a.OutputNodes();
+  std::vector<XNodeId> b_outputs = b.OutputNodes();
+  if (a_outputs.empty() || b_outputs.empty()) {
+    return InvalidArgumentError("both queries need an output node");
+  }
+  if (!keep_all_marks && (a_outputs.size() != 1 || b_outputs.size() != 1)) {
+    return InvalidArgumentError(
+        "Intersect requires single-output queries; use Join for "
+        "multi-output composition");
+  }
+  // The merge point is each side's *main* output: the rightmost node of
+  // the main location path, which the builder creates last — i.e. the
+  // highest-numbered output (for joins, additional $-marked outputs are
+  // preserved as extra tuple columns).
+  XNodeId merge_a = a_outputs.back();
+  XNodeId merge_b = b_outputs.back();
+
+  XAOS_ASSIGN_OR_RETURN(XTree b_rerooted, Reroot(b, merge_b));
+  XAOS_ASSIGN_OR_RETURN(
+      NodeTestSpec merged,
+      MergeSpecs(a.node(merge_a).test, b_rerooted.node(kRootXNode).test));
+
+  // Copy `a` wholesale, tracking where each of its nodes landed.
+  XTree result;
+  std::vector<XNodeId> id_map(static_cast<size_t>(a.size()), kInvalidXNode);
+  id_map[kRootXNode] = kRootXNode;
+  CopyChildren(a, kRootXNode, &result, kRootXNode, /*keep_outputs=*/true,
+               &id_map);
+  XNodeId merge_point = id_map[static_cast<size_t>(merge_a)];
+  result.SetTest(merge_point, std::move(merged));
+  if (!keep_all_marks) {
+    for (XNodeId id : result.OutputNodes()) {
+      if (id != merge_point) result.ClearOutput(id);
+    }
+  }
+  // Graft the re-rooted second query under the merge point. The re-rooted
+  // root itself *is* the merge point; only its children are copied.
+  CopyChildren(b_rerooted, kRootXNode, &result, merge_point, keep_all_marks,
+               nullptr);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<XTree> Intersect(const XTree& a, const XTree& b) {
+  return Compose(a, b, /*keep_all_marks=*/false);
+}
+
+StatusOr<XTree> Join(const XTree& a, const XTree& b) {
+  return Compose(a, b, /*keep_all_marks=*/true);
+}
+
+}  // namespace xaos::query

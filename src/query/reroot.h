@@ -1,0 +1,42 @@
+// Re-rooting of x-trees and intersection/join composition of queries
+// (paper Section 5.4).
+//
+// The x-dag of an expression like /descendant::Y[U]/descendant::W with a
+// second expression //Z[V]//W merged at the shared output W represents the
+// *intersection* of the two queries. This module realizes that composition
+// at the x-tree level: the second tree is re-rooted at its output node
+// (inverting each axis along the way) and grafted onto the first tree's
+// output node, producing an ordinary x-tree the engine can evaluate in a
+// single pass.
+
+#ifndef XAOS_QUERY_REROOT_H_
+#define XAOS_QUERY_REROOT_H_
+
+#include "query/xtree.h"
+#include "util/statusor.h"
+
+namespace xaos::query {
+
+// Returns an x-tree expressing the same constraints as `tree`, but with
+// `new_root` as the tree root. Edges on the path from `new_root` to the old
+// root are inverted (child↔parent, descendant↔ancestor,
+// descendant-or-self↔ancestor-or-self, self↔self); the old Root x-node
+// becomes an ordinary node whose test matches only the virtual root.
+// Fails if an attribute edge would need inversion.
+StatusOr<XTree> Reroot(const XTree& tree, XNodeId new_root);
+
+// Computes the intersection of two single-output queries: the result
+// matches exactly the elements selected by both `a` and `b`. The two output
+// node tests must be compatible (equal names, or one a wildcard); the
+// merged node carries the more specific test. The result's only output is
+// the merged node.
+StatusOr<XTree> Intersect(const XTree& a, const XTree& b);
+
+// Like Intersect, but keeps every output mark from both inputs (the
+// "join" form of Section 5.4: the merged node plus any additional
+// $-marked nodes, enabling tuple output across the two queries).
+StatusOr<XTree> Join(const XTree& a, const XTree& b);
+
+}  // namespace xaos::query
+
+#endif  // XAOS_QUERY_REROOT_H_

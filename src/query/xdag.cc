@@ -1,0 +1,102 @@
+#include "query/xdag.h"
+
+#include <deque>
+
+namespace xaos::query {
+
+XDag::XDag(const XTree& tree) : tree_(&tree) {
+  size_t n = static_cast<size_t>(tree.size());
+  incoming_.resize(n);
+  outgoing_.resize(n);
+
+  using xpath::Axis;
+  // Rules 1 and 2: keep forward edges, reverse + relabel backward edges.
+  for (int id = 1; id < tree.size(); ++id) {
+    const XNode& node = tree.node(id);
+    Axis axis = node.incoming_axis;
+    if (xpath::IsBackwardAxis(axis)) {
+      AddEdge(id, node.parent, InverseAxis(axis));
+    } else {
+      AddEdge(node.parent, id, axis);
+    }
+  }
+  // Rule 3: connect parentless nodes to Root.
+  for (int id = 1; id < tree.size(); ++id) {
+    if (incoming_[static_cast<size_t>(id)].empty()) {
+      // A node testing for the virtual root can only be matched to the
+      // virtual root itself, so the connecting constraint is `self`.
+      Axis axis = tree.node(id).test.kind == NodeTestSpec::Kind::kRoot
+                      ? Axis::kSelf
+                      : Axis::kDescendant;
+      AddEdge(kRootXNode, id, axis);
+    }
+  }
+  ComputeTopologicalOrder();
+}
+
+void XDag::AddEdge(XNodeId from, XNodeId to, xpath::Axis axis) {
+  XDagEdge edge{from, to, axis};
+  incoming_[static_cast<size_t>(to)].push_back(edge);
+  outgoing_[static_cast<size_t>(from)].push_back(edge);
+}
+
+void XDag::ComputeTopologicalOrder() {
+  size_t n = incoming_.size();
+  std::vector<int> pending(n);
+  std::deque<XNodeId> ready;
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = static_cast<int>(incoming_[i].size());
+    if (pending[i] == 0) ready.push_back(static_cast<XNodeId>(i));
+  }
+  topo_.clear();
+  while (!ready.empty()) {
+    XNodeId node = ready.front();
+    ready.pop_front();
+    topo_.push_back(node);
+    for (const XDagEdge& edge : outgoing_[static_cast<size_t>(node)]) {
+      if (--pending[static_cast<size_t>(edge.to)] == 0) {
+        ready.push_back(edge.to);
+      }
+    }
+  }
+  XAOS_CHECK_EQ(topo_.size(), n) << "x-dag has a cycle";
+  topo_rank_.assign(n, 0);
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    topo_rank_[static_cast<size_t>(topo_[i])] = static_cast<int>(i);
+  }
+}
+
+std::string XDag::ToString() const {
+  std::string out;
+  for (int id = 0; id < size(); ++id) {
+    for (const XDagEdge& edge : outgoing_[static_cast<size_t>(id)]) {
+      if (!out.empty()) out += ", ";
+      out += (edge.from == kRootXNode ? "Root"
+                                      : tree_->node(edge.from).test.Label());
+      out += "-" + xpath::AxisToString(edge.axis) + "->";
+      out += tree_->node(edge.to).test.Label();
+    }
+  }
+  return out;
+}
+
+std::string XDag::ToDot(std::string_view graph_name) const {
+  std::string out = "digraph " + std::string(graph_name) + " {\n";
+  for (int i = 0; i < size(); ++i) {
+    const XNode& n = tree_->node(i);
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           (i == kRootXNode ? "Root" : n.test.Label()) + "\"" +
+           (n.is_output ? ", penwidth=2" : "") + "];\n";
+  }
+  for (int i = 0; i < size(); ++i) {
+    for (const XDagEdge& edge : outgoing_[static_cast<size_t>(i)]) {
+      out += "  n" + std::to_string(edge.from) + " -> n" +
+             std::to_string(edge.to) + " [label=\"" +
+             xpath::AxisToString(edge.axis) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xaos::query

@@ -1,0 +1,76 @@
+// The x-dag: the paper's directed acyclic reformulation of the x-tree in
+// which every backward constraint (parent/ancestor) becomes a forward
+// constraint (Section 3.2). The engine uses it to decide which incoming
+// events are relevant (the looking-for machinery of Section 4.1).
+
+#ifndef XAOS_QUERY_XDAG_H_
+#define XAOS_QUERY_XDAG_H_
+
+#include <string>
+#include <vector>
+
+#include "query/xtree.h"
+#include "xpath/ast.h"
+
+namespace xaos::query {
+
+// One directed edge of the x-dag. Semantics: the document node matched to
+// `to` must stand in relation `axis` to the node matched to `from`
+// (child = direct child of it, descendant = proper descendant, ...).
+struct XDagEdge {
+  XNodeId from;
+  XNodeId to;
+  xpath::Axis axis;
+
+  friend bool operator==(const XDagEdge&, const XDagEdge&) = default;
+};
+
+// Derived from an XTree by the three rules of Section 3.2:
+//  1. child / descendant (and the other forward axes) edges are kept;
+//  2. parent / ancestor (/ancestor-or-self) edges are reversed and
+//     relabeled child / descendant (/descendant-or-self);
+//  3. every non-root x-node left without an incoming edge receives a
+//     descendant edge from Root (a self edge if the node's test is the
+//     virtual root itself, which arises from re-rooted intersections).
+class XDag {
+ public:
+  // `tree` must outlive the XDag.
+  explicit XDag(const XTree& tree);
+
+  const XTree& tree() const { return *tree_; }
+  int size() const { return tree_->size(); }
+
+  // Incoming edges of `node` (edges whose `to` is the node).
+  const std::vector<XDagEdge>& incoming(XNodeId node) const {
+    return incoming_[static_cast<size_t>(node)];
+  }
+  // Outgoing edges of `node`.
+  const std::vector<XDagEdge>& outgoing(XNodeId node) const {
+    return outgoing_[static_cast<size_t>(node)];
+  }
+
+  // X-node ids in a topological order of the dag (Root first).
+  const std::vector<XNodeId>& TopologicalOrder() const { return topo_; }
+  // Position of each node in TopologicalOrder().
+  int TopologicalRank(XNodeId node) const {
+    return topo_rank_[static_cast<size_t>(node)];
+  }
+
+  // Compact rendering of all edges, e.g. "Root-desc->Y, Z-child->V, ...".
+  std::string ToString() const;
+  std::string ToDot(std::string_view graph_name = "xdag") const;
+
+ private:
+  void AddEdge(XNodeId from, XNodeId to, xpath::Axis axis);
+  void ComputeTopologicalOrder();
+
+  const XTree* tree_;
+  std::vector<std::vector<XDagEdge>> incoming_;
+  std::vector<std::vector<XDagEdge>> outgoing_;
+  std::vector<XNodeId> topo_;
+  std::vector<int> topo_rank_;
+};
+
+}  // namespace xaos::query
+
+#endif  // XAOS_QUERY_XDAG_H_

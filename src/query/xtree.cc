@@ -1,0 +1,201 @@
+#include "query/xtree.h"
+
+namespace xaos::query {
+
+std::string NodeTestSpec::Label() const {
+  std::string label;
+  switch (kind) {
+    case Kind::kRoot:
+      label = "#root";
+      break;
+    case Kind::kElement:
+      label = name;
+      break;
+    case Kind::kAnyElement:
+      label = "*";
+      break;
+    case Kind::kAttribute:
+      label = "@" + name;
+      break;
+    case Kind::kAnyAttribute:
+      label = "@*";
+      break;
+    case Kind::kText:
+      label = "#text";
+      break;
+  }
+  if (value.has_value()) label += "='" + *value + "'";
+  return label;
+}
+
+bool MatchesSpec(const NodeTestSpec& spec, DocNodeKind kind,
+                 std::string_view name, std::string_view value) {
+  switch (spec.kind) {
+    case NodeTestSpec::Kind::kRoot:
+      return kind == DocNodeKind::kRoot;
+    case NodeTestSpec::Kind::kElement:
+      return kind == DocNodeKind::kElement && name == spec.name;
+    case NodeTestSpec::Kind::kAnyElement:
+      return kind == DocNodeKind::kElement;
+    case NodeTestSpec::Kind::kAttribute:
+      if (kind != DocNodeKind::kAttribute || name != spec.name) return false;
+      break;
+    case NodeTestSpec::Kind::kAnyAttribute:
+      if (kind != DocNodeKind::kAttribute) return false;
+      break;
+    case NodeTestSpec::Kind::kText:
+      if (kind != DocNodeKind::kText) return false;
+      break;
+  }
+  // Attribute / text: optionally constrain the string value.
+  return !spec.value.has_value() || value == *spec.value;
+}
+
+xpath::Axis InverseAxis(xpath::Axis axis) {
+  using xpath::Axis;
+  switch (axis) {
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kDescendantOrSelf:
+      return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf:
+      return Axis::kDescendantOrSelf;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+    case Axis::kFollowing:
+      return Axis::kPreceding;
+    case Axis::kPreceding:
+      return Axis::kFollowing;
+    case Axis::kAttribute:
+      break;
+  }
+  XAOS_CHECK(false) << "attribute axis has no inverse";
+  return Axis::kChild;
+}
+
+XTree::XTree() {
+  XNode root;
+  root.test.kind = NodeTestSpec::Kind::kRoot;
+  root.depth = 0;
+  nodes_.push_back(std::move(root));
+}
+
+XNodeId XTree::AddNode(XNodeId parent, xpath::Axis axis, NodeTestSpec test) {
+  XAOS_CHECK(parent >= 0 && parent < size());
+  XNode node;
+  node.test = std::move(test);
+  node.parent = parent;
+  node.incoming_axis = axis;
+  node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+  XNodeId id = static_cast<XNodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+std::vector<XNodeId> XTree::OutputNodes() const {
+  std::vector<XNodeId> out;
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[static_cast<size_t>(i)].is_output) out.push_back(i);
+  }
+  return out;
+}
+
+bool XTree::HasBackwardEdges() const {
+  for (int i = 1; i < size(); ++i) {
+    if (xpath::IsBackwardAxis(node(i).incoming_axis)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Short axis tag for ToString.
+std::string_view AxisTag(xpath::Axis axis) {
+  using xpath::Axis;
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "desc";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "anc";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kDescendantOrSelf:
+      return "desc-self";
+    case Axis::kAncestorOrSelf:
+      return "anc-self";
+    case Axis::kAttribute:
+      return "attr";
+    case Axis::kFollowingSibling:
+      return "fsib";
+    case Axis::kPrecedingSibling:
+      return "psib";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string XTree::ToString() const {
+  std::string out;
+  // Recursive lambda over the tree.
+  auto render = [&](auto&& self, XNodeId id) -> void {
+    const XNode& n = node(id);
+    if (id != kRootXNode) {
+      out += n.test.Label();
+      out += "<";
+      out += AxisTag(n.incoming_axis);
+      out += ">";
+    } else {
+      out += "Root";
+    }
+    if (n.is_output) out += "[out]";
+    if (!n.children.empty()) {
+      out += "(";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        self(self, n.children[i]);
+      }
+      out += ")";
+    }
+  };
+  render(render, kRootXNode);
+  return out;
+}
+
+std::string XTree::ToDot(std::string_view graph_name) const {
+  std::string out = "digraph " + std::string(graph_name) + " {\n";
+  for (int i = 0; i < size(); ++i) {
+    const XNode& n = node(i);
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           (i == kRootXNode ? "Root" : n.test.Label()) + "\"" +
+           (n.is_output ? ", penwidth=2" : "") + "];\n";
+  }
+  for (int i = 1; i < size(); ++i) {
+    const XNode& n = node(i);
+    out += "  n" + std::to_string(n.parent) + " -> n" + std::to_string(i) +
+           " [label=\"" + std::string(AxisTag(n.incoming_axis)) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xaos::query

@@ -1,0 +1,53 @@
+// Fatal assertion macros. XAOS_CHECK verifies internal invariants in all
+// build modes; a failure prints the condition, location, and any streamed
+// context, then aborts. These are for programming errors only — user input
+// errors are reported through Status (see util/status.h).
+
+#ifndef XAOS_UTIL_CHECK_H_
+#define XAOS_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace xaos {
+namespace internal_check {
+
+// Accumulates the streamed message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "XAOS_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace xaos
+
+#define XAOS_CHECK(condition)                                       \
+  while (!(condition))                                              \
+  ::xaos::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define XAOS_CHECK_EQ(a, b) XAOS_CHECK((a) == (b))
+#define XAOS_CHECK_NE(a, b) XAOS_CHECK((a) != (b))
+#define XAOS_CHECK_LT(a, b) XAOS_CHECK((a) < (b))
+#define XAOS_CHECK_LE(a, b) XAOS_CHECK((a) <= (b))
+#define XAOS_CHECK_GT(a, b) XAOS_CHECK((a) > (b))
+#define XAOS_CHECK_GE(a, b) XAOS_CHECK((a) >= (b))
+
+#endif  // XAOS_UTIL_CHECK_H_

@@ -1,0 +1,83 @@
+// Error-handling primitives for the xaos library.
+//
+// The library is exception-free: fallible operations return a Status (or a
+// StatusOr<T>, see statusor.h) that callers must inspect. A Status is a
+// cheap value type carrying an error code and a human-readable message.
+
+#ifndef XAOS_UTIL_STATUS_H_
+#define XAOS_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xaos {
+
+// Broad classification of an error. Kept deliberately small; the message
+// carries the details (including line/column positions for parse errors).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something structurally wrong
+  kParseError,        // malformed XML or XPath input
+  kUnsupported,       // syntactically valid but outside the supported subset
+  kResourceExhausted, // a configured limit (memory, result size) was hit
+  kInternal,          // invariant violation; indicates a library bug
+};
+
+// Returns a stable human-readable name, e.g. "ParseError".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value type representing success or a (code, message) error.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories mirroring the StatusCode values.
+Status InvalidArgumentError(std::string message);
+Status ParseError(std::string message);
+Status UnsupportedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// Propagates a non-OK status to the caller. Usable in functions returning
+// Status or StatusOr<T>.
+#define XAOS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::xaos::Status xaos_status_tmp_ = (expr);       \
+    if (!xaos_status_tmp_.ok()) {                   \
+      return xaos_status_tmp_;                      \
+    }                                               \
+  } while (false)
+
+}  // namespace xaos
+
+#endif  // XAOS_UTIL_STATUS_H_

@@ -1,0 +1,76 @@
+// StatusOr<T>: either a value of type T or an error Status.
+
+#ifndef XAOS_UTIL_STATUSOR_H_
+#define XAOS_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace xaos {
+
+// Holds either a T (when ok()) or a non-OK Status. Accessing the value of a
+// non-OK StatusOr aborts the program, so callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return SomeT;` and `return SomeStatus;`
+  // both work inside functions returning StatusOr<T>.
+  StatusOr(const T& value) : value_(value) {}
+  StatusOr(T&& value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    XAOS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    XAOS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    XAOS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    XAOS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+// otherwise assigns the value into `lhs` (which may be a declaration).
+#define XAOS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  XAOS_ASSIGN_OR_RETURN_IMPL_(                                   \
+      XAOS_STATUS_MACRO_CONCAT_(statusor_, __LINE__), lhs, rexpr)
+
+#define XAOS_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+#define XAOS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define XAOS_STATUS_MACRO_CONCAT_(x, y) XAOS_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace xaos
+
+#endif  // XAOS_UTIL_STATUSOR_H_

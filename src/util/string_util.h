@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+
+#ifndef XAOS_UTIL_STRING_UTIL_H_
+#define XAOS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xaos {
+
+// Joins the elements of `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Splits `text` at every occurrence of `separator`; adjacent separators
+// produce empty pieces. Splitting the empty string yields one empty piece.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// True if every character of `text` is XML whitespace (space, tab, CR, LF).
+bool IsAllXmlWhitespace(std::string_view text);
+
+}  // namespace xaos
+
+#endif  // XAOS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Resolution of XML character and entity references, and escaping for
+// serialization.
+
+#ifndef XAOS_XML_ENTITIES_H_
+#define XAOS_XML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace xaos::xml {
+
+// Decodes the five predefined entity references (&amp; &lt; &gt; &apos;
+// &quot;) and decimal/hexadecimal character references (&#NN; &#xHH;,
+// emitted as UTF-8) in `text`. Returns a ParseError for malformed or
+// unknown references.
+StatusOr<std::string> DecodeReferences(std::string_view text);
+
+// Escapes `text` for use as element character data: & < > are replaced by
+// entity references.
+std::string EscapeText(std::string_view text);
+
+// Escapes `text` for use inside a double-quoted attribute value: also
+// escapes the double quote, tab, CR and LF (the latter as character
+// references, preserving them across attribute-value normalization).
+std::string EscapeAttributeValue(std::string_view text);
+
+// Encodes a Unicode code point as UTF-8, appending to `out`. Returns false
+// for values outside the XML Char production (e.g. 0x0, surrogates).
+bool AppendUtf8(uint32_t code_point, std::string* out);
+
+}  // namespace xaos::xml
+
+#endif  // XAOS_XML_ENTITIES_H_

@@ -1,0 +1,41 @@
+#include "xml/file_source.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "xml/sax_parser.h"
+
+namespace xaos::xml {
+
+Status ParseFile(const std::string& path, ContentHandler* handler,
+                 size_t chunk_bytes) {
+  std::FILE* file = nullptr;
+  bool is_stdin = (path == "-");
+  if (is_stdin) {
+    file = stdin;
+  } else {
+    file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return InvalidArgumentError("cannot open file: " + path);
+    }
+  }
+
+  SaxParser parser(handler);
+  std::vector<char> buffer(chunk_bytes);
+  Status status;
+  while (true) {
+    size_t n = std::fread(buffer.data(), 1, buffer.size(), file);
+    if (n == 0) break;
+    status = parser.Feed(std::string_view(buffer.data(), n));
+    if (!status.ok()) break;
+  }
+  bool read_error = status.ok() && std::ferror(file) != 0;
+  if (!is_stdin) std::fclose(file);
+  if (!status.ok()) return status;
+  if (read_error) {
+    return InvalidArgumentError("I/O error reading: " + path);
+  }
+  return parser.Finish();
+}
+
+}  // namespace xaos::xml

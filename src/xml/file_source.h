@@ -1,0 +1,23 @@
+// Chunked file input for the streaming parser: parse arbitrarily large
+// documents with constant memory.
+
+#ifndef XAOS_XML_FILE_SOURCE_H_
+#define XAOS_XML_FILE_SOURCE_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xml/sax_event.h"
+
+namespace xaos::xml {
+
+// Reads `path` in `chunk_bytes` chunks, feeding each into a SaxParser that
+// drives `handler`. Use "-" to read standard input. Only the parser's
+// internal token buffer is retained between chunks, so memory use is
+// independent of file size.
+Status ParseFile(const std::string& path, ContentHandler* handler,
+                 size_t chunk_bytes = 1 << 16);
+
+}  // namespace xaos::xml
+
+#endif  // XAOS_XML_FILE_SOURCE_H_

@@ -1,0 +1,59 @@
+#include "xml/sax_event.h"
+
+namespace xaos::xml {
+
+std::string EventToString(const Event& event) {
+  switch (event.kind) {
+    case Event::Kind::kStartDocument:
+      return "<doc>";
+    case Event::Kind::kEndDocument:
+      return "</doc>";
+    case Event::Kind::kStartElement: {
+      std::string out = "<" + event.name;
+      for (const Attribute& attr : event.attributes) {
+        out += " " + attr.name + "=\"" + attr.value + "\"";
+      }
+      out += ">";
+      return out;
+    }
+    case Event::Kind::kEndElement:
+      return "</" + event.name + ">";
+    case Event::Kind::kCharacters:
+      return "text(\"" + event.text + "\")";
+    case Event::Kind::kComment:
+      return "comment(\"" + event.text + "\")";
+    case Event::Kind::kProcessingInstruction:
+      return "pi(" + event.name + ", \"" + event.text + "\")";
+  }
+  return "?";
+}
+
+void ReplayEvents(const std::vector<Event>& events, ContentHandler* handler) {
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case Event::Kind::kStartDocument:
+        handler->StartDocument();
+        break;
+      case Event::Kind::kEndDocument:
+        handler->EndDocument();
+        break;
+      case Event::Kind::kStartElement:
+        handler->StartElement(event.name, event.attributes);
+        break;
+      case Event::Kind::kEndElement:
+        handler->EndElement(event.name);
+        break;
+      case Event::Kind::kCharacters:
+        handler->Characters(event.text);
+        break;
+      case Event::Kind::kComment:
+        handler->Comment(event.text);
+        break;
+      case Event::Kind::kProcessingInstruction:
+        handler->ProcessingInstruction(event.name, event.text);
+        break;
+    }
+  }
+}
+
+}  // namespace xaos::xml

@@ -1,0 +1,132 @@
+// Event model for streaming XML processing.
+//
+// The χαoς paper (Section 2.2) drives its algorithm from SAX-style start/end
+// element events carrying the element name and level. This header defines
+// the event vocabulary produced by xml::SaxParser and dom::DomReplayer and
+// consumed by ContentHandler implementations (core::XaosEngine,
+// dom::DomBuilder, ...).
+
+#ifndef XAOS_XML_SAX_EVENT_H_
+#define XAOS_XML_SAX_EVENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xaos::xml {
+
+// A single attribute of a start-element event. The value has entity and
+// character references already resolved.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.value == b.value;
+  }
+};
+
+// Interface for consumers of a stream of parse events. Methods are invoked
+// in document order; StartElement/EndElement calls are properly nested.
+// Default implementations ignore the event, so handlers only override what
+// they need.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  // Invoked once before any other event.
+  virtual void StartDocument() {}
+  // Invoked once after the document element closes (and trailing misc).
+  virtual void EndDocument() {}
+
+  // `name` and `attributes` are only valid for the duration of the call.
+  virtual void StartElement(std::string_view name,
+                            const std::vector<Attribute>& attributes) {
+    (void)name;
+    (void)attributes;
+  }
+  virtual void EndElement(std::string_view name) { (void)name; }
+
+  // Character data; references are resolved. May be invoked multiple times
+  // for one contiguous run unless the producer coalesces (SaxParser does
+  // when ParserOptions::coalesce_text is set).
+  virtual void Characters(std::string_view text) { (void)text; }
+
+  virtual void Comment(std::string_view text) { (void)text; }
+  virtual void ProcessingInstruction(std::string_view target,
+                                     std::string_view data) {
+    (void)target;
+    (void)data;
+  }
+};
+
+// A materialized event, convenient for tests and for recording/replaying
+// streams. Produced by EventRecorder.
+struct Event {
+  enum class Kind {
+    kStartDocument,
+    kEndDocument,
+    kStartElement,
+    kEndElement,
+    kCharacters,
+    kComment,
+    kProcessingInstruction,
+  };
+
+  Kind kind;
+  std::string name;                    // element name or PI target
+  std::string text;                    // characters / comment / PI data
+  std::vector<Attribute> attributes;   // start-element only
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.kind == b.kind && a.name == b.name && a.text == b.text &&
+           a.attributes == b.attributes;
+  }
+};
+
+// Renders an event as a compact debug string, e.g. `<a x="1">`, `</a>`,
+// `text("hi")`.
+std::string EventToString(const Event& event);
+
+// ContentHandler that materializes the stream into a vector of Events.
+class EventRecorder : public ContentHandler {
+ public:
+  void StartDocument() override {
+    events_.push_back({Event::Kind::kStartDocument, "", "", {}});
+  }
+  void EndDocument() override {
+    events_.push_back({Event::Kind::kEndDocument, "", "", {}});
+  }
+  void StartElement(std::string_view name,
+                    const std::vector<Attribute>& attributes) override {
+    events_.push_back(
+        {Event::Kind::kStartElement, std::string(name), "", attributes});
+  }
+  void EndElement(std::string_view name) override {
+    events_.push_back({Event::Kind::kEndElement, std::string(name), "", {}});
+  }
+  void Characters(std::string_view text) override {
+    events_.push_back({Event::Kind::kCharacters, "", std::string(text), {}});
+  }
+  void Comment(std::string_view text) override {
+    events_.push_back({Event::Kind::kComment, "", std::string(text), {}});
+  }
+  void ProcessingInstruction(std::string_view target,
+                             std::string_view data) override {
+    events_.push_back({Event::Kind::kProcessingInstruction,
+                       std::string(target), std::string(data), {}});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+// Replays recorded events into a handler.
+void ReplayEvents(const std::vector<Event>& events, ContentHandler* handler);
+
+}  // namespace xaos::xml
+
+#endif  // XAOS_XML_SAX_EVENT_H_

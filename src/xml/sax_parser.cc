@@ -1,0 +1,456 @@
+#include "xml/sax_parser.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+#include "xml/entities.h"
+
+namespace xaos::xml {
+namespace {
+
+// Longest markup introducer we must see in full before we can classify the
+// construct: "<![CDATA[".
+constexpr size_t kMaxIntroducer = 9;
+
+}  // namespace
+
+SaxParser::SaxParser(ContentHandler* handler, ParserOptions options)
+    : handler_(handler), options_(options) {}
+
+bool SaxParser::IsWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool SaxParser::IsNameStartChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || c >= 0x80;
+}
+
+bool SaxParser::IsNameChar(unsigned char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+size_t SaxParser::ScanName(std::string_view s, size_t i) {
+  if (i >= s.size() || !IsNameStartChar(static_cast<unsigned char>(s[i]))) {
+    return 0;
+  }
+  size_t n = 1;
+  while (i + n < s.size() && IsNameChar(static_cast<unsigned char>(s[i + n]))) {
+    ++n;
+  }
+  return n;
+}
+
+void SaxParser::Consume(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (buffer_[pos_ + i] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  }
+  pos_ += n;
+  seen_any_content_ = true;
+}
+
+SaxParser::Progress SaxParser::Fail(std::string message) {
+  error_ = ParseError(message + " at line " + std::to_string(line_) +
+                      ", column " + std::to_string(column_));
+  return Progress::kError;
+}
+
+Status SaxParser::Feed(std::string_view chunk) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    return InvalidArgumentError("Feed() after Finish()");
+  }
+  if (!started_document_) {
+    started_document_ = true;
+    handler_->StartDocument();
+  }
+  // Compact the consumed prefix before growing the buffer.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(chunk.data(), chunk.size());
+  Progress p = Pump();
+  if (p == Progress::kError) return error_;
+  return Status::Ok();
+}
+
+Status SaxParser::Finish() {
+  if (!error_.ok()) return error_;
+  if (finished_) return Status::Ok();
+  if (!started_document_) {
+    started_document_ = true;
+    handler_->StartDocument();
+  }
+  finished_ = true;
+  if (pos_ < buffer_.size()) {
+    // Leftover input that Pump() could not complete. Either it is trailing
+    // text (legal only if whitespace at top level) or an unterminated token.
+    std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+    if (rest.find('<') == std::string_view::npos &&
+        rest.find('&') == std::string_view::npos) {
+      if (Status s = AppendText(rest, /*decode=*/false); !s.ok()) {
+        return error_ = s;
+      }
+      Consume(rest.size());
+    } else {
+      Fail("unexpected end of document inside markup");
+      return error_;
+    }
+  }
+  if (text_pending_) {
+    if (!IsAllXmlWhitespace(text_accum_)) {
+      Fail("character data outside the document element");
+      return error_;
+    }
+    text_pending_ = false;
+    text_accum_.clear();
+  }
+  if (!open_elements_.empty()) {
+    Fail("unexpected end of document: unclosed element <" +
+         open_elements_.back() + ">");
+    return error_;
+  }
+  if (!seen_root_) {
+    Fail("document has no root element");
+    return error_;
+  }
+  handler_->EndDocument();
+  return Status::Ok();
+}
+
+void SaxParser::EmitPendingText() {
+  if (!text_pending_) return;
+  text_pending_ = false;
+  if (text_accum_.empty()) return;
+  if (options_.report_whitespace_text || !IsAllXmlWhitespace(text_accum_)) {
+    handler_->Characters(text_accum_);
+  }
+  text_accum_.clear();
+}
+
+Status SaxParser::AppendText(std::string_view raw, bool decode) {
+  if (open_elements_.empty() && !IsAllXmlWhitespace(raw)) {
+    Fail(seen_root_ ? "character data after the document element"
+                    : "character data before the document element");
+    return error_;
+  }
+  if (decode && raw.find('&') != std::string_view::npos) {
+    StatusOr<std::string> decoded = DecodeReferences(raw);
+    if (!decoded.ok()) {
+      Fail(decoded.status().message());
+      return error_;
+    }
+    text_accum_ += *decoded;
+  } else {
+    text_accum_.append(raw.data(), raw.size());
+  }
+  text_pending_ = true;
+  if (!options_.coalesce_text) EmitPendingText();
+  return Status::Ok();
+}
+
+SaxParser::Progress SaxParser::Pump() {
+  while (pos_ < buffer_.size()) {
+    Progress p =
+        (buffer_[pos_] == '<') ? ParseMarkup() : ParseText();
+    if (p != Progress::kOk) {
+      return p == Progress::kNeedMore ? Progress::kOk : p;
+    }
+  }
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseText() {
+  const char* base = buffer_.data();
+  const char* from = base + pos_;
+  size_t avail = buffer_.size() - pos_;
+  const char* lt = static_cast<const char*>(std::memchr(from, '<', avail));
+  size_t run = (lt == nullptr) ? avail : static_cast<size_t>(lt - from);
+  std::string_view text(from, run);
+
+  if (lt == nullptr) {
+    // No markup yet. Hold back a trailing incomplete entity reference so it
+    // is not split across chunks; everything before it can be emitted.
+    size_t amp = text.rfind('&');
+    if (amp != std::string_view::npos &&
+        text.find(';', amp) == std::string_view::npos) {
+      text = text.substr(0, amp);
+    }
+    if (text.empty()) return Progress::kNeedMore;
+  }
+  if (Status s = AppendText(text, /*decode=*/true); !s.ok()) {
+    return Progress::kError;
+  }
+  Consume(text.size());
+  return (lt == nullptr) ? Progress::kNeedMore : Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseMarkup() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  // Wait for enough characters to classify the construct unambiguously.
+  if (rest.size() < 2) return Progress::kNeedMore;
+  if (rest[1] == '/') {
+    size_t gt = rest.find('>', 2);
+    if (gt == std::string_view::npos) return Progress::kNeedMore;
+    return ParseEndTag(gt);
+  }
+  if (rest[1] == '?') return ParsePi();
+  if (rest[1] == '!') {
+    if (rest.size() < kMaxIntroducer &&
+        (StartsWith(std::string_view("<!--").substr(0, rest.size()), rest) ||
+         StartsWith(std::string_view("<![CDATA[").substr(0, rest.size()),
+                    rest) ||
+         StartsWith(std::string_view("<!DOCTYPE").substr(0, rest.size()),
+                    rest))) {
+      return Progress::kNeedMore;
+    }
+    if (StartsWith(rest, "<!--")) return ParseComment();
+    if (StartsWith(rest, "<![CDATA[")) return ParseCData();
+    if (StartsWith(rest, "<!DOCTYPE")) return ParseDoctype();
+    return Fail("unsupported markup declaration");
+  }
+  size_t end;
+  bool self_closing;
+  Progress p = FindStartTagEnd(&end, &self_closing);
+  if (p != Progress::kOk) return p;
+  return ParseStartTag(end, self_closing);
+}
+
+SaxParser::Progress SaxParser::FindStartTagEnd(size_t* end,
+                                               bool* self_closing) {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  char quote = 0;
+  for (size_t i = 1; i < rest.size(); ++i) {
+    char c = rest[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '>') {
+      *end = i;
+      *self_closing = (i >= 2 && rest[i - 1] == '/');
+      return Progress::kOk;
+    } else if (c == '<') {
+      return Fail("'<' inside tag");
+    }
+  }
+  return Progress::kNeedMore;
+}
+
+SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
+                                             bool self_closing) {
+  // rest[0] == '<', rest[tag_end] == '>'.
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  std::string_view body =
+      rest.substr(1, tag_end - 1 - (self_closing ? 1 : 0));
+
+  size_t name_len = ScanName(body, 0);
+  if (name_len == 0) return Fail("invalid element name");
+  std::string_view name = body.substr(0, name_len);
+
+  if (open_elements_.empty() && seen_root_) {
+    return Fail("multiple document elements (second root <" +
+                std::string(name) + ">)");
+  }
+  if (static_cast<int>(open_elements_.size()) >= options_.max_depth) {
+    return Fail("maximum element depth exceeded");
+  }
+
+  // Attributes.
+  attributes_.clear();
+  size_t i = name_len;
+  while (true) {
+    size_t ws = i;
+    while (i < body.size() && IsWhitespace(body[i])) ++i;
+    if (i >= body.size()) break;
+    if (i == ws) return Fail("expected whitespace before attribute");
+    size_t attr_len = ScanName(body, i);
+    if (attr_len == 0) return Fail("invalid attribute name");
+    std::string_view attr_name = body.substr(i, attr_len);
+    i += attr_len;
+    while (i < body.size() && IsWhitespace(body[i])) ++i;
+    if (i >= body.size() || body[i] != '=') {
+      return Fail("expected '=' after attribute name '" +
+                  std::string(attr_name) + "'");
+    }
+    ++i;
+    while (i < body.size() && IsWhitespace(body[i])) ++i;
+    if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
+      return Fail("attribute value must be quoted");
+    }
+    char quote = body[i];
+    ++i;
+    size_t value_end = body.find(quote, i);
+    if (value_end == std::string_view::npos) {
+      return Fail("unterminated attribute value");
+    }
+    std::string_view raw_value = body.substr(i, value_end - i);
+    if (raw_value.find('<') != std::string_view::npos) {
+      return Fail("'<' in attribute value");
+    }
+    StatusOr<std::string> value = DecodeReferences(raw_value);
+    if (!value.ok()) return Fail(value.status().message());
+    for (const Attribute& existing : attributes_) {
+      if (existing.name == attr_name) {
+        return Fail("duplicate attribute '" + std::string(attr_name) + "'");
+      }
+    }
+    attributes_.push_back(
+        {std::string(attr_name), std::move(*value)});
+    i = value_end + 1;
+  }
+
+  EmitPendingText();
+  handler_->StartElement(name, attributes_);
+  ++element_count_;
+  if (self_closing) {
+    handler_->EndElement(name);
+    if (open_elements_.empty()) seen_root_ = true;
+  } else {
+    open_elements_.emplace_back(name);
+  }
+  Consume(tag_end + 1);
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseEndTag(size_t tag_end) {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  std::string_view body = rest.substr(2, tag_end - 2);
+  size_t name_len = ScanName(body, 0);
+  if (name_len == 0) return Fail("invalid end-tag name");
+  std::string_view name = body.substr(0, name_len);
+  size_t i = name_len;
+  while (i < body.size() && IsWhitespace(body[i])) ++i;
+  if (i != body.size()) return Fail("junk in end tag");
+
+  if (open_elements_.empty()) {
+    return Fail("end tag </" + std::string(name) + "> with no open element");
+  }
+  if (open_elements_.back() != name) {
+    return Fail("mismatched end tag: expected </" + open_elements_.back() +
+                ">, found </" + std::string(name) + ">");
+  }
+  EmitPendingText();
+  handler_->EndElement(name);
+  open_elements_.pop_back();
+  if (open_elements_.empty()) seen_root_ = true;
+  Consume(tag_end + 1);
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseComment() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  size_t end = rest.find("-->", 4);
+  if (end == std::string_view::npos) return Progress::kNeedMore;
+  std::string_view text = rest.substr(4, end - 4);
+  if (text.find("--") != std::string_view::npos) {
+    return Fail("'--' inside comment");
+  }
+  if (!text.empty() && text.back() == '-') {
+    return Fail("comment must not end with '-'");
+  }
+  if (options_.report_comments) {
+    EmitPendingText();
+    handler_->Comment(text);
+  }
+  Consume(end + 3);
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseCData() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  size_t end = rest.find("]]>", 9);
+  if (end == std::string_view::npos) return Progress::kNeedMore;
+  if (open_elements_.empty()) {
+    return Fail("CDATA section outside the document element");
+  }
+  std::string_view text = rest.substr(9, end - 9);
+  if (Status s = AppendText(text, /*decode=*/false); !s.ok()) {
+    return Progress::kError;
+  }
+  Consume(end + 3);
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParsePi() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  size_t end = rest.find("?>", 2);
+  if (end == std::string_view::npos) return Progress::kNeedMore;
+  std::string_view body = rest.substr(2, end - 2);
+  size_t name_len = ScanName(body, 0);
+  if (name_len == 0) return Fail("invalid processing-instruction target");
+  std::string_view target = body.substr(0, name_len);
+  std::string_view data = body.substr(name_len);
+  while (!data.empty() && IsWhitespace(data.front())) data.remove_prefix(1);
+
+  bool is_xml_decl = target.size() == 3 &&
+                     (target[0] == 'x' || target[0] == 'X') &&
+                     (target[1] == 'm' || target[1] == 'M') &&
+                     (target[2] == 'l' || target[2] == 'L');
+  if (is_xml_decl) {
+    if (seen_any_content_) {
+      return Fail("XML declaration not at start of document");
+    }
+  } else if (options_.report_processing_instructions) {
+    EmitPendingText();
+    handler_->ProcessingInstruction(target, data);
+  }
+  Consume(end + 2);
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::ParseDoctype() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  if (seen_root_ || !open_elements_.empty()) {
+    return Fail("DOCTYPE after the document element started");
+  }
+  // Skip to the matching '>' of the declaration, honoring the optional
+  // internal subset in [...] and quoted literals.
+  char quote = 0;
+  int bracket_depth = 0;
+  for (size_t i = 9; i < rest.size(); ++i) {
+    char c = rest[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      continue;
+    }
+    switch (c) {
+      case '"':
+      case '\'':
+        quote = c;
+        break;
+      case '[':
+        ++bracket_depth;
+        break;
+      case ']':
+        if (bracket_depth > 0) --bracket_depth;
+        break;
+      case '>':
+        if (bracket_depth == 0) {
+          Consume(i + 1);
+          return Progress::kOk;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Progress::kNeedMore;
+}
+
+Status ParseString(std::string_view document, ContentHandler* handler,
+                   ParserOptions options) {
+  SaxParser parser(handler, options);
+  XAOS_RETURN_IF_ERROR(parser.Feed(document));
+  return parser.Finish();
+}
+
+}  // namespace xaos::xml

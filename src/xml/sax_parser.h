@@ -1,0 +1,135 @@
+// A from-scratch streaming (push) XML parser.
+//
+// The parser accepts input in arbitrary chunks via Feed() and emits SAX-style
+// events to a ContentHandler as soon as they are complete, so memory use is
+// bounded by the largest single token (tag/comment/CDATA section), not the
+// document size. This is the event source the χαoς engine consumes
+// (paper Section 2.2, Figure 1).
+//
+// Supported: elements, attributes, character data, CDATA sections, comments,
+// processing instructions, the XML declaration, a skipped DOCTYPE, the five
+// predefined entities and numeric character references, and full
+// well-formedness checking of everything above (tag balance, single root,
+// attribute uniqueness and quoting, name syntax, illegal characters).
+// Out of scope (reported as ParseError where encountered): external or
+// internal DTD entity definitions beyond the predefined five.
+
+#ifndef XAOS_XML_SAX_PARSER_H_
+#define XAOS_XML_SAX_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/sax_event.h"
+
+namespace xaos::xml {
+
+struct ParserOptions {
+  // Merge adjacent character runs (including across CDATA boundaries) into a
+  // single Characters() call.
+  bool coalesce_text = true;
+  // Deliver character runs consisting solely of whitespace. Off by default:
+  // the χαoς data model (paper Section 2.1) ignores inter-element whitespace.
+  bool report_whitespace_text = false;
+  // Deliver Comment() / ProcessingInstruction() events.
+  bool report_comments = false;
+  bool report_processing_instructions = false;
+  // Guard against pathological nesting.
+  int max_depth = 20000;
+};
+
+// Incremental push parser. Typical use:
+//
+//   MyHandler handler;
+//   SaxParser parser(&handler);
+//   while (ReadChunk(&chunk)) {
+//     XAOS_RETURN_IF_ERROR(parser.Feed(chunk));
+//   }
+//   XAOS_RETURN_IF_ERROR(parser.Finish());
+//
+// After the first error the parser is poisoned: further calls return the
+// same error. The handler pointer must outlive the parser.
+class SaxParser {
+ public:
+  explicit SaxParser(ContentHandler* handler, ParserOptions options = {});
+
+  SaxParser(const SaxParser&) = delete;
+  SaxParser& operator=(const SaxParser&) = delete;
+
+  // Consumes the next chunk of document text.
+  Status Feed(std::string_view chunk);
+
+  // Signals end of input; verifies the document is complete and emits
+  // EndDocument().
+  Status Finish();
+
+  // 1-based position of the next unconsumed input character; used in error
+  // messages.
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  // Number of start-element events emitted so far.
+  uint64_t element_count() const { return element_count_; }
+
+ private:
+  enum class Progress { kOk, kNeedMore, kError };
+
+  Progress Pump();                      // parse as much of buffer_ as possible
+  Progress ParseText();                 // content until '<'
+  Progress ParseMarkup();               // dispatch on "<...": tag/comment/...
+  Progress ParseStartTag(size_t tag_end, bool self_closing);
+  Progress ParseEndTag(size_t tag_end);
+  Progress ParseComment();
+  Progress ParseCData();
+  Progress ParsePi();
+  Progress ParseDoctype();
+
+  // Scans for the '>' ending a start tag, honoring quoted attribute values.
+  // On success sets *end to the index of '>' and *self_closing.
+  Progress FindStartTagEnd(size_t* end, bool* self_closing);
+
+  Progress Fail(std::string message);   // records error, returns kError
+  void EmitPendingText();               // flush text_accum_ to the handler
+  Status AppendText(std::string_view raw, bool decode);  // into text_accum_
+  void Consume(size_t n);               // advance pos_, track line/column
+
+  // Validating helpers.
+  static bool IsNameStartChar(unsigned char c);
+  static bool IsNameChar(unsigned char c);
+  static bool IsWhitespace(char c);
+  // Parses a Name starting at `i` within `s`; returns its length or 0.
+  static size_t ScanName(std::string_view s, size_t i);
+
+  ContentHandler* handler_;
+  ParserOptions options_;
+
+  std::string buffer_;     // unconsumed input (suffix of the stream)
+  size_t pos_ = 0;         // consumed prefix of buffer_
+
+  std::string text_accum_;     // pending character data (decoded)
+  bool text_pending_ = false;  // text_accum_ holds a (possibly empty) run
+
+  std::vector<std::string> open_elements_;  // stack of open element names
+  bool started_document_ = false;
+  bool seen_root_ = false;
+  bool seen_any_content_ = false;  // anything consumed (XML decl gating)
+  bool finished_ = false;
+
+  Status error_;
+  int line_ = 1;
+  int column_ = 1;
+  uint64_t element_count_ = 0;
+
+  std::vector<Attribute> attributes_;  // scratch, reused per start tag
+};
+
+// Convenience: parses a complete in-memory document.
+Status ParseString(std::string_view document, ContentHandler* handler,
+                   ParserOptions options = {});
+
+}  // namespace xaos::xml
+
+#endif  // XAOS_XML_SAX_PARSER_H_

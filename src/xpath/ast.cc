@@ -1,0 +1,174 @@
+#include "xpath/ast.h"
+
+#include "util/check.h"
+
+namespace xaos::xpath {
+
+bool IsBackwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:  // points to earlier document positions
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+  }
+  return "?";
+}
+
+std::string ToString(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return test.name;
+    case NodeTestKind::kWildcard:
+      return "*";
+    case NodeTestKind::kText:
+      return "text()";
+  }
+  return "?";
+}
+
+std::string ToString(const Step& step) {
+  std::string out = AxisToString(step.axis);
+  out += "::";
+  if (step.output_marked) out += "$";
+  out += ToString(step.test);
+  if (step.compare_literal.has_value()) {
+    out += "='" + *step.compare_literal + "'";
+  }
+  for (const PredExpr& pred : step.predicates) {
+    out += "[" + ToString(pred) + "]";
+  }
+  return out;
+}
+
+std::string ToString(const LocationPath& path) {
+  std::string out;
+  if (path.absolute) out += "/";
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) out += "/";
+    out += ToString(path.steps[i]);
+  }
+  return out;
+}
+
+std::string ToString(const PredExpr& pred) {
+  switch (pred.kind) {
+    case PredExpr::Kind::kPath:
+      return ToString(pred.path);
+    case PredExpr::Kind::kAnd:
+    case PredExpr::Kind::kOr: {
+      const char* op = pred.kind == PredExpr::Kind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < pred.children.size(); ++i) {
+        if (i > 0) out += op;
+        const PredExpr& child = pred.children[i];
+        bool needs_parens = child.kind != PredExpr::Kind::kPath;
+        if (needs_parens) out += "(";
+        out += ToString(child);
+        if (needs_parens) out += ")";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ToString(const Expression& expression) {
+  std::string out;
+  for (size_t i = 0; i < expression.union_branches.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += ToString(expression.union_branches[i]);
+  }
+  return out;
+}
+
+namespace {
+
+int NodeTestCount(const PredExpr& pred) {
+  if (pred.kind == PredExpr::Kind::kPath) return NodeTestCount(pred.path);
+  int total = 0;
+  for (const PredExpr& child : pred.children) total += NodeTestCount(child);
+  return total;
+}
+
+bool UsesBackwardAxes(const LocationPath& path);
+
+bool UsesBackwardAxes(const PredExpr& pred) {
+  if (pred.kind == PredExpr::Kind::kPath) return UsesBackwardAxes(pred.path);
+  for (const PredExpr& child : pred.children) {
+    if (UsesBackwardAxes(child)) return true;
+  }
+  return false;
+}
+
+bool UsesBackwardAxes(const LocationPath& path) {
+  for (const Step& step : path.steps) {
+    if (IsBackwardAxis(step.axis)) return true;
+    for (const PredExpr& pred : step.predicates) {
+      if (UsesBackwardAxes(pred)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int NodeTestCount(const LocationPath& path) {
+  int total = 0;
+  for (const Step& step : path.steps) {
+    ++total;
+    for (const PredExpr& pred : step.predicates) {
+      total += NodeTestCount(pred);
+    }
+  }
+  return total;
+}
+
+int NodeTestCount(const Expression& expression) {
+  int total = 0;
+  for (const LocationPath& path : expression.union_branches) {
+    total += NodeTestCount(path);
+  }
+  return total;
+}
+
+bool UsesBackwardAxes(const Expression& expression) {
+  for (const LocationPath& path : expression.union_branches) {
+    if (UsesBackwardAxes(path)) return true;
+  }
+  return false;
+}
+
+}  // namespace xaos::xpath

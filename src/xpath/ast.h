@@ -1,0 +1,108 @@
+// Abstract syntax tree for the supported XPath subset.
+//
+// The grammar is the paper's Rxp (Table 1) — absolute/relative location
+// paths over the axes child, descendant, parent, ancestor, with
+// conjunctive predicates — extended with:
+//   * the additional axes self, descendant-or-self, ancestor-or-self and
+//     attribute,
+//   * abbreviated syntax (`//`, `@name`, `.`, `..`, omitted `child::`),
+//   * `or` inside predicates and top-level union `|` (paper Section 5.2),
+//   * `$`-prefixed node tests marking additional output nodes (Section 5.3),
+//   * value comparisons on attribute and text() node tests, e.g.
+//     `[@id='x']` or `[child::text()='y']`.
+
+#ifndef XAOS_XPATH_AST_H_
+#define XAOS_XPATH_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xaos::xpath {
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kParent,
+  kAncestor,
+  kSelf,
+  kDescendantOrSelf,
+  kAncestorOrSelf,
+  kAttribute,
+  kFollowingSibling,
+  kPrecedingSibling,
+  // `following` and `preceding` are desugared by the x-tree builder into
+  // ancestor-or-self::* / (following|preceding)-sibling::* /
+  // descendant-or-self:: steps, so compiled x-trees never contain them.
+  kFollowing,
+  kPreceding,
+};
+
+// True for axes that select ancestors of the context node (the paper's
+// "backward" axes, Section 1).
+bool IsBackwardAxis(Axis axis);
+std::string AxisToString(Axis axis);
+
+enum class NodeTestKind {
+  kName,       // element name
+  kWildcard,   // *
+  kText,       // text()
+};
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kName;
+  std::string name;  // for kName
+
+  friend bool operator==(const NodeTest&, const NodeTest&) = default;
+};
+
+struct PredExpr;  // defined below; mutually recursive with Step
+
+// One location step: axis :: node-test [pred]*, optionally $-marked as an
+// output node, optionally compared to a literal value (only meaningful for
+// attribute-axis and text() steps, enforced by the x-tree builder).
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  bool output_marked = false;
+  std::vector<PredExpr> predicates;
+  std::optional<std::string> compare_literal;
+};
+
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+// Predicate expression tree: conjunctions/disjunctions of location paths.
+struct PredExpr {
+  enum class Kind { kPath, kAnd, kOr };
+
+  Kind kind = Kind::kPath;
+  LocationPath path;               // kPath
+  std::vector<PredExpr> children;  // kAnd / kOr
+};
+
+// A full expression: union of one or more location paths.
+struct Expression {
+  std::vector<LocationPath> union_branches;
+};
+
+// Unparses back to (canonical, unabbreviated) XPath syntax.
+std::string ToString(const NodeTest& test);
+std::string ToString(const Step& step);
+std::string ToString(const LocationPath& path);
+std::string ToString(const PredExpr& pred);
+std::string ToString(const Expression& expression);
+
+// Number of node tests in the path/expression (the paper's notion of
+// expression "size", Section 6.2).
+int NodeTestCount(const LocationPath& path);
+int NodeTestCount(const Expression& expression);
+
+// True if any step in the expression uses a backward axis.
+bool UsesBackwardAxes(const Expression& expression);
+
+}  // namespace xaos::xpath
+
+#endif  // XAOS_XPATH_AST_H_

@@ -1,0 +1,278 @@
+#include "xpath/parser.h"
+
+#include <utility>
+
+#include "xpath/lexer.h"
+
+namespace xaos::xpath {
+namespace {
+
+// Maps an axis-name token to an Axis; returns false for unknown names.
+bool LookupAxis(std::string_view name, Axis* axis) {
+  if (name == "child") {
+    *axis = Axis::kChild;
+  } else if (name == "descendant") {
+    *axis = Axis::kDescendant;
+  } else if (name == "parent") {
+    *axis = Axis::kParent;
+  } else if (name == "ancestor") {
+    *axis = Axis::kAncestor;
+  } else if (name == "self") {
+    *axis = Axis::kSelf;
+  } else if (name == "descendant-or-self") {
+    *axis = Axis::kDescendantOrSelf;
+  } else if (name == "ancestor-or-self") {
+    *axis = Axis::kAncestorOrSelf;
+  } else if (name == "attribute") {
+    *axis = Axis::kAttribute;
+  } else if (name == "following-sibling") {
+    *axis = Axis::kFollowingSibling;
+  } else if (name == "preceding-sibling") {
+    *axis = Axis::kPrecedingSibling;
+  } else if (name == "following") {
+    *axis = Axis::kFollowing;
+  } else if (name == "preceding") {
+    *axis = Axis::kPreceding;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Expression> ParseFull() {
+    Expression expression;
+    XAOS_ASSIGN_OR_RETURN(LocationPath first, ParsePath());
+    expression.union_branches.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      XAOS_ASSIGN_OR_RETURN(LocationPath branch, ParsePath());
+      expression.union_branches.push_back(std::move(branch));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return expression;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = index_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[index_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(std::string message) const {
+    return ParseError(message + " at offset " +
+                      std::to_string(Peek().position) + " (found " +
+                      TokenKindToString(Peek().kind) +
+                      (Peek().text.empty() ? "" : " '" + Peek().text + "'") +
+                      ")");
+  }
+
+  // Path := ('/' | '//')? Step (('/' | '//') Step)*
+  // A leading '/' or '//' makes the path absolute; '//' inserts a
+  // descendant axis (the paper treats '//' as descendant, Section 2.3).
+  StatusOr<LocationPath> ParsePath() {
+    LocationPath path;
+    bool next_is_descendant = false;
+    if (Match(TokenKind::kSlash)) {
+      path.absolute = true;
+    } else if (Match(TokenKind::kDoubleSlash)) {
+      path.absolute = true;
+      next_is_descendant = true;
+    }
+    while (true) {
+      XAOS_ASSIGN_OR_RETURN(Step step, ParseStep(next_is_descendant));
+      path.steps.push_back(std::move(step));
+      if (Match(TokenKind::kSlash)) {
+        next_is_descendant = false;
+      } else if (Match(TokenKind::kDoubleSlash)) {
+        next_is_descendant = true;
+      } else {
+        break;
+      }
+    }
+    return path;
+  }
+
+  // Step := '.' | '..'
+  //       | '$'? ('@' | AxisName '::')? '$'? NodeTestCore Predicate*
+  // `force_descendant` overrides the default child axis (set after '//').
+  StatusOr<Step> ParseStep(bool force_descendant) {
+    Step step;
+    if (Match(TokenKind::kDot)) {
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTestKind::kWildcard;
+      if (force_descendant) step.axis = Axis::kDescendantOrSelf;
+      return ParsePredicates(std::move(step));
+    }
+    if (Match(TokenKind::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTestKind::kWildcard;
+      if (force_descendant) {
+        return Error("'..' cannot follow '//' in the supported subset");
+      }
+      return ParsePredicates(std::move(step));
+    }
+
+    if (Match(TokenKind::kDollar)) step.output_marked = true;
+
+    bool axis_explicit = false;
+    if (Match(TokenKind::kAt)) {
+      step.axis = Axis::kAttribute;
+      axis_explicit = true;
+    } else if (Peek().kind == TokenKind::kName &&
+               Peek(1).kind == TokenKind::kDoubleColon) {
+      Axis axis;
+      if (!LookupAxis(Peek().text, &axis)) {
+        return Error("unknown axis '" + Peek().text + "'");
+      }
+      step.axis = axis;
+      Advance();  // axis name
+      Advance();  // ::
+      axis_explicit = true;
+    }
+    if (!axis_explicit) {
+      step.axis = force_descendant ? Axis::kDescendant : Axis::kChild;
+    } else if (force_descendant) {
+      // `//axis::t` means descendant with the named axis applied after; the
+      // paper's subset has no such composition, so reject it explicitly.
+      return Error("explicit axis cannot follow '//' in the supported "
+                   "subset; write the descendant step explicitly");
+    }
+
+    if (Match(TokenKind::kDollar)) {
+      if (step.output_marked) return Error("duplicate '$'");
+      step.output_marked = true;
+    }
+
+    // NodeTestCore := Name | '*' | 'text' '(' ')'
+    if (Match(TokenKind::kStar)) {
+      step.test.kind = NodeTestKind::kWildcard;
+    } else if (Peek().kind == TokenKind::kName) {
+      if (Peek().text == "text" && Peek(1).kind == TokenKind::kLeftParen) {
+        Advance();
+        Advance();
+        if (!Match(TokenKind::kRightParen)) {
+          return Error("expected ')' after 'text('");
+        }
+        if (step.axis == Axis::kAttribute) {
+          return Error("text() is not valid on the attribute axis");
+        }
+        step.test.kind = NodeTestKind::kText;
+      } else {
+        step.test.kind = NodeTestKind::kName;
+        step.test.name = Advance().text;
+      }
+    } else {
+      return Error("expected a node test");
+    }
+    return ParsePredicates(std::move(step));
+  }
+
+  // Attaches predicates and an optional value comparison to `step`.
+  StatusOr<Step> ParsePredicates(Step step) {
+    while (Match(TokenKind::kLeftBracket)) {
+      XAOS_ASSIGN_OR_RETURN(PredExpr pred, ParsePredExpr());
+      step.predicates.push_back(std::move(pred));
+      if (!Match(TokenKind::kRightBracket)) {
+        return Error("expected ']'");
+      }
+    }
+    if (Peek().kind == TokenKind::kEquals) {
+      if (step.axis != Axis::kAttribute &&
+          step.test.kind != NodeTestKind::kText) {
+        return UnsupportedError(
+            "value comparison is only supported on attribute and text() "
+            "steps");
+      }
+      Advance();
+      if (Peek().kind != TokenKind::kLiteral) {
+        return Error("expected a string literal after '='");
+      }
+      step.compare_literal = Advance().text;
+    }
+    return step;
+  }
+
+  // PredExpr := AndExpr ('or' AndExpr)*
+  StatusOr<PredExpr> ParsePredExpr() {
+    XAOS_ASSIGN_OR_RETURN(PredExpr left, ParseAndExpr());
+    if (!(Peek().kind == TokenKind::kName && Peek().text == "or")) {
+      return left;
+    }
+    PredExpr result;
+    result.kind = PredExpr::Kind::kOr;
+    result.children.push_back(std::move(left));
+    while (Peek().kind == TokenKind::kName && Peek().text == "or") {
+      Advance();
+      XAOS_ASSIGN_OR_RETURN(PredExpr right, ParseAndExpr());
+      result.children.push_back(std::move(right));
+    }
+    return result;
+  }
+
+  // AndExpr := Primary ('and' Primary)*
+  StatusOr<PredExpr> ParseAndExpr() {
+    XAOS_ASSIGN_OR_RETURN(PredExpr left, ParsePrimary());
+    if (!(Peek().kind == TokenKind::kName && Peek().text == "and")) {
+      return left;
+    }
+    PredExpr result;
+    result.kind = PredExpr::Kind::kAnd;
+    result.children.push_back(std::move(left));
+    while (Peek().kind == TokenKind::kName && Peek().text == "and") {
+      Advance();
+      XAOS_ASSIGN_OR_RETURN(PredExpr right, ParsePrimary());
+      result.children.push_back(std::move(right));
+    }
+    return result;
+  }
+
+  // Primary := '(' PredExpr ')' | LocationPath
+  StatusOr<PredExpr> ParsePrimary() {
+    if (Match(TokenKind::kLeftParen)) {
+      XAOS_ASSIGN_OR_RETURN(PredExpr inner, ParsePredExpr());
+      if (!Match(TokenKind::kRightParen)) {
+        return Error("expected ')'");
+      }
+      return inner;
+    }
+    PredExpr pred;
+    pred.kind = PredExpr::Kind::kPath;
+    XAOS_ASSIGN_OR_RETURN(pred.path, ParsePath());
+    return pred;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Expression> ParseExpression(std::string_view expression) {
+  XAOS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(expression));
+  Parser parser(std::move(tokens));
+  return parser.ParseFull();
+}
+
+StatusOr<LocationPath> ParseSinglePath(std::string_view expression) {
+  XAOS_ASSIGN_OR_RETURN(Expression parsed, ParseExpression(expression));
+  if (parsed.union_branches.size() != 1) {
+    return InvalidArgumentError(
+        "expected a single location path, found a union of " +
+        std::to_string(parsed.union_branches.size()));
+  }
+  return std::move(parsed.union_branches[0]);
+}
+
+}  // namespace xaos::xpath

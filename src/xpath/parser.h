@@ -1,0 +1,27 @@
+// Recursive-descent parser for the supported XPath subset (see ast.h for
+// the exact grammar and extensions).
+
+#ifndef XAOS_XPATH_PARSER_H_
+#define XAOS_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/statusor.h"
+#include "xpath/ast.h"
+
+namespace xaos::xpath {
+
+// Parses `expression` into an AST. Both unabbreviated
+// (`/descendant::Y[child::U]`) and abbreviated (`//Y[U]`) syntax are
+// accepted. Returns ParseError with an offset on malformed input and
+// Unsupported for constructs outside the subset (e.g. a value comparison on
+// an element step).
+StatusOr<Expression> ParseExpression(std::string_view expression);
+
+// Convenience for the common single-path case; fails if the expression is a
+// union of several paths.
+StatusOr<LocationPath> ParseSinglePath(std::string_view expression);
+
+}  // namespace xaos::xpath
+
+#endif  // XAOS_XPATH_PARSER_H_

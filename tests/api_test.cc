@@ -1,0 +1,152 @@
+// Public-API level tests: the one-shot helpers, compiled-query reuse,
+// error propagation, and file-based streaming.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "xaos.h"
+#include "xml/file_source.h"
+
+namespace xaos {
+namespace {
+
+TEST(ApiTest, EvaluateStreamingHappyPath) {
+  auto result = core::EvaluateStreaming("//b", "<a><b/><b/></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matched);
+  EXPECT_EQ(result->items.size(), 2u);
+  EXPECT_EQ(result->ItemNames(),
+            (std::vector<std::string>{"b", "b"}));
+}
+
+TEST(ApiTest, BadQueryReportsParseError) {
+  auto result = core::EvaluateStreaming("//a[", "<a/>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ApiTest, UnsupportedQueryReportsUnsupported) {
+  auto result = core::EvaluateStreaming("//a/@id/b", "<a/>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ApiTest, BadXmlReportsParseErrorWithPosition) {
+  auto result = core::EvaluateStreaming("//a", "<a><b></a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line"), std::string::npos);
+}
+
+TEST(ApiTest, EvaluateOnDocument) {
+  auto doc = dom::ParseToDocument("<a><b/><c><b/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  auto result = core::EvaluateOnDocument("//c/b", *doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 1u);
+}
+
+TEST(ApiTest, CompiledQueryIsReusableAcrossEvaluators) {
+  auto query = core::Query::Compile("//a[b or c]");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->trees().size(), 2u);  // DNF expansion
+  EXPECT_EQ(query->expression(), "//a[b or c]");
+
+  core::StreamingEvaluator first(*query);
+  core::StreamingEvaluator second(*query);
+  ASSERT_TRUE(xml::ParseString("<a><b/></a>", &first).ok());
+  ASSERT_TRUE(xml::ParseString("<a><x/></a>", &second).ok());
+  EXPECT_TRUE(first.Result().matched);
+  EXPECT_FALSE(second.Result().matched);
+}
+
+TEST(ApiTest, QueryOutlivedByEvaluator) {
+  // The evaluator shares ownership of the compiled trees; destroying the
+  // Query object must not invalidate a running evaluator.
+  std::unique_ptr<core::StreamingEvaluator> evaluator;
+  {
+    auto query = core::Query::Compile("//b");
+    ASSERT_TRUE(query.ok());
+    evaluator = std::make_unique<core::StreamingEvaluator>(*query);
+  }
+  ASSERT_TRUE(xml::ParseString("<a><b/></a>", &*evaluator).ok());
+  EXPECT_EQ(evaluator->Result().items.size(), 1u);
+}
+
+TEST(ApiTest, QueryFromTrees) {
+  auto a = query::CompileToXTrees("//x//p");
+  auto b = query::CompileToXTrees("//y//p");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto merged = query::Intersect(a->front(), b->front());
+  ASSERT_TRUE(merged.ok());
+  std::vector<query::XTree> trees;
+  trees.push_back(std::move(*merged));
+  core::Query query = core::Query::FromTrees(std::move(trees), "custom");
+  core::StreamingEvaluator evaluator(query);
+  ASSERT_TRUE(
+      xml::ParseString("<r><x><y><p/></y></x><x><p/></x></r>", &evaluator)
+          .ok());
+  EXPECT_EQ(evaluator.Result().items.size(), 1u);
+}
+
+TEST(ApiTest, AggregateStatsSumAcrossDisjuncts) {
+  auto query = core::Query::Compile("//a | //b");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  ASSERT_TRUE(xml::ParseString("<r><a/><b/><c/></r>", &evaluator).ok());
+  core::EngineStats stats = evaluator.AggregateStats();
+  EXPECT_EQ(stats.elements_total, 4u);
+  EXPECT_GE(stats.structures_created, 2u);
+}
+
+TEST(ApiTest, ParseFileStreamsFromDisk) {
+  std::string path = ::testing::TempDir() + "/xaos_api_test.xml";
+  {
+    std::ofstream out(path);
+    out << "<a>";
+    for (int i = 0; i < 1000; ++i) out << "<b x=\"" << i << "\"/>";
+    out << "</a>";
+  }
+  auto query = core::Query::Compile("//b[@x='500']");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  // Tiny chunks exercise the incremental path.
+  ASSERT_TRUE(xml::ParseFile(path, &evaluator, /*chunk_bytes=*/37).ok());
+  EXPECT_EQ(evaluator.Result().items.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ApiTest, ParseFileMissingFile) {
+  xml::EventRecorder recorder;
+  Status status = xml::ParseFile("/nonexistent/path.xml", &recorder);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, ParseFileMalformedContent) {
+  std::string path = ::testing::TempDir() + "/xaos_api_bad.xml";
+  {
+    std::ofstream out(path);
+    out << "<a><b></a>";
+  }
+  xml::EventRecorder recorder;
+  EXPECT_FALSE(xml::ParseFile(path, &recorder).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ApiTest, OrExpansionLimitSurfaces) {
+  std::string expr = "//a[";
+  for (int i = 0; i < 8; ++i) {
+    if (i > 0) expr += " and ";
+    expr += "(b or c)";
+  }
+  expr += "]";
+  auto query = core::Query::Compile(expr, /*max_paths=*/16);
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,129 @@
+// Navigational baseline engine and brute-force oracle tests.
+
+#include <string>
+#include <vector>
+
+#include "baseline/brute_force_matcher.h"
+#include "baseline/compare.h"
+#include "baseline/navigational_engine.h"
+#include "dom/dom_builder.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+
+namespace xaos::baseline {
+namespace {
+
+std::vector<CanonicalItem> Eval(std::string_view xpath,
+                                std::string_view xml) {
+  auto doc = dom::ParseToDocument(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  NavigationalEngine engine(&*doc);
+  auto refs = engine.Evaluate(xpath);
+  EXPECT_TRUE(refs.ok()) << refs.status();
+  return CanonicalFromRefs(*doc, *refs);
+}
+
+TEST(NavigationalEngineTest, BasicAxes) {
+  const std::string xml = "<a><b><c/></b><c/></a>";
+  EXPECT_EQ(Eval("/a/b", xml).size(), 1u);
+  EXPECT_EQ(Eval("//c", xml).size(), 2u);
+  EXPECT_EQ(Eval("//c/parent::b", xml).size(), 1u);
+  EXPECT_EQ(Eval("//c/ancestor::a", xml).size(), 1u);
+}
+
+TEST(NavigationalEngineTest, PaperExample) {
+  auto items = Eval(test::kFigure3Query, test::kFigure2Document);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].ordinal, 7u);
+  EXPECT_EQ(items[1].ordinal, 8u);
+}
+
+TEST(NavigationalEngineTest, PredicatesAndOr) {
+  const std::string xml = "<r><a><b/></a><a><c/></a><a/></r>";
+  EXPECT_EQ(Eval("//a[b or c]", xml).size(), 2u);
+  EXPECT_EQ(Eval("//a[b and c]", xml).size(), 0u);
+}
+
+TEST(NavigationalEngineTest, Attributes) {
+  const std::string xml = "<r><a id=\"x\"/><a/></r>";
+  auto items = Eval("//a/@id", xml);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].value, "x");
+  EXPECT_EQ(Eval("//a[@id='x']", xml).size(), 1u);
+  EXPECT_EQ(Eval("//a[@id='y']", xml).size(), 0u);
+}
+
+TEST(NavigationalEngineTest, NodeVisitsGrowWithPredicateNesting) {
+  // The baseline re-traverses subtrees per context node: on a nested chain
+  // of n `a` elements, //a[descendant::c] walks each of the n overlapping
+  // subtrees in full — Θ(n²) visits for a Θ(n) document. This is the
+  // super-linear behaviour of Section 1 that χαoς avoids.
+  auto build = [](int n) {
+    std::string xml;
+    for (int i = 0; i < n; ++i) xml += "<a>";
+    xml += "<c/>";
+    for (int i = 0; i < n; ++i) xml += "</a>";
+    return xml;
+  };
+  auto visits = [&](int n) {
+    auto doc = dom::ParseToDocument(build(n));
+    NavigationalEngine engine(&*doc);
+    EXPECT_TRUE(engine.Evaluate("//a[descendant::c]").ok());
+    return engine.node_visits();
+  };
+  uint64_t v1 = visits(50);
+  uint64_t v2 = visits(100);
+  // Quadratic growth: doubling the document roughly quadruples the work.
+  EXPECT_GT(v2, 3 * v1);
+}
+
+TEST(NavigationalEngineTest, VisitBudgetEnforced) {
+  BaselineOptions options;
+  options.max_node_visits = 10;
+  std::string xml = "<r>";
+  for (int i = 0; i < 100; ++i) xml += "<a/>";
+  xml += "</r>";
+  auto doc = dom::ParseToDocument(xml);
+  NavigationalEngine engine(&*doc, options);
+  auto result = engine.Evaluate("//a");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForceTest, MatchesNavigationalOnPaperExample) {
+  auto doc = dom::ParseToDocument(test::kFigure2Document);
+  ASSERT_TRUE(doc.ok());
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  BruteForceOutcome outcome = BruteForceMatch(*doc, trees->front());
+  EXPECT_TRUE(outcome.matched);
+  EXPECT_TRUE(outcome.complete);
+  ASSERT_EQ(outcome.items.size(), 2u);
+  EXPECT_EQ(outcome.items[0].ordinal, 7u);
+  EXPECT_EQ(outcome.items[1].ordinal, 8u);
+}
+
+TEST(BruteForceTest, CountsFigure4Matchings) {
+  auto doc = dom::ParseToDocument(test::kFigure2Document);
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(doc.ok() && trees.ok());
+  // Mark every x-node as output to observe full matchings.
+  query::XTree tree = trees->front();
+  for (query::XNodeId v = 1; v < tree.size(); ++v) tree.MarkOutput(v);
+  BruteForceOutcome outcome = BruteForceMatch(*doc, tree);
+  // Figure 4: four total matchings at Root.
+  EXPECT_EQ(outcome.tuples.size(), 4u);
+}
+
+TEST(BruteForceTest, NoMatch) {
+  auto doc = dom::ParseToDocument("<a><b/></a>");
+  auto trees = query::CompileToXTrees("//c");
+  ASSERT_TRUE(doc.ok() && trees.ok());
+  BruteForceOutcome outcome = BruteForceMatch(*doc, trees->front());
+  EXPECT_FALSE(outcome.matched);
+  EXPECT_TRUE(outcome.items.empty());
+}
+
+}  // namespace
+}  // namespace xaos::baseline

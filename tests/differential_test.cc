@@ -1,0 +1,171 @@
+// Differential property tests: for random (document, query) pairs, the
+// streaming engine χαoς(SAX), the replayed-DOM engine χαoς(DOM), the
+// navigational baseline, and the brute-force oracle must agree exactly.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "baseline/brute_force_matcher.h"
+#include "baseline/compare.h"
+#include "baseline/navigational_engine.h"
+#include "core/multi_engine.h"
+#include "dom/dom_builder.h"
+#include "dom/dom_replayer.h"
+#include "gen/random_workload.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+using baseline::CanonicalItem;
+
+struct AllResults {
+  std::vector<CanonicalItem> streaming;
+  std::vector<CanonicalItem> replayed;
+  std::vector<CanonicalItem> navigational;
+  std::vector<CanonicalItem> brute_force;
+};
+
+// Evaluates `expression` over `xml` with all four engines.
+AllResults EvaluateAll(const std::string& expression, const std::string& xml) {
+  AllResults results;
+
+  auto streaming = core::EvaluateStreaming(expression, xml);
+  EXPECT_TRUE(streaming.ok()) << streaming.status();
+  if (streaming.ok()) {
+    results.streaming = baseline::CanonicalFromResult(*streaming);
+  }
+
+  auto doc = dom::ParseToDocument(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  if (!doc.ok()) return results;
+
+  auto replayed = core::EvaluateOnDocument(expression, *doc);
+  EXPECT_TRUE(replayed.ok()) << replayed.status();
+  if (replayed.ok()) {
+    results.replayed = baseline::CanonicalFromResult(*replayed);
+  }
+
+  baseline::NavigationalEngine nav(&*doc);
+  auto nav_result = nav.Evaluate(expression);
+  EXPECT_TRUE(nav_result.ok()) << nav_result.status();
+  if (nav_result.ok()) {
+    results.navigational = baseline::CanonicalFromRefs(*doc, *nav_result);
+  }
+
+  auto trees = query::CompileToXTrees(expression);
+  EXPECT_TRUE(trees.ok()) << trees.status();
+  if (trees.ok()) {
+    std::set<CanonicalItem> items;
+    for (const query::XTree& tree : *trees) {
+      baseline::BruteForceOutcome outcome = baseline::BruteForceMatch(
+          *doc, tree, /*max_explored=*/20'000'000);
+      EXPECT_TRUE(outcome.complete);
+      items.insert(outcome.items.begin(), outcome.items.end());
+    }
+    results.brute_force.assign(items.begin(), items.end());
+  }
+  return results;
+}
+
+void ExpectAllAgree(const std::string& expression, const std::string& xml) {
+  AllResults results = EvaluateAll(expression, xml);
+  EXPECT_EQ(results.streaming, results.navigational)
+      << "streaming vs navigational for " << expression;
+  EXPECT_EQ(results.streaming, results.replayed)
+      << "streaming vs replayed for " << expression;
+  EXPECT_EQ(results.streaming, results.brute_force)
+      << "streaming vs brute force for " << expression;
+}
+
+// --- hand-picked adversarial cases ----------------------------------------
+
+TEST(DifferentialTest, HandPickedCases) {
+  const std::string doc1 =
+      "<a><b><a><c/></a></b><c/><b><c/><a/></b></a>";
+  for (const char* query : {
+           "//a//c",
+           "//c/ancestor::a",
+           "//c/ancestor::b/parent::a",
+           "//a[b]//c",
+           "//b[c]/a | //a[c]",
+           "//c/ancestor::b[parent::a]",
+           "//a/descendant::a",
+           "//b/ancestor-or-self::b",
+           "/a/b/a/c",
+           "//*[c]",
+           "//c/..",
+       }) {
+    ExpectAllAgree(query, doc1);
+  }
+}
+
+TEST(DifferentialTest, RecursiveDocument) {
+  std::string doc = "<a>";
+  for (int i = 0; i < 6; ++i) doc += "<a><b/>";
+  for (int i = 0; i < 6; ++i) doc += "</a>";
+  doc += "</a>";
+  for (const char* query : {
+           "//a/a",
+           "//b/ancestor::a",
+           "//a[b]/a[b]",
+           "//a[a[a[b]]]",
+           "//b/ancestor::a[parent::a]/b",
+       }) {
+    ExpectAllAgree(query, doc);
+  }
+}
+
+// --- randomized sweep -------------------------------------------------------
+
+class RandomDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDifferentialTest, EnginesAgree) {
+  uint64_t seed = GetParam();
+  gen::RandomQueryOptions query_options;
+  gen::RandomDocOptions doc_options;
+  doc_options.target_elements = 600;
+  doc_options.full_embed_probability = 0.05;
+  doc_options.partial_embed_probability = 0.08;
+  doc_options.max_noise_depth = 7;
+
+  auto workload = gen::GenerateWorkload(query_options, doc_options, seed);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ExpectAllAgree(workload->expression, workload->document);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 120));
+
+// Random queries over a shared random document that was NOT derived from
+// them (worst-case mismatch shapes).
+class CrossDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossDifferentialTest, EnginesAgree) {
+  uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  gen::RandomQueryOptions query_options;
+  query_options.alphabet = 4;  // denser collisions
+  xpath::LocationPath query = gen::GenerateRandomPath(query_options, rng);
+
+  gen::RandomQueryOptions other_options;
+  other_options.alphabet = 4;
+  xpath::LocationPath other = gen::GenerateRandomPath(other_options, rng);
+  gen::RandomDocOptions doc_options;
+  doc_options.target_elements = 400;
+  doc_options.alphabet = 4;
+  doc_options.max_noise_depth = 6;
+  auto doc = gen::GenerateDocumentForPath(other, doc_options, rng);
+  ASSERT_TRUE(doc.ok());
+
+  ExpectAllAgree(xpath::ToString(query), *doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossDifferentialTest,
+                         ::testing::Range<uint64_t>(1000, 1080));
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,119 @@
+// DOM substrate tests: building, navigation, replay, serialization.
+
+#include <string>
+
+#include "dom/dom_builder.h"
+#include "dom/dom_replayer.h"
+#include "dom/serializer.h"
+#include "gtest/gtest.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::dom {
+namespace {
+
+TEST(DocumentTest, ManualConstruction) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  doc.AppendChild(doc.document_node(), a);
+  NodeId b = doc.CreateElement("b");
+  doc.AppendChild(a, b);
+  NodeId t = doc.CreateText("hello");
+  doc.AppendChild(b, t);
+
+  EXPECT_EQ(doc.root_element(), a);
+  EXPECT_EQ(doc.parent(b), a);
+  EXPECT_EQ(doc.level(a), 1);
+  EXPECT_EQ(doc.level(t), 3);
+  EXPECT_EQ(doc.element_count(), 2u);
+  EXPECT_EQ(doc.StringValue(a), "hello");
+}
+
+TEST(DomBuilderTest, BuildsTreeInDocumentOrder) {
+  auto doc = ParseToDocument("<a><b>x</b><c y=\"1\"><d/></c></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const Document& d = *doc;
+
+  NodeId a = d.root_element();
+  EXPECT_EQ(d.name(a), "a");
+  NodeId b = d.first_child(a);
+  EXPECT_EQ(d.name(b), "b");
+  NodeId c = d.next_sibling(b);
+  EXPECT_EQ(d.name(c), "c");
+  ASSERT_NE(d.FindAttribute(c, "y"), nullptr);
+  EXPECT_EQ(*d.FindAttribute(c, "y"), "1");
+  EXPECT_EQ(d.FindAttribute(c, "z"), nullptr);
+  // NodeIds ascend in document order.
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(d.element_count(), 4u);
+}
+
+TEST(DomBuilderTest, TextNodes) {
+  auto doc = ParseToDocument("<a>pre<b/>post</a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId a = doc->root_element();
+  NodeId t1 = doc->first_child(a);
+  EXPECT_EQ(doc->kind(t1), NodeKind::kText);
+  EXPECT_EQ(doc->text(t1), "pre");
+  EXPECT_EQ(doc->StringValue(a), "prepost");
+}
+
+TEST(DomReplayerTest, ReplayMatchesOriginalEvents) {
+  const std::string xml =
+      "<a x=\"1\"><b>text</b><c><d/><d>more</d></c></a>";
+  xml::EventRecorder direct;
+  ASSERT_TRUE(xml::ParseString(xml, &direct).ok());
+
+  auto doc = ParseToDocument(xml);
+  ASSERT_TRUE(doc.ok());
+  xml::EventRecorder replayed;
+  ReplayDocument(*doc, &replayed);
+
+  EXPECT_EQ(direct.events(), replayed.events());
+}
+
+TEST(DomReplayerTest, SubtreeReplay) {
+  auto doc = ParseToDocument("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc->first_child(doc->root_element());
+  xml::EventRecorder recorder;
+  ReplaySubtree(*doc, b, &recorder);
+  ASSERT_EQ(recorder.events().size(), 4u);
+  EXPECT_EQ(recorder.events()[0].name, "b");
+  EXPECT_EQ(recorder.events()[1].name, "c");
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const std::string xml =
+      "<a x=\"1&amp;2\"><b>text &lt;here&gt;</b><c/></a>";
+  auto doc = ParseToDocument(xml);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeDocument(*doc);
+  // Re-parse the serialization: same tree.
+  auto doc2 = ParseToDocument(serialized);
+  ASSERT_TRUE(doc2.ok()) << doc2.status() << " in " << serialized;
+  EXPECT_EQ(SerializeDocument(*doc2), serialized);
+  EXPECT_EQ(doc2->element_count(), doc->element_count());
+}
+
+TEST(SerializerTest, SubtreeSerialization) {
+  auto doc = ParseToDocument("<a><b q=\"v\">t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc->first_child(doc->root_element());
+  EXPECT_EQ(SerializeSubtree(*doc, b), "<b q=\"v\">t</b>");
+}
+
+TEST(DocumentTest, ApproximateMemoryGrowsWithContent) {
+  auto small = ParseToDocument("<a/>");
+  std::string big_xml = "<a>";
+  for (int i = 0; i < 1000; ++i) big_xml += "<b attr=\"value\">text</b>";
+  big_xml += "</a>";
+  auto big = ParseToDocument(big_xml);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_GT(big->ApproximateMemoryBytes(),
+            100 * small->ApproximateMemoryBytes());
+}
+
+}  // namespace
+}  // namespace xaos::dom

@@ -1,0 +1,119 @@
+// Backward-axis behaviour: parent and ancestor steps and predicates,
+// optimistic propagation and undo, recursive documents.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xaos {
+namespace {
+
+using test::EvalStreaming;
+using test::Names;
+using test::Ordinals;
+
+TEST(EngineBackwardTest, AncestorStep) {
+  // The introduction's example: /descendant::x/ancestor::y.
+  const std::string xml = "<y><a><x/></a><x/><z><x/></z></y>";
+  auto items = EvalStreaming("/descendant::x/ancestor::y", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"y"}));
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{1}));
+}
+
+TEST(EngineBackwardTest, AncestorSelectsAllMatchingAncestors) {
+  const std::string xml = "<a><a><a><b/></a></a></a>";
+  auto items = EvalStreaming("//b/ancestor::a", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(EngineBackwardTest, ParentStep) {
+  const std::string xml = "<r><a><b/></a><c><b/></c></r>";
+  auto items = EvalStreaming("//b/parent::a", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2}));
+  // Abbreviated: .. selects both parents.
+  items = EvalStreaming("//b/..", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(EngineBackwardTest, AncestorPredicate) {
+  const std::string xml = "<r><k><x/></k><x/></r>";
+  auto items = EvalStreaming("//x[ancestor::k]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{3}));
+}
+
+TEST(EngineBackwardTest, ParentPredicateWithWildcard) {
+  const std::string xml = "<r><a><b/></a><b/></r>";
+  auto items = EvalStreaming("//b[parent::a]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{3}));
+}
+
+TEST(EngineBackwardTest, AncestorChainAndBranch) {
+  // Ancestor steps can have their own predicates (evaluated against the
+  // ancestor element).
+  const std::string xml =
+      "<r>"
+      "<z><v/><w><q/></w></z>"      // z(2) has v child: w(4) qualifies
+      "<z><w><q/></w></z>"          // z(6) has no v child: w(7) fails
+      "</r>";
+  auto items = EvalStreaming("//q/ancestor::w[ancestor::z/child::v]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{4}));
+}
+
+TEST(EngineBackwardTest, AncestorOrSelfAxis) {
+  const std::string xml = "<a><b><a/></b></a>";
+  auto items = EvalStreaming("//b/ancestor-or-self::b", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2}));
+  items = EvalStreaming("//a/ancestor-or-self::a", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(EngineBackwardTest, BackwardThenForward) {
+  // //w/ancestor::z/child::u — forward continuation below a backward step.
+  const std::string xml =
+      "<r><z><u/><d><w/></d></z><z><d><w/></d></z></r>";
+  auto items = EvalStreaming("//w/ancestor::z/child::u", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{3}));
+}
+
+TEST(EngineBackwardTest, RecursiveElementsWithBackwardAxes) {
+  // Recursive document: nested z elements; each w reports every z
+  // ancestor exactly once.
+  const std::string xml = "<z><z><w/></z><w/></z>";
+  auto items = EvalStreaming("//w/ancestor::z", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(EngineBackwardTest, UndoCascadesThroughOptimism) {
+  // W adopts Z optimistically (ancestor edge); Z later fails its child::V
+  // requirement, and the failure must cascade out of the already-closed W.
+  const std::string xml = "<r><y><z><w/></z><u/></y></r>";
+  auto items = EvalStreaming(
+      "/descendant::y[child::u]/descendant::w[ancestor::z/child::v]", xml);
+  EXPECT_TRUE(items.empty());
+}
+
+TEST(EngineBackwardTest, PaperExampleSolution) {
+  auto items =
+      EvalStreaming(test::kFigure3Query, test::kFigure2Document);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{7, 8}));
+}
+
+TEST(EngineBackwardTest, DeepOptimisticNesting) {
+  // Alternating satisfiable/unsatisfiable z contexts at varying depths.
+  std::string xml = "<r>";
+  for (int i = 0; i < 20; ++i) {
+    xml += "<z>";
+    if (i % 2 == 0) xml += "<v/>";
+  }
+  xml += "<w/>";
+  for (int i = 0; i < 20; ++i) xml += "</z>";
+  xml += "</r>";
+  // Every z with a v child is reported: 10 of them.
+  auto items = EvalStreaming("//w/ancestor::z[child::v]", xml);
+  EXPECT_EQ(items.size(), 10u);
+}
+
+}  // namespace
+}  // namespace xaos

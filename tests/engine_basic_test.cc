@@ -1,0 +1,143 @@
+// Basic streaming-engine behaviour: forward axes, predicates, document
+// order, matching flag, reuse across documents.
+
+#include <string>
+#include <vector>
+
+#include "core/multi_engine.h"
+#include "core/xaos_engine.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+using test::EvalStreaming;
+using test::Names;
+using test::Ordinals;
+
+TEST(EngineBasicTest, ChildAxisSelectsDirectChildrenOnly) {
+  const std::string xml = "<a><b/><c><b/></c><b/></a>";
+  auto items = EvalStreaming("/a/b", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"b", "b"}));
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 5}));
+}
+
+TEST(EngineBasicTest, AbsolutePathAnchorsAtRootElement) {
+  const std::string xml = "<a><a><b/></a></a>";
+  // /a/b matches nothing: the outer a has no b child.
+  EXPECT_TRUE(EvalStreaming("/a/b", xml).empty());
+  // /a/a/b matches the inner b.
+  EXPECT_EQ(EvalStreaming("/a/a/b", xml).size(), 1u);
+}
+
+TEST(EngineBasicTest, DescendantAxisIsProperDescendant) {
+  const std::string xml = "<a><a><a/></a></a>";
+  // descendants of the root element named a: the two inner ones.
+  auto items = EvalStreaming("/a/descendant::a", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(EngineBasicTest, DoubleSlashIsDescendantFromRoot) {
+  const std::string xml = "<a><b><c/></b><c/></a>";
+  auto items = EvalStreaming("//c", xml);
+  EXPECT_EQ(items.size(), 2u);
+}
+
+TEST(EngineBasicTest, ChildPredicateFilters) {
+  const std::string xml = "<r><s><t/></s><s><u/></s><s><t/><u/></s></r>";
+  auto items = EvalStreaming("/r/s[child::t]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 6}));
+  items = EvalStreaming("/r/s[child::t and child::u]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{6}));
+}
+
+TEST(EngineBasicTest, PredicateDoesNotChangeOutputNode) {
+  const std::string xml = "<r><s><t/></s></r>";
+  auto items = EvalStreaming("/r/s[t]", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"s"}));
+}
+
+TEST(EngineBasicTest, WildcardMatchesAnyElement) {
+  const std::string xml = "<r><a/><b/><c><d/></c></r>";
+  auto items = EvalStreaming("/r/*", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EngineBasicTest, ResultsAreInDocumentOrderAndDeduplicated) {
+  // //b[ancestor::a] with nested a elements: each b is reported once even
+  // though multiple matchings exist (two a ancestors each).
+  const std::string xml = "<a><a><b/><b/></a></a>";
+  auto items = EvalStreaming("//b[ancestor::a]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{3, 4}));
+}
+
+TEST(EngineBasicTest, MatchedFlagWithoutItems) {
+  query::XTree tree =
+      std::move(query::CompileToXTrees("/a/b").value().front());
+  core::XaosEngine engine(&tree);
+  ASSERT_TRUE(xml::ParseString("<a><c/></a>", &engine).ok());
+  EXPECT_TRUE(engine.done());
+  EXPECT_FALSE(engine.Matched());
+  EXPECT_TRUE(engine.result().items.empty());
+}
+
+TEST(EngineBasicTest, EngineIsReusableAcrossDocuments) {
+  query::XTree tree =
+      std::move(query::CompileToXTrees("//b").value().front());
+  core::XaosEngine engine(&tree);
+  ASSERT_TRUE(xml::ParseString("<a><b/></a>", &engine).ok());
+  EXPECT_TRUE(engine.Matched());
+  EXPECT_EQ(engine.result().items.size(), 1u);
+
+  ASSERT_TRUE(xml::ParseString("<a><c/></a>", &engine).ok());
+  EXPECT_FALSE(engine.Matched());
+
+  ASSERT_TRUE(xml::ParseString("<b><b/></b>", &engine).ok());
+  EXPECT_EQ(engine.result().items.size(), 2u);
+}
+
+TEST(EngineBasicTest, ChunkedFeedingMatchesOneShot) {
+  const std::string xml =
+      "<r><s><t/></s><s>text content</s><s><t/><u/></s></r>";
+  query::XTree tree =
+      std::move(query::CompileToXTrees("/r/s[t]").value().front());
+
+  core::XaosEngine engine(&tree);
+  xml::SaxParser parser(&engine);
+  // Feed one byte at a time: events must be identical.
+  for (char c : xml) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(engine.result().items.size(), 2u);
+}
+
+TEST(EngineBasicTest, DeepRecursiveDocument) {
+  // 200 nested a elements; //a/a selects all but the outermost.
+  std::string xml;
+  for (int i = 0; i < 200; ++i) xml += "<a>";
+  for (int i = 0; i < 200; ++i) xml += "</a>";
+  auto items = EvalStreaming("//a/a", xml);
+  EXPECT_EQ(items.size(), 199u);
+}
+
+TEST(EngineBasicTest, SelfAxis) {
+  const std::string xml = "<a><b/><c/></a>";
+  auto items = EvalStreaming("/a/b/self::b", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"b"}));
+  EXPECT_TRUE(EvalStreaming("/a/b/self::c", xml).empty());
+  items = EvalStreaming("/a/*/self::c", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"c"}));
+}
+
+TEST(EngineBasicTest, DescendantOrSelfAxis) {
+  const std::string xml = "<a><b><b/></b></a>";
+  auto items = EvalStreaming("/a/b/descendant-or-self::b", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,141 @@
+// Early match confirmation (paper Section 5.1, eager emission): the engine
+// reports a *guaranteed* document match as soon as one exists, long before
+// end of document, and can optionally stop working at that point.
+
+#include <string>
+
+#include "core/multi_engine.h"
+#include "core/xaos_engine.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+// Feeds `xml` byte by byte; returns the number of bytes consumed before
+// match_confirmed() first became true (or npos if never before Finish).
+size_t BytesUntilConfirmed(core::XaosEngine* engine, std::string_view xml) {
+  xml::SaxParser parser(engine);
+  for (size_t i = 0; i < xml.size(); ++i) {
+    EXPECT_TRUE(parser.Feed(xml.substr(i, 1)).ok());
+    if (engine->match_confirmed()) return i + 1;
+  }
+  EXPECT_TRUE(parser.Finish().ok());
+  return engine->match_confirmed() ? xml.size() : std::string::npos;
+}
+
+TEST(ConfirmationTest, ForwardQueryConfirmsAtFirstWitness) {
+  auto trees = query::CompileToXTrees("//a/b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  const std::string xml = "<r><a><b/></a><filler/><filler/></r>";
+  size_t confirmed_at = BytesUntilConfirmed(&engine, xml);
+  // Confirmed as soon as the witness subtree closes (</a> links the
+  // confirmed a-matching into Root), well before the document ends.
+  ASSERT_NE(confirmed_at, std::string::npos);
+  EXPECT_LE(confirmed_at, xml.find("</a>") + 4);
+}
+
+TEST(ConfirmationTest, NotConfirmedWithoutMatch) {
+  auto trees = query::CompileToXTrees("//a/b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  EXPECT_EQ(BytesUntilConfirmed(&engine, "<r><a><c/></a></r>"),
+            std::string::npos);
+  EXPECT_FALSE(engine.Matched());
+}
+
+TEST(ConfirmationTest, BackwardQueryConfirmsMidStream) {
+  // The Figure 3 query over the Figure 2 document: the first Y subtree
+  // fully satisfies the query, so confirmation must land at or before
+  // the first </Y> — the second Y subtree is irrelevant.
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  std::string xml(test::kFigure2Document);
+  size_t confirmed_at = BytesUntilConfirmed(&engine, xml);
+  ASSERT_NE(confirmed_at, std::string::npos);
+  EXPECT_LE(confirmed_at, xml.find("</Y>") + 5);
+}
+
+TEST(ConfirmationTest, OptimisticMatchIsNotConfirmedPrematurely) {
+  // <z><w/>...</z> with //w[ancestor::z[v]]: at </w> the w matching is only
+  // optimistic (z's v child is still pending), so no confirmation until v
+  // closes.
+  auto trees = query::CompileToXTrees("//w[ancestor::z[v]]");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  const std::string xml = "<z><w/><pad/><v/><pad/></z>";
+  size_t confirmed_at = BytesUntilConfirmed(&engine, xml);
+  ASSERT_NE(confirmed_at, std::string::npos);
+  EXPECT_GT(confirmed_at, xml.find("<v/>"));
+  EXPECT_LE(confirmed_at, xml.find("<pad/>", xml.find("<v/>")) + 6);
+}
+
+TEST(ConfirmationTest, FailedOptimismNeverConfirms) {
+  auto trees = query::CompileToXTrees("//w[ancestor::z[v]]");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  EXPECT_EQ(BytesUntilConfirmed(&engine, "<z><w/><u/></z>"),
+            std::string::npos);
+  EXPECT_FALSE(engine.Matched());
+}
+
+TEST(ConfirmationTest, ConfirmedAfterDocumentEndEqualsMatched) {
+  auto trees = query::CompileToXTrees("//a[b and c]");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  ASSERT_TRUE(xml::ParseString("<a><b/><c/></a>", &engine).ok());
+  EXPECT_TRUE(engine.Matched());
+  EXPECT_TRUE(engine.match_confirmed());
+}
+
+TEST(ConfirmationTest, StopAfterConfirmedMatchSkipsWork) {
+  core::EngineOptions options;
+  options.stop_after_confirmed_match = true;
+
+  auto trees = query::CompileToXTrees("//a/b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front(), options);
+
+  // Match appears early; the long tail must not be processed.
+  std::string xml = "<r><a><b/></a>";
+  for (int i = 0; i < 1000; ++i) xml += "<filler/>";
+  xml += "</r>";
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  EXPECT_TRUE(engine.Matched());
+  EXPECT_TRUE(engine.match_confirmed());
+  // Far fewer elements were examined than the document contains.
+  EXPECT_LT(engine.stats().elements_total, 10u);
+  // Engine remains reusable afterwards.
+  ASSERT_TRUE(xml::ParseString("<r><c/></r>", &engine).ok());
+  EXPECT_FALSE(engine.Matched());
+}
+
+TEST(ConfirmationTest, ConfirmationIsMonotoneUnderUndo) {
+  // A document where an optimistic matching fails after a confirmed one
+  // already exists: confirmation must survive.
+  auto trees = query::CompileToXTrees("//w[ancestor::z[v]]");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  // First z subtree confirms; second z/w has no v and is undone.
+  const std::string xml = "<r><z><w/><v/></z><z><w/></z></r>";
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  EXPECT_TRUE(engine.Matched());
+  EXPECT_GT(engine.stats().structures_undone, 0u);
+  EXPECT_EQ(engine.result().items.size(), 1u);
+}
+
+TEST(ConfirmationTest, EvaluatorExposesConfirmation) {
+  auto query = core::Query::Compile("//a | //never");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  ASSERT_TRUE(xml::ParseString("<r><a/><x/></r>", &evaluator).ok());
+  EXPECT_TRUE(evaluator.MatchConfirmed());
+  EXPECT_TRUE(evaluator.Result().matched);
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,250 @@
+// Extensions of Section 5: or / union, multiple outputs with tuple
+// enumeration, attribute and text() node tests, subtree capture,
+// intersection/join evaluation, and resource limits.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/multi_engine.h"
+#include "core/xaos_engine.h"
+#include "gtest/gtest.h"
+#include "query/reroot.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+using test::EvalStreaming;
+using test::Names;
+using test::Ordinals;
+
+TEST(EngineExtensionsTest, OrPredicate) {
+  const std::string xml = "<r><a><b/></a><a><c/></a><a><d/></a></r>";
+  auto items = EvalStreaming("//a[b or c]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 4}));
+}
+
+TEST(EngineExtensionsTest, OrDistributesOverAnd) {
+  const std::string xml =
+      "<r><a><b/><d/></a><a><c/><e/></a><a><b/><e/></a><a><b/></a></r>";
+  auto items = EvalStreaming("//a[(b or c) and (d or e)]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 5, 8}));
+}
+
+TEST(EngineExtensionsTest, TopLevelUnion) {
+  const std::string xml = "<r><a/><b/><c/></r>";
+  auto items = EvalStreaming("//a | //c", xml);
+  EXPECT_EQ(Names(items), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(EngineExtensionsTest, UnionDeduplicates) {
+  const std::string xml = "<r><a><b/></a></r>";
+  auto items = EvalStreaming("//b | //a/b", xml);
+  EXPECT_EQ(items.size(), 1u);
+}
+
+TEST(EngineExtensionsTest, AttributeOutput) {
+  const std::string xml = "<r><a id=\"one\"/><a/><a id=\"two\"/></r>";
+  auto items = EvalStreaming("//a/@id", xml);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].name, "id");
+  EXPECT_EQ(items[0].value, "one");
+  EXPECT_EQ(items[1].value, "two");
+}
+
+TEST(EngineExtensionsTest, AttributePredicate) {
+  const std::string xml =
+      "<r><a id=\"x\"/><a id=\"y\"/><a class=\"x\"/></r>";
+  auto items = EvalStreaming("//a[@id]", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 3}));
+  items = EvalStreaming("//a[@id='y']", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{3}));
+  items = EvalStreaming("//a[@*]", xml);
+  EXPECT_EQ(items.size(), 3u);
+}
+
+TEST(EngineExtensionsTest, TextPredicateAndOutput) {
+  const std::string xml = "<r><a>yes</a><a>no</a><a><b/>yes</a></r>";
+  auto items = EvalStreaming("//a[text()='yes']", xml);
+  EXPECT_EQ(Ordinals(items), (std::vector<uint32_t>{2, 4}));
+  items = EvalStreaming("//a/text()", xml);
+  EXPECT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].value, "yes");
+}
+
+TEST(EngineExtensionsTest, MultipleOutputsTuples) {
+  // $a/$b — all (a, b) parent/child pairs (paper Section 5.3).
+  const std::string xml = "<a><b/><b/><a><b/></a></a>";
+  auto trees = query::CompileToXTrees("//$a/$b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  core::TupleEnumeration tuples = engine.OutputTuples();
+  EXPECT_TRUE(tuples.complete);
+  std::set<std::pair<uint32_t, uint32_t>> pairs;
+  for (const core::OutputTuple& tuple : tuples.tuples) {
+    ASSERT_EQ(tuple.size(), 2u);
+    pairs.insert({tuple[0].ordinal, tuple[1].ordinal});
+  }
+  // a(1) has b children 2, 3; a(4) has b child 5.
+  EXPECT_EQ(pairs, (std::set<std::pair<uint32_t, uint32_t>>{
+                       {1, 2}, {1, 3}, {4, 5}}));
+  // The union result contains all five marked elements.
+  EXPECT_EQ(engine.result().items.size(), 5u);
+}
+
+TEST(EngineExtensionsTest, TupleLimit) {
+  std::string xml = "<a>";
+  for (int i = 0; i < 30; ++i) xml += "<b/>";
+  xml += "</a>";
+  auto trees = query::CompileToXTrees("//$a/$b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  core::TupleEnumeration tuples = engine.OutputTuples(/*max_tuples=*/10);
+  EXPECT_FALSE(tuples.complete);
+  EXPECT_EQ(tuples.tuples.size(), 10u);
+}
+
+TEST(EngineExtensionsTest, CaptureOutputSubtrees) {
+  const std::string xml =
+      "<r><k><x a=\"1\"><y>text</y></x></k><x><z/></x></r>";
+  core::EngineOptions options;
+  options.capture_output_subtrees = true;
+  auto result = core::EvaluateStreaming("//k/x", xml, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0].captured_xml, "<x a=\"1\"><y>text</y></x>");
+}
+
+TEST(EngineExtensionsTest, CaptureNestedOutputs) {
+  const std::string xml = "<r><x><x>inner</x></x></r>";
+  core::EngineOptions options;
+  options.capture_output_subtrees = true;
+  auto result = core::EvaluateStreaming("//x", xml, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 2u);
+  EXPECT_EQ(result->items[0].captured_xml, "<x><x>inner</x></x>");
+  EXPECT_EQ(result->items[1].captured_xml, "<x>inner</x>");
+}
+
+TEST(EngineExtensionsTest, IntersectionEvaluation) {
+  // //Y[U]//W ∩ //Z[V]//W over the Figure 2 document: W elements that are
+  // below a Y-with-U and below a Z-with-V: exactly W7, W8.
+  auto a = query::CompileToXTrees("//Y[U]//W");
+  auto b = query::CompileToXTrees("//Z[V]//W");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto merged = query::Intersect(a->front(), b->front());
+  ASSERT_TRUE(merged.ok());
+
+  core::XaosEngine engine(&*merged);
+  ASSERT_TRUE(xml::ParseString(test::kFigure2Document, &engine).ok());
+  std::vector<uint32_t> ordinals;
+  for (const auto& item : engine.result().items) {
+    ordinals.push_back(item.info.ordinal);
+  }
+  EXPECT_EQ(ordinals, (std::vector<uint32_t>{7, 8}));
+}
+
+TEST(EngineExtensionsTest, LiveStructureLimit) {
+  core::EngineOptions options;
+  options.max_live_structures = 4;
+  std::string xml = "<a>";
+  for (int i = 0; i < 100; ++i) xml += "<a>";
+  for (int i = 0; i < 100; ++i) xml += "</a>";
+  xml += "</a>";
+  auto result = core::EvaluateStreaming("//a", xml, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineExtensionsTest, StatsDiscardCounting) {
+  // Only b elements under k are relevant; everything else is discarded.
+  const std::string xml =
+      "<r><k><b/></k><c/><c/><c/><b/></r>";
+  auto trees = query::CompileToXTrees("//k/b");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  const core::EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.elements_total, 7u);
+  // r, the three c's, and the trailing b (no k ancestor) are discarded.
+  EXPECT_EQ(stats.elements_discarded, 5u);
+  EXPECT_DOUBLE_EQ(stats.DiscardedFraction(), 5.0 / 7.0);
+}
+
+TEST(EngineExtensionsTest, RelevanceFilterAblation) {
+  // With the filter off, results are identical but more structures are
+  // created (label-matching elements are no longer pre-filtered).
+  const std::string xml =
+      "<r><k><b/></k><b/><b/><b/></r>";
+  auto trees = query::CompileToXTrees("//k/b");
+  ASSERT_TRUE(trees.ok());
+
+  core::XaosEngine filtered(&trees->front());
+  ASSERT_TRUE(xml::ParseString(xml, &filtered).ok());
+
+  core::EngineOptions off;
+  off.enable_relevance_filter = false;
+  core::XaosEngine unfiltered(&trees->front(), off);
+  ASSERT_TRUE(xml::ParseString(xml, &unfiltered).ok());
+
+  EXPECT_EQ(filtered.result().items.size(), 1u);
+  EXPECT_EQ(unfiltered.result().items.size(), 1u);
+  EXPECT_GT(unfiltered.stats().structures_created,
+            filtered.stats().structures_created);
+}
+
+TEST(EngineExtensionsTest, NoLiveStructuresAfterDocument) {
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  auto engine = std::make_unique<core::XaosEngine>(&trees->front());
+  ASSERT_TRUE(xml::ParseString(test::kFigure2Document, &*engine).ok());
+  // Live structures remaining are exactly those reachable from the root
+  // structure (the retained result); everything else was freed.
+  EXPECT_GT(engine->stats().structures_live, 0u);
+  EXPECT_LE(engine->stats().structures_live,
+            engine->stats().structures_created);
+  // After processing an empty-ish second document, the previous result's
+  // structures are released.
+  ASSERT_TRUE(xml::ParseString("<q/>", &*engine).ok());
+  EXPECT_LE(engine->stats().structures_live, 1u);
+}
+
+}  // namespace
+}  // namespace xaos
+
+namespace xaos {
+namespace {
+
+TEST(EngineExtensionsTest, BooleanSubmatchingsReduceRetainedStructures) {
+  // //w[ancestor::z[v]]: the z/v predicate subtree carries no output, so
+  // with boolean submatchings its confirmed matchings are counted and
+  // released instead of retained until end of document.
+  std::string xml = "<r>";
+  for (int i = 0; i < 200; ++i) xml += "<z><v/><w/></z>";
+  xml += "</r>";
+  auto trees = query::CompileToXTrees("//w[ancestor::z[v]]");
+  ASSERT_TRUE(trees.ok());
+
+  core::EngineOptions on;   // default
+  core::EngineOptions off;
+  off.enable_boolean_submatchings = false;
+
+  core::XaosEngine with(&trees->front(), on);
+  ASSERT_TRUE(xml::ParseString(xml, &with).ok());
+  core::XaosEngine without(&trees->front(), off);
+  ASSERT_TRUE(xml::ParseString(xml, &without).ok());
+
+  ASSERT_EQ(with.result().items.size(), 200u);
+  ASSERT_EQ(without.result().items.size(), 200u);
+  // Identical answers, but the final retained structure count shrinks: the
+  // z and v structures are counted away, only the w chain survives.
+  EXPECT_LT(with.stats().structures_live, without.stats().structures_live);
+}
+
+}  // namespace
+}  // namespace xaos

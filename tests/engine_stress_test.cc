@@ -1,0 +1,133 @@
+// Stress and lifecycle tests: large documents, adversarial shapes, long
+// reuse sequences, and linearity sanity checks.
+
+#include <memory>
+#include <string>
+
+#include "core/multi_engine.h"
+#include "core/xaos_engine.h"
+#include "gen/random_workload.h"
+#include "gen/xmark_generator.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+TEST(EngineStressTest, WideDocumentManyMatches) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 30000; ++i) xml += "<a><b/></a>";
+  xml += "</r>";
+  auto result = core::EvaluateStreaming("//a/b", xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 30000u);
+}
+
+TEST(EngineStressTest, DeepDocumentWithBackwardQuery) {
+  std::string xml;
+  for (int i = 0; i < 3000; ++i) xml += "<a>";
+  xml += "<w/>";
+  for (int i = 0; i < 3000; ++i) xml += "</a>";
+  auto result = core::EvaluateStreaming("//w/ancestor::a", xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 3000u);
+}
+
+TEST(EngineStressTest, ManySiblingsWithSiblingQuery) {
+  std::string xml = "<r><m/>";
+  for (int i = 0; i < 20000; ++i) xml += "<a/>";
+  xml += "<z/></r>";
+  // Every a has both an m preceding sibling and a z following sibling.
+  auto result =
+      core::EvaluateStreaming("//a[preceding-sibling::m][following-sibling::z]",
+                              xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 20000u);
+}
+
+TEST(EngineStressTest, PathologicalRecursiveMatching) {
+  // Nested a's matched by //a//a//a: quadratically many matchings exist,
+  // but the engine stores one structure per (x-node, element) pair — the
+  // compactness claim of Section 4.2.
+  constexpr int kDepth = 120;
+  std::string xml;
+  for (int i = 0; i < kDepth; ++i) xml += "<a>";
+  for (int i = 0; i < kDepth; ++i) xml += "</a>";
+  auto trees = query::CompileToXTrees("//a//a//a");
+  ASSERT_TRUE(trees.ok());
+  core::XaosEngine engine(&trees->front());
+  ASSERT_TRUE(xml::ParseString(xml, &engine).ok());
+  EXPECT_EQ(engine.result().items.size(), static_cast<size_t>(kDepth - 2));
+  // 3 x-nodes x 120 elements bounds the structures, despite ~depth^3
+  // total matchings.
+  EXPECT_LE(engine.stats().structures_created, 3u * kDepth);
+  core::TupleEnumeration tuples = engine.OutputTuples(1000);
+  EXPECT_FALSE(tuples.tuples.empty());
+}
+
+TEST(EngineStressTest, LongReuseSequence) {
+  auto query = core::Query::Compile(
+      "//item[quantity]/description//listitem | //category/name");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  gen::XMarkOptions options;
+  options.scale = 0.002;
+  size_t total = 0;
+  for (int round = 0; round < 100; ++round) {
+    options.seed = static_cast<uint64_t>(round);
+    std::string doc = gen::GenerateXMark(options);
+    ASSERT_TRUE(xml::ParseString(doc, &evaluator).ok());
+    total += evaluator.Result().items.size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(EngineStressTest, EventThroughputIsLinear) {
+  // Doubling the document roughly doubles processing work: compare
+  // structures created (a deterministic proxy for work) across sizes.
+  auto run = [](size_t n) {
+    gen::RandomDocOptions options;
+    options.target_elements = n;
+    auto workload = gen::GenerateWorkload({}, options, 99);
+    EXPECT_TRUE(workload.ok());
+    auto trees = query::CompileToXTrees(workload->expression);
+    EXPECT_TRUE(trees.ok());
+    core::XaosEngine engine(&trees->front());
+    EXPECT_TRUE(xml::ParseString(workload->document, &engine).ok());
+    return engine.stats().structures_created;
+  };
+  uint64_t small = run(10000);
+  uint64_t large = run(40000);
+  // Linear within a generous factor (same query, same generator mix).
+  EXPECT_LT(large, small * 8);
+  EXPECT_GT(large, small * 2);
+}
+
+TEST(EngineStressTest, AllMatchingElementsDocument) {
+  // Worst case for the filter: every element matches the query labels.
+  std::string xml = "<a>";
+  for (int i = 0; i < 5000; ++i) xml += "<a><a/></a>";
+  xml += "</a>";
+  auto result = core::EvaluateStreaming("//a[a]/a", xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 10000u);
+}
+
+TEST(EngineStressTest, CaptureOnLargeOutput) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; ++i) xml += "<x><y>text</y></x>";
+  xml += "</r>";
+  core::EngineOptions options;
+  options.capture_output_subtrees = true;
+  auto result = core::EvaluateStreaming("//x", xml, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1000u);
+  for (const core::OutputItem& item : result->items) {
+    EXPECT_EQ(item.captured_xml, "<x><y>text</y></x>");
+  }
+}
+
+}  // namespace
+}  // namespace xaos

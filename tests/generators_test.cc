@@ -1,0 +1,174 @@
+// Workload generator tests: determinism, well-formedness, structural
+// properties, scaling.
+
+#include <random>
+#include <set>
+#include <string>
+
+#include "core/multi_engine.h"
+#include "dom/dom_builder.h"
+#include "gen/random_workload.h"
+#include "gen/wordlist.h"
+#include "gen/xmark_generator.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::gen {
+namespace {
+
+// Counts elements by tag.
+class TagCounter : public xml::ContentHandler {
+ public:
+  void StartElement(std::string_view name,
+                    const std::vector<xml::Attribute>&) override {
+    ++counts_[std::string(name)];
+    ++total_;
+  }
+  int count(const std::string& tag) const {
+    auto it = counts_.find(tag);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  int total() const { return total_; }
+
+ private:
+  std::map<std::string, int> counts_;
+  int total_ = 0;
+};
+
+TEST(WordlistTest, Basics) {
+  EXPECT_GT(WordCount(), 50);
+  std::mt19937_64 rng(1);
+  EXPECT_FALSE(RandomSentence(rng, 3).empty());
+  EXPECT_EQ(Word(0), Word(WordCount()));  // wraps
+}
+
+TEST(XMarkGeneratorTest, Deterministic) {
+  XMarkOptions options;
+  options.scale = 0.002;
+  std::string a = GenerateXMark(options);
+  std::string b = GenerateXMark(options);
+  EXPECT_EQ(a, b);
+  options.seed = 43;
+  EXPECT_NE(a, GenerateXMark(options));
+}
+
+TEST(XMarkGeneratorTest, WellFormed) {
+  XMarkOptions options;
+  options.scale = 0.002;
+  std::string doc = GenerateXMark(options);
+  TagCounter counter;
+  Status status = xml::ParseString(doc, &counter);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(counter.count("site"), 1);
+  EXPECT_GT(counter.count("category"), 0);
+  EXPECT_GT(counter.count("listitem"), 0);
+  EXPECT_GT(counter.count("item"), 0);
+  EXPECT_GT(counter.count("person"), 0);
+  EXPECT_GT(counter.count("open_auction"), 0);
+  EXPECT_GT(counter.count("closed_auction"), 0);
+}
+
+TEST(XMarkGeneratorTest, ScalesLinearly) {
+  XMarkOptions small;
+  small.scale = 0.002;
+  XMarkOptions large;
+  large.scale = 0.008;
+  TagCounter small_count, large_count;
+  ASSERT_TRUE(xml::ParseString(GenerateXMark(small), &small_count).ok());
+  ASSERT_TRUE(xml::ParseString(GenerateXMark(large), &large_count).ok());
+  double ratio =
+      static_cast<double>(large_count.total()) / small_count.total();
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(XMarkGeneratorTest, PaperQueryHasMatches) {
+  XMarkOptions options;
+  options.scale = 0.01;
+  std::string doc = GenerateXMark(options);
+  auto result = core::EvaluateStreaming(kXMarkPaperQuery, doc);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->matched);
+  // Every selected node is a name element under a category.
+  EXPECT_FALSE(result->items.empty());
+  for (const core::OutputItem& item : result->items) {
+    EXPECT_EQ(item.info.name, "name");
+  }
+}
+
+TEST(XMarkGeneratorTest, ElementEstimateIsReasonable) {
+  XMarkOptions options;
+  options.scale = 0.01;
+  TagCounter counter;
+  ASSERT_TRUE(xml::ParseString(GenerateXMark(options), &counter).ok());
+  uint64_t estimate = ApproximateXMarkElements(options.scale);
+  EXPECT_GT(counter.total(), estimate / 3);
+  EXPECT_LT(static_cast<uint64_t>(counter.total()), estimate * 3);
+}
+
+TEST(RandomQueryTest, SizeAndShape) {
+  RandomQueryOptions options;
+  options.node_tests = 6;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    xpath::LocationPath path = GenerateRandomPath(options, rng);
+    EXPECT_EQ(xpath::NodeTestCount(path), 6) << xpath::ToString(path);
+    EXPECT_TRUE(path.absolute);
+    EXPECT_EQ(path.steps.front().axis, xpath::Axis::kDescendant);
+    // Every generated path must compile to an x-tree.
+    auto tree = query::BuildXTree(path);
+    EXPECT_TRUE(tree.ok()) << xpath::ToString(path);
+  }
+}
+
+TEST(RandomQueryTest, BackwardAxesAppear) {
+  RandomQueryOptions options;
+  options.node_tests = 6;
+  bool saw_backward = false;
+  for (uint64_t seed = 0; seed < 20 && !saw_backward; ++seed) {
+    std::mt19937_64 rng(seed);
+    xpath::LocationPath path = GenerateRandomPath(options, rng);
+    xpath::Expression e;
+    e.union_branches.push_back(path);
+    saw_backward = xpath::UsesBackwardAxes(e);
+  }
+  EXPECT_TRUE(saw_backward);
+}
+
+TEST(RandomDocTest, WellFormedAndSized) {
+  auto workload = GenerateWorkload({}, {.target_elements = 5000}, 7);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  TagCounter counter;
+  ASSERT_TRUE(xml::ParseString(workload->document, &counter).ok());
+  EXPECT_GE(counter.total(), 5000);
+  EXPECT_LT(counter.total(), 7000);  // fragments overshoot only slightly
+}
+
+TEST(RandomDocTest, QueryHasManyMatches) {
+  // The paper: "for large document sizes, the XPath expression will have
+  // many matches (and near matches)". Expect matches for most seeds.
+  int matched = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto workload = GenerateWorkload({}, {.target_elements = 4000}, seed);
+    ASSERT_TRUE(workload.ok());
+    auto result =
+        core::EvaluateStreaming(workload->expression, workload->document);
+    ASSERT_TRUE(result.ok())
+        << result.status() << " for " << workload->expression;
+    if (result->matched && !result->items.empty()) ++matched;
+  }
+  EXPECT_GE(matched, 7);
+}
+
+TEST(RandomDocTest, Deterministic) {
+  auto a = GenerateWorkload({}, {.target_elements = 1000}, 11);
+  auto b = GenerateWorkload({}, {.target_elements = 1000}, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->expression, b->expression);
+  EXPECT_EQ(a->document, b->document);
+}
+
+}  // namespace
+}  // namespace xaos::gen

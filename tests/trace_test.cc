@@ -1,0 +1,50 @@
+// TraceHandler: the Table-2-style execution trace.
+
+#include <string>
+
+#include "core/trace.h"
+#include "gtest/gtest.h"
+#include "query/xtree_builder.h"
+#include "test_util.h"
+
+namespace xaos::core {
+namespace {
+
+TEST(TraceTest, WalkthroughTraceMirrorsTable2) {
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocument(&engine, test::kFigure2Document);
+
+  // 28 numbered steps (paper Table 2) plus the verdict line.
+  EXPECT_NE(trace.find("1  S: Root"), std::string::npos);
+  EXPECT_NE(trace.find("28  E: Root"), std::string::npos);
+  EXPECT_NE(trace.find("=> matched"), std::string::npos);
+  // Step 3 grows the looking-for set with (U, 3).
+  EXPECT_NE(trace.find("(U, 3)"), std::string::npos);
+  // Step 23's undo (M(Z,11) and the cascade into M(W,12)) is visible.
+  EXPECT_NE(trace.find("23  E: Z                2 undone"),
+            std::string::npos);
+  // Discarded elements are reported (step 2, S:X).
+  EXPECT_NE(trace.find("discarded"), std::string::npos);
+  EXPECT_TRUE(engine.Matched());
+}
+
+TEST(TraceTest, NoMatchVerdict) {
+  auto trees = query::CompileToXTrees("//nope");
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocument(&engine, "<a><b/></a>");
+  EXPECT_NE(trace.find("=> no match"), std::string::npos);
+}
+
+TEST(TraceTest, ParseErrorSurfacesInTrace) {
+  auto trees = query::CompileToXTrees("//a");
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocument(&engine, "<a><b></a>");
+  EXPECT_NE(trace.find("parse error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xaos::core

@@ -1,0 +1,142 @@
+// Tests for reference decoding/escaping (xml/entities) and XmlWriter, plus
+// the util string helpers and Status machinery.
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/string_util.h"
+#include "xml/entities.h"
+#include "xml/xml_writer.h"
+
+namespace xaos {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = ParseError("bad things");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad things");
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+
+  StatusOr<int> e = InvalidArgumentError("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return InvalidArgumentError("inner");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    XAOS_ASSIGN_OR_RETURN(int x, inner(fail));
+    return x + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_FALSE(outer(true).ok());
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_TRUE(IsAllXmlWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllXmlWhitespace(" x "));
+}
+
+TEST(EntitiesTest, DecodePredefined) {
+  auto out = xml::DecodeReferences("&amp;&lt;&gt;&apos;&quot;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "&<>'\"");
+}
+
+TEST(EntitiesTest, DecodeNumeric) {
+  auto out = xml::DecodeReferences("&#65;&#x42;&#x1F600;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "AB\xF0\x9F\x98\x80");
+}
+
+TEST(EntitiesTest, RejectsInvalid) {
+  EXPECT_FALSE(xml::DecodeReferences("&bogus;").ok());
+  EXPECT_FALSE(xml::DecodeReferences("&#;").ok());
+  EXPECT_FALSE(xml::DecodeReferences("&#x;").ok());
+  EXPECT_FALSE(xml::DecodeReferences("&unterminated").ok());
+  // U+0000 and surrogates are not XML characters.
+  EXPECT_FALSE(xml::DecodeReferences("&#0;").ok());
+  EXPECT_FALSE(xml::DecodeReferences("&#xD800;").ok());
+}
+
+TEST(EntitiesTest, Escaping) {
+  EXPECT_EQ(xml::EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(xml::EscapeAttributeValue("a\"b\nc"), "a&quot;b&#10;c");
+}
+
+TEST(XmlWriterTest, SimpleDocument) {
+  std::string out;
+  xml::XmlWriter writer(&out);
+  writer.StartElement("a");
+  writer.WriteAttribute("x", "1");
+  writer.StartElement("b");
+  writer.WriteText("hi & bye");
+  writer.EndElement();
+  writer.StartElement("c");
+  writer.EndElement();
+  writer.EndElement();
+  EXPECT_EQ(out, "<a x=\"1\"><b>hi &amp; bye</b><c/></a>");
+}
+
+TEST(XmlWriterTest, SelfClosingEmptyElements) {
+  std::string out;
+  xml::XmlWriter writer(&out);
+  writer.StartElement("a");
+  writer.EndElement();
+  EXPECT_EQ(out, "<a/>");
+}
+
+TEST(XmlWriterTest, Indentation) {
+  std::string out;
+  xml::XmlWriter writer(&out, 2);
+  writer.StartElement("a");
+  writer.StartElement("b");
+  writer.EndElement();
+  writer.EndElement();
+  EXPECT_EQ(out, "<a>\n  <b/>\n</a>");
+}
+
+TEST(XmlWriterTest, DeclarationFirst) {
+  std::string out;
+  xml::XmlWriter writer(&out);
+  writer.WriteDeclaration();
+  writer.StartElement("a");
+  writer.EndElement();
+  EXPECT_EQ(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(XmlWriterTest, TextElementHelper) {
+  std::string out;
+  xml::XmlWriter writer(&out);
+  writer.StartElement("r");
+  writer.WriteTextElement("name", "v<al>");
+  writer.EndElement();
+  EXPECT_EQ(out, "<r><name>v&lt;al&gt;</name></r>");
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,156 @@
+// XPath lexer and parser tests: the paper's Rxp grammar, abbreviated
+// syntax, extensions, and error reporting.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "xpath/ast.h"
+#include "xpath/lexer.h"
+#include "xpath/parser.h"
+
+namespace xaos::xpath {
+namespace {
+
+// Parses and unparses; the canonical form uses explicit axes.
+std::string RoundTrip(std::string_view expr) {
+  StatusOr<Expression> parsed = ParseExpression(expr);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << " for " << expr;
+  if (!parsed.ok()) return "<error>";
+  return ToString(*parsed);
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("/a//b[@c='x' and d]|*");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kSlash, TokenKind::kName, TokenKind::kDoubleSlash,
+                TokenKind::kName, TokenKind::kLeftBracket, TokenKind::kAt,
+                TokenKind::kName, TokenKind::kEquals, TokenKind::kLiteral,
+                TokenKind::kName, TokenKind::kName, TokenKind::kRightBracket,
+                TokenKind::kPipe, TokenKind::kStar, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, AxisNamesWithHyphens) {
+  auto tokens = Tokenize("descendant-or-self::a");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "descendant-or-self");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleColon);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("a:b").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a % b").ok());
+}
+
+TEST(ParserTest, PaperGrammar) {
+  EXPECT_EQ(RoundTrip("/descendant::Y[child::U]/descendant::W[ancestor::Z/"
+                      "child::V]"),
+            "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]");
+}
+
+TEST(ParserTest, AbbreviatedSyntax) {
+  EXPECT_EQ(RoundTrip("//Y[U]//W"),
+            "/descendant::Y[child::U]/descendant::W");
+  EXPECT_EQ(RoundTrip("/a/b"), "/child::a/child::b");
+  EXPECT_EQ(RoundTrip("a//b"), "child::a/descendant::b");
+  EXPECT_EQ(RoundTrip("//x/.."), "/descendant::x/parent::*");
+  EXPECT_EQ(RoundTrip("//x/."), "/descendant::x/self::*");
+  EXPECT_EQ(RoundTrip("//a/@id"), "/descendant::a/attribute::id");
+  EXPECT_EQ(RoundTrip("//a[@id='x']"),
+            "/descendant::a[attribute::id='x']");
+}
+
+TEST(ParserTest, PredicateCombinators) {
+  EXPECT_EQ(RoundTrip("//a[b and c]"),
+            "/descendant::a[child::b and child::c]");
+  EXPECT_EQ(RoundTrip("//a[b or c]"),
+            "/descendant::a[child::b or child::c]");
+  EXPECT_EQ(RoundTrip("//a[b and (c or d)]"),
+            "/descendant::a[child::b and (child::c or child::d)]");
+  // Multiple bracketed predicates are a conjunction.
+  EXPECT_EQ(RoundTrip("//a[b][c]"), "/descendant::a[child::b][child::c]");
+}
+
+TEST(ParserTest, AbsolutePredicatePath) {
+  EXPECT_EQ(RoundTrip("//a[/b/c]"),
+            "/descendant::a[/child::b/child::c]");
+}
+
+TEST(ParserTest, BackwardAxes) {
+  StatusOr<Expression> parsed = ParseExpression("//a/ancestor::b/parent::c");
+  ASSERT_TRUE(parsed.ok());
+  const LocationPath& path = parsed->union_branches[0];
+  EXPECT_EQ(path.steps[1].axis, Axis::kAncestor);
+  EXPECT_EQ(path.steps[2].axis, Axis::kParent);
+  EXPECT_TRUE(UsesBackwardAxes(*parsed));
+  EXPECT_FALSE(UsesBackwardAxes(*ParseExpression("//a/b")));
+}
+
+TEST(ParserTest, Union) {
+  StatusOr<Expression> parsed = ParseExpression("//a | //b | //c");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->union_branches.size(), 3u);
+}
+
+TEST(ParserTest, OutputMarkers) {
+  StatusOr<Expression> parsed = ParseExpression("//$a/$b");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->union_branches[0].steps[0].output_marked);
+  EXPECT_TRUE(parsed->union_branches[0].steps[1].output_marked);
+  // Marker after an explicit axis.
+  parsed = ParseExpression("/child::$a");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->union_branches[0].steps[0].output_marked);
+}
+
+TEST(ParserTest, TextNodeTest) {
+  EXPECT_EQ(RoundTrip("//a[text()='x']"),
+            "/descendant::a[child::text()='x']");
+  EXPECT_EQ(RoundTrip("//a/text()"), "/descendant::a/child::text()");
+}
+
+TEST(ParserTest, NodeTestCount) {
+  StatusOr<Expression> parsed =
+      ParseExpression("//a[b and c/d]//e[f]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(NodeTestCount(*parsed), 6);
+}
+
+TEST(ParserTest, ElementsNamedLikeOperators) {
+  // `and` and `or` are names in step position.
+  EXPECT_EQ(RoundTrip("/and/or"), "/child::and/child::or");
+  EXPECT_EQ(RoundTrip("//a[and and or]"),
+            "/descendant::a[child::and and child::or]");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("//a[").ok());
+  EXPECT_FALSE(ParseExpression("//a]").ok());
+  EXPECT_FALSE(ParseExpression("//a[]").ok());
+  EXPECT_FALSE(ParseExpression("/a/").ok());
+  EXPECT_FALSE(ParseExpression("//bogus::a").ok());
+  EXPECT_FALSE(ParseExpression("//a=b").ok());
+  EXPECT_FALSE(ParseExpression("//a[b=c]").ok());  // literal required
+  // Value comparison restricted to attribute/text steps.
+  auto unsupported = ParseExpression("//a[b='x']");
+  EXPECT_FALSE(unsupported.ok());
+  EXPECT_EQ(unsupported.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  Status s = ParseExpression("//a[b").status();
+  EXPECT_NE(s.message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, SinglePathHelper) {
+  EXPECT_TRUE(ParseSinglePath("//a/b").ok());
+  EXPECT_FALSE(ParseSinglePath("//a | //b").ok());
+}
+
+}  // namespace
+}  // namespace xaos::xpath

@@ -1,0 +1,191 @@
+// xaos_grep — command-line streaming XPath over XML files.
+//
+//   xaos_grep [options] '<xpath>' [file.xml ...]
+//
+// Evaluates the expression over each file (or standard input) in a single
+// streaming pass with constant memory, and prints the selected nodes.
+// Backward axes (parent/ancestor) work, unlike in forward-only streaming
+// tools.
+//
+// Options:
+//   --count        print only the number of selected nodes per file
+//   --match        print only whether each file matches (exit code 1 if
+//                  nothing matched anywhere); stops reading each file as
+//                  soon as a match is guaranteed
+//   --xml          print each selected element's subtree as XML
+//   --tuples       print output tuples (for $-marked multi-output queries)
+//   --stats        print engine statistics per file
+//   --explain      print the compiled x-tree/x-dag and exit
+//   --trace        print a Table-2-style event trace while evaluating
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "xaos.h"
+#include "xml/file_source.h"
+
+namespace {
+
+struct Options {
+  bool count = false;
+  bool match_only = false;
+  bool capture = false;
+  bool tuples = false;
+  bool stats = false;
+  bool explain = false;
+  bool trace = false;
+  std::string expression;
+  std::vector<std::string> files;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xaos_grep [--count|--match|--xml|--tuples|--stats|--explain|"
+      "--trace] '<xpath>' [file.xml ...]\n"
+      "reads standard input when no file is given (or for '-')\n");
+  return 2;
+}
+
+void PrintItem(const xaos::core::OutputItem& item, const Options& options) {
+  if (options.capture && !item.captured_xml.empty()) {
+    std::printf("%s\n", item.captured_xml.c_str());
+    return;
+  }
+  std::printf("%s\n", item.info.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--count") {
+      options.count = true;
+    } else if (arg == "--match") {
+      options.match_only = true;
+    } else if (arg == "--xml") {
+      options.capture = true;
+    } else if (arg == "--tuples") {
+      options.tuples = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage();
+    } else if (options.expression.empty()) {
+      options.expression = arg;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.expression.empty()) return Usage();
+  if (options.files.empty()) options.files.push_back("-");
+
+  xaos::StatusOr<xaos::core::Query> query =
+      xaos::core::Query::Compile(options.expression);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 2;
+  }
+
+  if (options.explain) {
+    for (const xaos::query::XTree& tree : query->trees()) {
+      std::printf("x-tree: %s\n", tree.ToString().c_str());
+      std::printf("x-dag:  %s\n", xaos::query::XDag(tree).ToString().c_str());
+    }
+    return 0;
+  }
+
+  if (options.trace) {
+    if (query->trees().size() != 1) {
+      std::fprintf(stderr, "--trace requires a single-disjunct query\n");
+      return 2;
+    }
+    xaos::core::XaosEngine engine(&query->trees().front());
+    xaos::core::TraceHandler tracer(
+        &engine, [](std::string_view line) {
+          std::fwrite(line.data(), 1, line.size(), stdout);
+        });
+    for (const std::string& path : options.files) {
+      xaos::Status status = xaos::xml::ParseFile(path, &tracer);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     status.ToString().c_str());
+        return 2;
+      }
+    }
+    return 0;
+  }
+
+  xaos::core::EngineOptions engine_options;
+  engine_options.capture_output_subtrees = options.capture;
+  engine_options.stop_after_confirmed_match = options.match_only;
+  xaos::core::StreamingEvaluator evaluator(*query, engine_options);
+
+  bool multiple_files = options.files.size() > 1;
+  bool any_match = false;
+  for (const std::string& path : options.files) {
+    xaos::Status status = xaos::xml::ParseFile(path, &evaluator);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 2;
+    }
+    if (!evaluator.status().ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   evaluator.status().ToString().c_str());
+      return 2;
+    }
+
+    xaos::core::QueryResult result = evaluator.Result();
+    any_match = any_match || result.matched;
+    const char* prefix = multiple_files ? path.c_str() : "";
+    const char* sep = multiple_files ? ": " : "";
+
+    if (options.match_only) {
+      std::printf("%s%s%s\n", prefix, sep,
+                  result.matched ? "match" : "no match");
+    } else if (options.count) {
+      std::printf("%s%s%zu\n", prefix, sep, result.items.size());
+    } else if (options.tuples) {
+      for (const auto& engine : evaluator.engines()) {
+        for (const xaos::core::OutputTuple& tuple :
+             engine->OutputTuples().tuples) {
+          std::string line;
+          for (size_t i = 0; i < tuple.size(); ++i) {
+            if (i > 0) line += "\t";
+            line += tuple[i].ToString();
+          }
+          std::printf("%s%s%s\n", prefix, sep, line.c_str());
+        }
+      }
+    } else {
+      for (const xaos::core::OutputItem& item : result.items) {
+        if (multiple_files) std::printf("%s: ", path.c_str());
+        PrintItem(item, options);
+      }
+    }
+
+    if (options.stats) {
+      xaos::core::EngineStats stats = evaluator.AggregateStats();
+      std::fprintf(stderr,
+                   "%s%s%llu elements, %.2f%% discarded, %llu structures, "
+                   "peak %llu\n",
+                   prefix, sep,
+                   static_cast<unsigned long long>(stats.elements_total),
+                   100.0 * stats.DiscardedFraction(),
+                   static_cast<unsigned long long>(stats.structures_created),
+                   static_cast<unsigned long long>(stats.structures_live_peak));
+    }
+  }
+  return any_match ? 0 : 1;
+}
