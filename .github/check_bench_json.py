@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files against the BenchReporter schema (v1).
+
+Usage: check_bench_json.py FILE [FILE ...]
+
+Checks that each file is valid JSON with the expected top-level shape:
+benchmark name, schema_version 1, a params object, and a non-empty
+results array whose entries carry the timing series fields and a metrics
+object of numbers. Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_RESULT_FIELDS = ("label", "mean_s", "stddev_s", "min_s", "max_s",
+                          "metrics")
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(path, f"invalid JSON: {error}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if not isinstance(doc.get("benchmark"), str) or not doc["benchmark"]:
+        fail(path, "missing or empty 'benchmark'")
+    if doc.get("schema_version") != 1:
+        fail(path, f"unexpected schema_version {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("params"), dict):
+        fail(path, "'params' is not an object")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(path, "'results' is not a non-empty array")
+
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(result, dict):
+            fail(path, f"{where} is not an object")
+        for field in REQUIRED_RESULT_FIELDS:
+            if field not in result:
+                fail(path, f"{where} is missing '{field}'")
+        if not isinstance(result["label"], str) or not result["label"]:
+            fail(path, f"{where}.label is not a non-empty string")
+        for field in ("mean_s", "stddev_s", "min_s", "max_s"):
+            if not isinstance(result[field], (int, float)):
+                fail(path, f"{where}.{field} is not a number")
+        if not isinstance(result["metrics"], dict):
+            fail(path, f"{where}.metrics is not an object")
+        for key, value in result["metrics"].items():
+            if not isinstance(value, (int, float)):
+                fail(path, f"{where}.metrics[{key!r}] is not a number")
+
+    print(f"{path}: ok ({doc['benchmark']}, {len(results)} results)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,11 @@ int main(int argc, char** argv) {
   using namespace xaos;
   bench::Flags flags(argc, argv);
   int total_elements = flags.GetInt("elements", 120000);
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("ablation_axes");
+  reporter.SetParam("elements", total_elements);
 
   const char* kForward = "//sec[meta][descendant::p]";
   const char* kBackward = "//p/ancestor::sec[meta]";
@@ -115,7 +120,19 @@ int main(int argc, char** argv) {
                 "%-12llu\n",
                 depth, xf, xb, xb / xf, bf, bb, bf / bb,
                 static_cast<unsigned long long>(visits));
+
+    reporter.AddResult("xaos_forward/depth=" + std::to_string(depth),
+                       bench::Summarize({xf}));
+    reporter.AddResult("xaos_backward/depth=" + std::to_string(depth),
+                       bench::Summarize({xb}));
+    reporter.AddResult("baseline_forward/depth=" + std::to_string(depth),
+                       bench::Summarize({bf}));
+    reporter.AddResult("baseline_backward/depth=" + std::to_string(depth),
+                       bench::Summarize({bb}));
+    reporter.AddResultMetric("node_visits", static_cast<double>(visits));
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check: xaos ratios stay near 1 and its time is flat "
               "in depth (each event processed once, Section 6); the\n"

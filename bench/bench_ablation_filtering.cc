@@ -16,6 +16,11 @@ int main(int argc, char** argv) {
   using namespace xaos;
   bench::Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 0.05);
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("ablation_filtering");
+  reporter.SetParam("scale", scale);
 
   gen::XMarkOptions options;
   options.scale = scale;
@@ -74,7 +79,17 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(off_stats.structures_created) /
                           static_cast<double>(on_stats.structures_created)
                     : 0.0);
+
+    double size_mb = static_cast<double>(document.size()) / (1 << 20);
+    reporter.AddResult(std::string("filter_on/") + expression,
+                       bench::Summarize({on_s}), size_mb);
+    bench::AddEngineStats(&reporter, on_stats);
+    reporter.AddResult(std::string("filter_off/") + expression,
+                       bench::Summarize({off_s}), size_mb);
+    bench::AddEngineStats(&reporter, off_stats);
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check: identical results; with the filter off, the "
               "engine allocates a structure for every label-matching\n"

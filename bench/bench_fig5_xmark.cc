@@ -26,6 +26,13 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   double max_scale = flags.GetDouble("max-scale", 0.32);
   double mem_cap_mb = flags.GetDouble("mem-cap-mb", 256);
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("fig5_xmark");
+  reporter.SetParam("max-scale", max_scale);
+  reporter.SetParam("mem-cap-mb", mem_cap_mb);
+  reporter.SetParam("query", gen::kXMarkPaperQuery);
 
   std::vector<double> scales;
   for (double s = 0.01; s <= max_scale * 1.0001; s *= 2) scales.push_back(s);
@@ -95,7 +102,18 @@ int main(int argc, char** argv) {
                 xaos_seconds,
                 baseline_state == "ok" ? baseline_seconds : 0.0, dom_mb,
                 xaos_results, baseline_state.c_str());
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "scale=%.3f", scale);
+    reporter.AddResult(label, bench::Summarize({xaos_seconds}), size_mb);
+    bench::AddEngineStats(&reporter, evaluator.AggregateStats());
+    reporter.AddResultMetric("results", static_cast<double>(xaos_results));
+    reporter.AddResultMetric("baseline_s", baseline_seconds);
+    reporter.AddResultMetric("dom_mb", dom_mb);
+    reporter.AddResultMetric("baseline_ok", baseline_state == "ok" ? 1 : 0);
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check (paper): xaos grows linearly with document "
               "size; the baseline pays DOM construction plus repeated\n"

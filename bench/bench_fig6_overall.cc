@@ -23,6 +23,12 @@ int main(int argc, char** argv) {
   int runs = flags.GetInt("runs", 10);
   uint64_t visit_budget =
       static_cast<uint64_t>(flags.GetDouble("visit-budget", 2e9));
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("fig6_overall");
+  reporter.SetParam("max-elements", static_cast<double>(max_elements));
+  reporter.SetParam("runs", runs);
 
   std::printf("Figure 6: overall time (s, incl. parsing) vs #elements — "
               "%d random 6-node-test queries per size\n\n", runs);
@@ -53,7 +59,16 @@ int main(int argc, char** argv) {
                 s_dom.mean, s_dom.stddev,
                 nav.size() < static_cast<size_t>(runs) ? "  (baseline censored)"
                                                        : "");
+
+    reporter.AddResult("xaos_sax/elements=" + std::to_string(n), s_sax);
+    reporter.AddResult("baseline/elements=" + std::to_string(n), s_nav);
+    reporter.AddResultMetric(
+        "censored_runs",
+        static_cast<double>(runs) - static_cast<double>(nav.size()));
+    reporter.AddResult("xaos_dom/elements=" + std::to_string(n), s_dom);
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check (paper): xaos(SAX) beats the baseline overall "
               "(~25%% in the paper); baseline stddev is much larger than\n"

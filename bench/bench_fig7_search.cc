@@ -22,6 +22,12 @@ int main(int argc, char** argv) {
   int runs = flags.GetInt("runs", 10);
   uint64_t visit_budget =
       static_cast<uint64_t>(flags.GetDouble("visit-budget", 2e9));
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("fig7_search");
+  reporter.SetParam("max-elements", static_cast<double>(max_elements));
+  reporter.SetParam("runs", runs);
 
   std::printf("Figure 7: searching time (s, parse excluded) vs #elements — "
               "%d random queries per size\n\n", runs);
@@ -51,7 +57,15 @@ int main(int argc, char** argv) {
                 nav_search.size() < static_cast<size_t>(runs)
                     ? "  (baseline censored)"
                     : "");
+
+    reporter.AddResult("xaos_dom/elements=" + std::to_string(n), sx);
+    reporter.AddResult("baseline/elements=" + std::to_string(n), sn);
+    reporter.AddResultMetric(
+        "censored_runs",
+        static_cast<double>(runs) - static_cast<double>(nav_search.size()));
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check (paper): excluding parsing, xaos is >2x faster "
               "on average; the baseline's min is near xaos (good\n"

@@ -25,6 +25,13 @@ int main(int argc, char** argv) {
   int num_documents = flags.GetInt("documents", 40);
   int doc_elements = flags.GetInt("doc-elements", 4000);
   bool include_baseline = flags.GetBool("baseline", true);
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("pubsub_filter");
+  reporter.SetParam("subscriptions", num_subscriptions);
+  reporter.SetParam("documents", num_documents);
+  reporter.SetParam("doc-elements", doc_elements);
 
   // Subscriptions: random 4-test expressions over the shared alphabet.
   std::mt19937_64 rng(7);
@@ -121,6 +128,10 @@ int main(int argc, char** argv) {
                 num_documents / seconds,
                 static_cast<double>(total_bytes) / (1 << 20) / seconds,
                 static_cast<unsigned long long>(deliveries));
+    reporter.AddResult(label, bench::Summarize({seconds}),
+                       static_cast<double>(total_bytes) / (1 << 20));
+    reporter.AddResultMetric("docs_per_s", num_documents / seconds);
+    reporter.AddResultMetric("deliveries", static_cast<double>(deliveries));
   };
   row("xaos", full, matches_full);
   row("xaos + early termination", early, matches_early);
@@ -147,6 +158,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check: identical deliveries across all "
               "configurations; early match termination (Section 5.1)\n"

@@ -15,6 +15,12 @@ int main(int argc, char** argv) {
   using namespace xaos;
   bench::Flags flags(argc, argv);
   double max_scale = flags.GetDouble("max-scale", 0.32);
+  std::string json_out = flags.GetString("json-out", "");
+  flags.FailOnUnknown();
+
+  bench::BenchReporter reporter("table3_discarded");
+  reporter.SetParam("max-scale", max_scale);
+  reporter.SetParam("query", gen::kXMarkPaperQuery);
 
   std::vector<double> scales;
   for (double s = 0.01; s <= max_scale * 1.0001; s *= 2) scales.push_back(s);
@@ -43,7 +49,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.elements_total -
                                                 stats.elements_discarded),
                 100.0 * stats.DiscardedFraction());
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "scale=%.3f", scale);
+    reporter.AddResult(label, bench::Series{},
+                       static_cast<double>(document.size()) / (1 << 20));
+    bench::AddEngineStats(&reporter, stats);
+    reporter.AddResultMetric("discarded_fraction", stats.DiscardedFraction());
   }
+
+  if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;
 
   std::printf("\nShape check (paper): >= 99.8%% of elements discarded at "
               "every scale; storage is proportional to the relevant\n"

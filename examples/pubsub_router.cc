@@ -5,6 +5,13 @@
 // A set of subscriptions is compiled once; each incoming document is
 // streamed through all subscription evaluators in a single parse, and the
 // router reports which subscribers the document should be delivered to.
+//
+// The router is also instrumented the way a production filter would be:
+// each subscription gets a labelled delivery counter
+// (`router_deliveries_total{subscription="alice"}`), per-document
+// evaluation time is accumulated per subscription and queries exceeding a
+// slow threshold are logged to stderr, and the metrics registry is dumped
+// in Prometheus exposition format at the end of the run.
 
 #include <iostream>
 #include <memory>
@@ -20,30 +27,42 @@ struct Subscription {
   std::string expression;
   std::unique_ptr<xaos::core::Query> query;
   std::unique_ptr<xaos::core::StreamingEvaluator> evaluator;
+  xaos::obs::Counter* deliveries = nullptr;
+  uint64_t document_ns = 0;  // evaluation time in the current document
 };
 
-// Fans one event stream out to every subscription evaluator.
+// Fans one event stream out to every subscription evaluator, accumulating
+// per-subscription evaluation time.
 class Fanout : public xaos::xml::ContentHandler {
  public:
   explicit Fanout(std::vector<Subscription>* subs) : subs_(subs) {}
   void StartDocument() override {
-    for (auto& s : *subs_) s.evaluator->StartDocument();
+    Each([](Subscription& s) { s.evaluator->StartDocument(); });
   }
   void EndDocument() override {
-    for (auto& s : *subs_) s.evaluator->EndDocument();
+    Each([](Subscription& s) { s.evaluator->EndDocument(); });
   }
   void StartElement(std::string_view name,
                     const std::vector<xaos::xml::Attribute>& attrs) override {
-    for (auto& s : *subs_) s.evaluator->StartElement(name, attrs);
+    Each([&](Subscription& s) { s.evaluator->StartElement(name, attrs); });
   }
   void EndElement(std::string_view name) override {
-    for (auto& s : *subs_) s.evaluator->EndElement(name);
+    Each([&](Subscription& s) { s.evaluator->EndElement(name); });
   }
   void Characters(std::string_view text) override {
-    for (auto& s : *subs_) s.evaluator->Characters(text);
+    Each([&](Subscription& s) { s.evaluator->Characters(text); });
   }
 
  private:
+  template <typename Fn>
+  void Each(Fn&& fn) {
+    for (Subscription& s : *subs_) {
+      uint64_t start = xaos::obs::NowNs();
+      fn(s);
+      s.document_ns += xaos::obs::NowNs() - start;
+    }
+  }
+
   std::vector<Subscription>* subs_;
 };
 
@@ -56,6 +75,15 @@ int main() {
       {"carol", "//order[@priority='high'] | //cancellation"},
       {"dave", "//customer[name/text()='Dave']/ancestor::order"},
   };
+  // Documents taking longer than this per subscription are logged; tiny so
+  // the demo actually produces a slow-query line or two.
+  constexpr uint64_t kSlowQueryNs = 50 * 1000;
+
+  xaos::obs::MetricsRegistry registry;
+  xaos::obs::Counter* documents_total =
+      registry.GetCounter("router_documents_total");
+  xaos::obs::Histogram* document_ns =
+      registry.GetHistogram("router_subscription_document_ns");
 
   std::vector<Subscription> subscriptions;
   for (const auto& [name, expression] : rules) {
@@ -70,6 +98,8 @@ int main() {
     sub.query = std::make_unique<xaos::core::Query>(std::move(*query));
     sub.evaluator =
         std::make_unique<xaos::core::StreamingEvaluator>(*sub.query);
+    sub.deliveries = registry.GetCounter("router_deliveries_total{subscription=\"" +
+                                         name + "\"}");
     subscriptions.push_back(std::move(sub));
   }
 
@@ -84,15 +114,24 @@ int main() {
 
   Fanout fanout(&subscriptions);
   for (size_t i = 0; i < documents.size(); ++i) {
+    for (Subscription& sub : subscriptions) sub.document_ns = 0;
     xaos::Status status = xaos::xml::ParseString(documents[i], &fanout);
     if (!status.ok()) {
       std::cerr << "document " << i << ": " << status << "\n";
       return 1;
     }
+    documents_total->Increment();
     std::cout << "document " << i + 1 << " -> ";
     bool any = false;
-    for (const Subscription& sub : subscriptions) {
+    for (Subscription& sub : subscriptions) {
+      document_ns->Record(sub.document_ns);
+      if (sub.document_ns > kSlowQueryNs) {
+        std::cerr << "slow query: subscription " << sub.name << " took "
+                  << sub.document_ns << " ns on document " << i + 1 << " ("
+                  << sub.expression << ")\n";
+      }
       if (sub.evaluator->Result().matched) {
+        sub.deliveries->Increment();
         std::cout << (any ? ", " : "") << sub.name;
         any = true;
       }
@@ -104,5 +143,8 @@ int main() {
   for (const Subscription& sub : subscriptions) {
     std::cout << "  " << sub.name << ": " << sub.expression << "\n";
   }
+
+  std::cout << "\nmetrics:\n"
+            << xaos::obs::ToPrometheusText(registry);
   return 0;
 }

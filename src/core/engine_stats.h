@@ -1,11 +1,17 @@
 // Counters the engine maintains while processing a document. These back the
 // paper's storage claims (Table 3: fraction of elements discarded as not
-// relevant) and the ablation benchmarks.
+// relevant) and the ablation benchmarks, and fold into an
+// obs::MetricsRegistry (ToMetrics) so the benchmark reporter, xaos_grep
+// --metrics-json and the exporters all read one source of truth.
 
 #ifndef XAOS_CORE_ENGINE_STATS_H_
 #define XAOS_CORE_ENGINE_STATS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "obs/memory.h"
+#include "obs/metrics.h"
 
 namespace xaos::core {
 
@@ -21,9 +27,15 @@ struct EngineStats {
   uint64_t structures_created = 0;
   // Structures retracted by the undo mechanism (Section 4.3).
   uint64_t structures_undone = 0;
-  // Currently allocated structures (maintained via destructor hooks).
+  // Currently allocated structures (maintained via the
+  // OnStructureCreated/OnStructureDestroyed hooks that MatchingStructure
+  // invokes from its constructor and destructor).
   uint64_t structures_live = 0;
   uint64_t structures_live_peak = 0;
+  // Approximate live/peak bytes of those structures (struct footprint,
+  // slot headers and retained name/value text) — the paper's "storage
+  // proportional to the relevant document" measured in bytes, not counts.
+  obs::MemoryAccountant structure_memory;
 
   // Slot insertions, split into normal propagation (forward axes) and
   // optimistic propagation (backward axes).
@@ -36,6 +48,30 @@ struct EngineStats {
                : static_cast<double>(elements_discarded) /
                      static_cast<double>(elements_total);
   }
+
+  // Creation/destruction hooks. Routing every MatchingStructure through
+  // these (rather than ad-hoc updates at allocation sites) guarantees the
+  // live count, byte accounting and both peaks stay consistent on every
+  // creation path.
+  void OnStructureCreated(uint64_t bytes) {
+    ++structures_created;
+    ++structures_live;
+    if (structures_live > structures_live_peak) {
+      structures_live_peak = structures_live;
+    }
+    structure_memory.Add(bytes);
+  }
+  void OnStructureDestroyed(uint64_t bytes) {
+    --structures_live;
+    structure_memory.Remove(bytes);
+  }
+
+  // Folds the stats into `registry` under `prefix`: monotone event counts
+  // become counters (accumulating across documents on a long-lived
+  // registry), point-in-time values become gauges. Call once per processed
+  // document.
+  void ToMetrics(obs::MetricsRegistry* registry,
+                 const std::string& prefix = "xaos_engine_") const;
 };
 
 }  // namespace xaos::core

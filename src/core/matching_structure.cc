@@ -24,17 +24,27 @@ std::string ElementInfo::ToString() const {
 }
 
 MatchingStructure::MatchingStructure(query::XNodeId xnode, ElementInfo element,
-                                     int slot_count, uint64_t* live_counter)
+                                     int slot_count, EngineStats* stats)
     : xnode_(xnode),
       element_(std::move(element)),
       slots_(static_cast<size_t>(slot_count)),
       confirmed_counts_(static_cast<size_t>(slot_count), 0),
-      live_counter_(live_counter) {
-  if (live_counter_ != nullptr) ++*live_counter_;
+      stats_(stats) {
+  if (stats_ != nullptr) {
+    // Engines allocate via make_shared, which co-locates a control block of
+    // roughly two pointers plus the reference counts with the object.
+    constexpr uint64_t kControlBlockBytes = 32;
+    accounted_bytes_ =
+        sizeof(MatchingStructure) + kControlBlockBytes +
+        slots_.capacity() * sizeof(slots_[0]) +
+        confirmed_counts_.capacity() * sizeof(confirmed_counts_[0]) +
+        element_.name.capacity() + element_.value.capacity();
+    stats_->OnStructureCreated(accounted_bytes_);
+  }
 }
 
 MatchingStructure::~MatchingStructure() {
-  if (live_counter_ != nullptr) --*live_counter_;
+  if (stats_ != nullptr) stats_->OnStructureDestroyed(accounted_bytes_);
 }
 
 bool MatchingStructure::AllSlotsNonEmpty() const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/element_info.h"
+#include "core/engine_stats.h"
 #include "query/xtree.h"
 
 namespace xaos::core {
@@ -26,11 +27,21 @@ using MatchingPtr = std::shared_ptr<MatchingStructure>;
 
 class MatchingStructure {
  public:
-  // `live_counter`, if non-null, is incremented now and decremented on
-  // destruction (for the engine's live-structure statistics).
+  // `stats`, if non-null, receives OnStructureCreated now (with this
+  // structure's approximate byte footprint) and OnStructureDestroyed on
+  // destruction, so live/peak counts and bytes are maintained on every
+  // creation path by construction.
   MatchingStructure(query::XNodeId xnode, ElementInfo element, int slot_count,
-                    uint64_t* live_counter);
+                    EngineStats* stats);
   ~MatchingStructure();
+
+  // Approximate heap footprint accounted for this structure: the object
+  // itself, its shared_ptr control block, the slot/count headers and the
+  // retained element name/value text. Slot *entries* are shared pointers to
+  // structures accounted on their own, so they are charged per-header only
+  // at creation (slot growth is not re-accounted — an undercount bounded by
+  // the propagation counters).
+  uint64_t AccountedBytes() const { return accounted_bytes_; }
 
   MatchingStructure(const MatchingStructure&) = delete;
   MatchingStructure& operator=(const MatchingStructure&) = delete;
@@ -109,7 +120,8 @@ class MatchingStructure {
   bool dead_ = false;
   bool confirmed_ = false;
   bool propagated_ = false;
-  uint64_t* live_counter_;
+  EngineStats* stats_;
+  uint64_t accounted_bytes_ = 0;
 };
 
 }  // namespace xaos::core

@@ -36,6 +36,11 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
   for (const query::XTree& tree : *trees_) {
     engines_.push_back(std::make_unique<XaosEngine>(&tree, options));
   }
+  if (obs::Enabled()) {
+    sampler_ = obs::EventCostSampler(
+        obs::MetricsRegistry::Default().GetHistogram("xaos_engine_event_ns"));
+    sample_events_ = true;
+  }
 }
 
 void StreamingEvaluator::StartDocument() {
@@ -48,10 +53,22 @@ void StreamingEvaluator::EndDocument() {
 
 void StreamingEvaluator::StartElement(
     std::string_view name, const std::vector<xml::Attribute>& attributes) {
+  if (sample_events_ && sampler_.ShouldSample()) {
+    uint64_t start = obs::NowNs();
+    for (auto& engine : engines_) engine->StartElement(name, attributes);
+    sampler_.RecordNs(obs::NowNs() - start);
+    return;
+  }
   for (auto& engine : engines_) engine->StartElement(name, attributes);
 }
 
 void StreamingEvaluator::EndElement(std::string_view name) {
+  if (sample_events_ && sampler_.ShouldSample()) {
+    uint64_t start = obs::NowNs();
+    for (auto& engine : engines_) engine->EndElement(name);
+    sampler_.RecordNs(obs::NowNs() - start);
+    return;
+  }
   for (auto& engine : engines_) engine->EndElement(name);
 }
 
@@ -109,10 +126,16 @@ EngineStats StreamingEvaluator::AggregateStats() const {
     total.structures_undone += s.structures_undone;
     total.structures_live += s.structures_live;
     total.structures_live_peak += s.structures_live_peak;
+    total.structure_memory.live_bytes += s.structure_memory.live_bytes;
+    total.structure_memory.peak_bytes += s.structure_memory.peak_bytes;
     total.propagations += s.propagations;
     total.optimistic_propagations += s.optimistic_propagations;
   }
   return total;
+}
+
+void StreamingEvaluator::ExportMetrics(obs::MetricsRegistry* registry) const {
+  AggregateStats().ToMetrics(registry);
 }
 
 StatusOr<QueryResult> EvaluateStreaming(std::string_view xpath,

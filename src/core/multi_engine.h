@@ -13,6 +13,7 @@
 #include "core/result.h"
 #include "core/xaos_engine.h"
 #include "dom/document.h"
+#include "obs/timer.h"
 #include "query/xtree.h"
 #include "util/statusor.h"
 #include "xml/sax_event.h"
@@ -69,6 +70,8 @@ class StreamingEvaluator : public xml::ContentHandler {
   QueryResult Result() const;
   // Sum of the per-engine statistics.
   EngineStats AggregateStats() const;
+  // Folds AggregateStats() into `registry` (see EngineStats::ToMetrics).
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
   const std::vector<std::unique_ptr<XaosEngine>>& engines() const {
     return engines_;
@@ -77,6 +80,11 @@ class StreamingEvaluator : public xml::ContentHandler {
  private:
   std::shared_ptr<const std::vector<query::XTree>> trees_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
+  // Per-event cost sampling into the default registry's
+  // `xaos_engine_event_ns` histogram; armed at construction when obs is
+  // enabled, otherwise a single dead branch per event.
+  bool sample_events_ = false;
+  obs::EventCostSampler sampler_{nullptr};
 };
 
 // One-shot convenience: parse `xml_text` and evaluate `xpath` over it in a

@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "obs/json.h"
 #include "xml/sax_parser.h"
 
 namespace xaos::core {
 
-TraceHandler::TraceHandler(XaosEngine* engine, TraceSink sink)
-    : engine_(engine), sink_(std::move(sink)) {}
+TraceHandler::TraceHandler(XaosEngine* engine, TraceSink sink,
+                           TraceFormat format)
+    : engine_(engine), sink_(std::move(sink)), format_(format) {}
 
 std::string TraceHandler::LookingForString() const {
   std::string out = "{";
@@ -24,9 +26,35 @@ std::string TraceHandler::LookingForString() const {
   return out + "}";
 }
 
-void TraceHandler::Emit(const std::string& event) {
+std::string TraceHandler::LookingForJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const LookingForEntry& entry : engine_->DebugLookingForSet()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"label\":\"" + obs::JsonEscape(entry.label) + "\",\"level\":";
+    // -1 encodes the paper's "∞" (the entry matches at any level).
+    out += entry.level == LookingForEntry::kAnyLevel
+               ? "-1"
+               : std::to_string(entry.level);
+    out += "}";
+  }
+  return out + "]";
+}
+
+void TraceHandler::Emit(char kind, std::string_view node) {
+  if (format_ == TraceFormat::kJsonLines) {
+    EmitJson(kind, node);
+  } else {
+    EmitTable2(kind, node);
+  }
+  before_ = engine_->stats();
+}
+
+void TraceHandler::EmitTable2(char kind, std::string_view node) {
   const EngineStats& now = engine_->stats();
-  std::string line = std::to_string(++step_) + "  " + event;
+  std::string line = std::to_string(++step_) + "  " + kind + ": ";
+  line.append(node);
   line.append(line.size() < 24 ? 24 - line.size() : 1, ' ');
 
   std::string actions;
@@ -46,48 +74,98 @@ void TraceHandler::Emit(const std::string& event) {
   actions.append(actions.size() < 44 ? 44 - actions.size() : 1, ' ');
 
   line += actions + "L = " + LookingForString() + "\n";
-  before_ = now;
   sink_(line);
+}
+
+void TraceHandler::EmitJson(char kind, std::string_view node) {
+  const EngineStats& now = engine_->stats();
+  auto delta = [](uint64_t now_v, uint64_t before_v) {
+    return std::to_string(now_v - before_v);
+  };
+  std::string line = "{\"step\":" + std::to_string(++step_);
+  line += ",\"event\":\"";
+  line += kind == 'S' ? "start" : "end";
+  line += "\",\"node\":\"" + obs::JsonEscape(node) + "\"";
+  line +=
+      ",\"created\":" + delta(now.structures_created,
+                              before_.structures_created);
+  line += ",\"propagated\":" + delta(now.propagations, before_.propagations);
+  line += ",\"optimistic\":" + delta(now.optimistic_propagations,
+                                     before_.optimistic_propagations);
+  line += ",\"undone\":" + delta(now.structures_undone,
+                                 before_.structures_undone);
+  line += ",\"discarded\":" + delta(now.elements_discarded,
+                                    before_.elements_discarded);
+  line += ",\"looking_for\":" + LookingForJson() + "}\n";
+  sink_(line);
+}
+
+void TraceHandler::EmitVerdict() {
+  if (format_ == TraceFormat::kJsonLines) {
+    sink_(engine_->Matched() ? "{\"event\":\"verdict\",\"matched\":true}\n"
+                             : "{\"event\":\"verdict\",\"matched\":false}\n");
+  } else {
+    sink_(engine_->Matched() ? "=> matched\n" : "=> no match\n");
+  }
 }
 
 void TraceHandler::StartDocument() {
   step_ = 0;
   engine_->StartDocument();
   before_ = engine_->stats();
-  Emit("S: Root");
+  Emit('S', "Root");
 }
 
 void TraceHandler::EndDocument() {
   engine_->EndDocument();
-  Emit("E: Root");
-  sink_(engine_->Matched() ? "=> matched\n" : "=> no match\n");
+  Emit('E', "Root");
+  EmitVerdict();
 }
 
 void TraceHandler::StartElement(std::string_view name,
                                 const std::vector<xml::Attribute>& attrs) {
   engine_->StartElement(name, attrs);
-  Emit("S: " + std::string(name));
+  Emit('S', name);
 }
 
 void TraceHandler::EndElement(std::string_view name) {
   engine_->EndElement(name);
-  Emit("E: " + std::string(name));
+  Emit('E', name);
 }
 
 void TraceHandler::Characters(std::string_view text) {
   engine_->Characters(text);
 }
 
-std::string TraceDocument(XaosEngine* engine, std::string_view xml_text) {
+namespace {
+
+std::string TraceWithFormat(XaosEngine* engine, std::string_view xml_text,
+                            TraceFormat format) {
   std::string trace;
-  TraceHandler handler(engine, [&trace](std::string_view line) {
-    trace.append(line.data(), line.size());
-  });
+  TraceHandler handler(
+      engine,
+      [&trace](std::string_view line) { trace.append(line.data(), line.size()); },
+      format);
   Status status = xml::ParseString(xml_text, &handler);
   if (!status.ok()) {
-    trace += "parse error: " + status.ToString() + "\n";
+    if (format == TraceFormat::kJsonLines) {
+      trace += "{\"event\":\"error\",\"message\":\"" +
+               obs::JsonEscape(status.ToString()) + "\"}\n";
+    } else {
+      trace += "parse error: " + status.ToString() + "\n";
+    }
   }
   return trace;
+}
+
+}  // namespace
+
+std::string TraceDocument(XaosEngine* engine, std::string_view xml_text) {
+  return TraceWithFormat(engine, xml_text, TraceFormat::kTable2);
+}
+
+std::string TraceDocumentJson(XaosEngine* engine, std::string_view xml_text) {
+  return TraceWithFormat(engine, xml_text, TraceFormat::kJsonLines);
 }
 
 }  // namespace xaos::core

@@ -6,6 +6,17 @@
 // set. Useful for debugging queries and for teaching the algorithm — the
 // output of the paper's walkthrough query over its Figure 2 document
 // reproduces Table 2's columns.
+//
+// Two output formats are supported:
+//  - kTable2: the human-readable aligned text described above.
+//  - kJsonLines: one JSON object per event (machine-readable; each line is
+//    a self-contained record suitable for `jq` or log ingestion). Element
+//    events look like
+//      {"step":3,"event":"start","node":"b","created":1,"propagated":0,
+//       "optimistic":0,"undone":0,"discarded":0,
+//       "looking_for":[{"label":"c","level":3},{"label":"b","level":-1}]}
+//    where level -1 encodes the paper's "∞" (any level). The final record
+//    is a verdict: {"event":"verdict","matched":true}.
 
 #ifndef XAOS_CORE_TRACE_H_
 #define XAOS_CORE_TRACE_H_
@@ -23,11 +34,17 @@ namespace xaos::core {
 // Sink for trace lines (e.g. [](std::string_view s){ std::cout << s; }).
 using TraceSink = std::function<void(std::string_view)>;
 
+enum class TraceFormat {
+  kTable2,     // aligned text, one line per event (paper Table 2)
+  kJsonLines,  // one JSON object per event, newline-delimited
+};
+
 class TraceHandler : public xml::ContentHandler {
  public:
   // `engine` must outlive the handler; `sink` receives one line per event
   // (newline included).
-  TraceHandler(XaosEngine* engine, TraceSink sink);
+  TraceHandler(XaosEngine* engine, TraceSink sink,
+               TraceFormat format = TraceFormat::kTable2);
 
   void StartDocument() override;
   void EndDocument() override;
@@ -37,19 +54,30 @@ class TraceHandler : public xml::ContentHandler {
   void Characters(std::string_view text) override;
 
  private:
-  // Emits the trace line for the event named `event`.
-  void Emit(const std::string& event);
+  // Emits the trace record for a start ('S') or end ('E') event on `node`.
+  void Emit(char kind, std::string_view node);
+  void EmitTable2(char kind, std::string_view node);
+  void EmitJson(char kind, std::string_view node);
+  // Emits the final matched/no-match record.
+  void EmitVerdict();
   std::string LookingForString() const;
+  std::string LookingForJson() const;
 
   XaosEngine* engine_;
   TraceSink sink_;
+  TraceFormat format_;
   int step_ = 0;
   EngineStats before_;
 };
 
-// Convenience: evaluates `tree` over `xml_text` with tracing, returning the
-// full trace as one string (and the engine's result through `engine`).
+// Convenience: evaluates the engine's query over `xml_text` with tracing,
+// returning the full trace as one string (and the engine's result through
+// `engine`).
 std::string TraceDocument(XaosEngine* engine, std::string_view xml_text);
+
+// Same, but emits JSON-lines records (TraceFormat::kJsonLines). A parse
+// error appends a final {"event":"error","message":...} record.
+std::string TraceDocumentJson(XaosEngine* engine, std::string_view xml_text);
 
 }  // namespace xaos::core
 

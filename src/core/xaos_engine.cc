@@ -294,12 +294,11 @@ void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
       frame.info.value.assign(value);
       info_filled = true;
     }
+    // Creation/live/peak/byte accounting happens inside the constructor via
+    // EngineStats::OnStructureCreated, so no allocation path can miss it.
     auto structure = std::make_shared<MatchingStructure>(
         v, frame.info, static_cast<int>(tree_->node(v).children.size()),
-        &stats_.structures_live);
-    ++stats_.structures_created;
-    stats_.structures_live_peak =
-        std::max(stats_.structures_live_peak, stats_.structures_live);
+        &stats_);
     frame.xnodes.push_back(v);
     frame.structures.push_back(std::move(structure));
   }

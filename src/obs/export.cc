@@ -1,0 +1,153 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace xaos::obs {
+
+namespace {
+
+// Splits `name{key="v"}` into base name and label body (`key="v"`); the
+// label body is empty for unlabelled metrics.
+std::pair<std::string_view, std::string_view> SplitName(
+    std::string_view name) {
+  size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return {name, {}};
+  }
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string SeriesName(std::string_view base, std::string_view labels,
+                       std::string_view suffix,
+                       std::string_view extra_label = {}) {
+  std::string out(base);
+  out += suffix;
+  if (labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra_label.empty()) out += ',';
+  out += extra_label;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [bound, count] : h.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le\": " + std::to_string(bound) +
+             ", \"count\": " + std::to_string(count) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  return ToJson(registry.Snapshot());
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Labelled variants of one metric sort adjacently, so emitting a TYPE
+  // line only when the base name changes yields one per family.
+  std::string_view previous_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string_view base = SplitName(name).first;
+    if (base != previous_base) {
+      out.append("# TYPE ").append(base).append(" counter\n");
+      previous_base = base;
+    }
+    out.append(name).append(" ").append(std::to_string(value)).append("\n");
+  }
+  previous_base = {};
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string_view base = SplitName(name).first;
+    if (base != previous_base) {
+      out.append("# TYPE ").append(base).append(" gauge\n");
+      previous_base = base;
+    }
+    out.append(name).append(" ").append(std::to_string(value)).append("\n");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    auto [base, labels] = SplitName(name);
+    out.append("# TYPE ").append(base).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      out.append(SeriesName(base, labels, "_bucket",
+                            "le=\"" + std::to_string(bound) + "\""))
+          .append(" ")
+          .append(std::to_string(cumulative))
+          .append("\n");
+    }
+    out.append(SeriesName(base, labels, "_bucket", "le=\"+Inf\""))
+        .append(" ")
+        .append(std::to_string(h.count))
+        .append("\n");
+    out.append(SeriesName(base, labels, "_sum"))
+        .append(" ")
+        .append(std::to_string(h.sum))
+        .append("\n");
+    out.append(SeriesName(base, labels, "_count"))
+        .append(" ")
+        .append(std::to_string(h.count))
+        .append("\n");
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  return ToPrometheusText(registry.Snapshot());
+}
+
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::string json = ToJson(registry) + "\n";
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return Status::Ok();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open metrics file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return InternalError("short write to metrics file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace xaos::obs

@@ -1,0 +1,35 @@
+// Exporters turning a MetricsRegistry snapshot into machine-readable text:
+// a single JSON document or the Prometheus exposition format.
+
+#ifndef XAOS_OBS_EXPORT_H_
+#define XAOS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace xaos::obs {
+
+// One JSON object:
+//   {"counters": {"name": 1, ...},
+//    "gauges": {"name": 2, ...},
+//    "histograms": {"name": {"count": n, "sum": s, "max": m,
+//                            "buckets": [{"le": bound, "count": c}, ...]}}}
+// Keys are sorted; output is deterministic for a given snapshot.
+std::string ToJson(const MetricsSnapshot& snapshot);
+std::string ToJson(const MetricsRegistry& registry);
+
+// Prometheus text exposition format, with `# TYPE` lines. Histograms
+// expose cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+// Inline labels in metric names (`name{key="v"}`) are passed through.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+// Writes ToJson(registry) to `path` ("-" for stdout).
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace xaos::obs
+
+#endif  // XAOS_OBS_EXPORT_H_

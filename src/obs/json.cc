@@ -1,0 +1,198 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace xaos::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+namespace {
+
+// Recursive-descent validator over `s`; `i` is the cursor.
+class Validator {
+ public:
+  explicit Validator(std::string_view s) : s_(s) {}
+
+  bool Run() {
+    SkipWs();
+    if (!Value(0)) return false;
+    SkipWs();
+    return i_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool Eat(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(std::string_view word) {
+    if (s_.substr(i_, word.size()) != word) return false;
+    i_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (i_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + static_cast<size_t>(k) >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    s_[i_ + static_cast<size_t>(k)]))) {
+              return false;
+            }
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = i_;
+    if (Eat('-')) {
+    }
+    // Integer part: "0" alone, or a nonzero digit followed by more digits —
+    // leading zeros are not JSON.
+    if (Eat('0')) {
+      if (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+        return false;
+      }
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) return false;
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (!Digits()) return false;
+    }
+    return i_ > start;
+  }
+  bool Digits() {
+    size_t start = i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth || i_ >= s_.size()) return false;
+    char c = s_[i_];
+    if (c == '{') {
+      ++i_;
+      SkipWs();
+      if (Eat('}')) return true;
+      while (true) {
+        SkipWs();
+        if (!String()) return false;
+        SkipWs();
+        if (!Eat(':')) return false;
+        SkipWs();
+        if (!Value(depth + 1)) return false;
+        SkipWs();
+        if (Eat('}')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      SkipWs();
+      if (Eat(']')) return true;
+      while (true) {
+        SkipWs();
+        if (!Value(depth + 1)) return false;
+        SkipWs();
+        if (Eat(']')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  std::string_view s_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+bool JsonValid(std::string_view text) { return Validator(text).Run(); }
+
+}  // namespace xaos::obs

@@ -1,0 +1,28 @@
+// Minimal JSON utilities shared by the exporters, the JSON-lines trace and
+// the benchmark reporter: string escaping, number formatting and a
+// dependency-free validator used by tests and CI smoke checks.
+
+#ifndef XAOS_OBS_JSON_H_
+#define XAOS_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace xaos::obs {
+
+// Returns `s` with JSON string escaping applied (quotes, backslash,
+// control characters); no surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+// Renders a double as a JSON number (finite values only; non-finite map to
+// 0 since JSON has no Inf/NaN).
+std::string JsonNumber(double value);
+
+// True if `text` is exactly one syntactically valid JSON value (with
+// optional surrounding whitespace). Validates structure, string escapes and
+// number syntax; does not enforce \uXXXX surrogate pairing.
+bool JsonValid(std::string_view text);
+
+}  // namespace xaos::obs
+
+#endif  // XAOS_OBS_JSON_H_

@@ -1,0 +1,38 @@
+// Byte-level accounting of live data structures. The paper's storage claim
+// (Section 6.1, Table 3) is about the *size* of the retained matching
+// structures, not just their count; MemoryAccountant tracks both the live
+// and the high-water byte totals so EngineStats can report
+// structure_bytes_live / structure_bytes_peak.
+
+#ifndef XAOS_OBS_MEMORY_H_
+#define XAOS_OBS_MEMORY_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace xaos::obs {
+
+// Single-writer accountant (one per engine); aggregation across engines
+// sums `live_bytes` and `peak_bytes`. The peak is maintained inside Add so
+// every allocation path updates it by construction.
+struct MemoryAccountant {
+  uint64_t live_bytes = 0;
+  uint64_t peak_bytes = 0;
+
+  void Add(uint64_t bytes) {
+    live_bytes += bytes;
+    if (live_bytes > peak_bytes) peak_bytes = live_bytes;
+  }
+  void Remove(uint64_t bytes) { live_bytes -= bytes; }
+
+  void ExportTo(MetricsRegistry* registry, const std::string& live_name,
+                const std::string& peak_name) const {
+    registry->GetGauge(live_name)->Add(static_cast<int64_t>(live_bytes));
+    registry->GetGauge(peak_name)->Add(static_cast<int64_t>(peak_bytes));
+  }
+};
+
+}  // namespace xaos::obs
+
+#endif  // XAOS_OBS_MEMORY_H_

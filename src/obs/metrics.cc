@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+namespace xaos::obs {
+
+namespace {
+
+template <typename Map>
+auto* GetOrCreate(Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Metric = typename Map::mapped_type::element_type;
+    it = map.emplace(std::string(name), std::make_unique<Metric>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(counters_, name, mu_);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(gauges_, name, mu_);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(histograms_, name, mu_);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.max = histogram->Max();
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      uint64_t bucket = histogram->BucketCountAt(i);
+      if (bucket != 0) {
+        h.buckets.emplace_back(Histogram::BucketUpperBound(i), bucket);
+      }
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+}  // namespace xaos::obs

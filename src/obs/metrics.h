@@ -1,0 +1,187 @@
+// Structured metrics for the xaos pipeline: named counters, gauges and
+// log-scale histograms collected in a MetricsRegistry and exported to JSON
+// or Prometheus text format (obs/export.h).
+//
+// Design goals, in order:
+//   * zero overhead when disabled — instrumentation sites guard on
+//     obs::Enabled(), which compiles to a constant `false` when the library
+//     is built with -DXAOS_OBS_ENABLED=0 and is a single relaxed atomic
+//     load otherwise (off by default at runtime);
+//   * lock-cheap when enabled — metric lookup/creation takes the registry
+//     mutex once, after which the returned pointer is stable for the
+//     registry's lifetime and every update is a relaxed atomic, so hot
+//     loops hold raw Counter*/Histogram* and never contend;
+//   * one source of truth — the engine's EngineStats folds into a registry
+//     via EngineStats::ToMetrics, so Table-3 numbers, `xaos_grep
+//     --metrics-json` and the benchmark reporter all read the same fields.
+//
+// Metric names follow Prometheus conventions (`xaos_parser_bytes_total`).
+// A name may carry inline labels in Prometheus syntax, e.g.
+// `router_deliveries_total{subscription="alice"}`; exporters pass them
+// through.
+
+#ifndef XAOS_OBS_METRICS_H_
+#define XAOS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time master switch. Building with -DXAOS_OBS_ENABLED=0 turns
+// Enabled() into a constant, letting the compiler delete every guarded
+// instrumentation site.
+#ifndef XAOS_OBS_ENABLED
+#define XAOS_OBS_ENABLED 1
+#endif
+
+namespace xaos::obs {
+
+#if XAOS_OBS_ENABLED
+namespace internal {
+// Single process-wide runtime switch; relaxed is sufficient because the
+// flag only gates best-effort statistics.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+#else
+inline constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#endif
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value (live structures, peak bytes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if it is below (for peaks folded from several
+  // engines).
+  void SetMax(int64_t v) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Base-2 log-scale histogram for latencies (ns) and sizes (bytes). Bucket i
+// counts values whose bit width is i, i.e. value 0 goes to bucket 0 and
+// bucket i >= 1 covers [2^(i-1), 2^i). 64 buckets cover the full uint64
+// range, so Record never clamps.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 65;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t max = max_.load(std::memory_order_relaxed);
+    while (value > max &&
+           !max_.compare_exchange_weak(max, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // Bucket index for `value`: 0 for 0, otherwise std::bit_width(value).
+  static int BucketIndex(uint64_t value) {
+    int width = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++width;
+    }
+    return width;
+  }
+  // Inclusive upper bound of bucket i (2^i - 1); the last bucket is
+  // unbounded.
+  static uint64_t BucketUpperBound(int i) {
+    return i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t BucketCountAt(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Consistent-enough copy of a histogram for exporters.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  // Non-empty buckets only, as (inclusive upper bound, count) pairs in
+  // ascending bound order.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+// Full registry contents, ordered by name (exports are deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+// Owns named metrics. Lookup/creation is mutex-guarded; returned pointers
+// are stable until the registry is destroyed, so callers resolve once and
+// update lock-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Drops all metrics (pointers from Get* become dangling — intended for
+  // tests and between benchmark repetitions).
+  void Clear();
+
+  // The process-wide registry that instrumented library code reports into
+  // when Enabled().
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xaos::obs
+
+#endif  // XAOS_OBS_METRICS_H_

@@ -1,0 +1,28 @@
+#include "obs/timer.h"
+
+namespace xaos::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:
+      return "parse";
+    case Phase::kCompile:
+      return "compile";
+    case Phase::kMatch:
+      return "match";
+  }
+  return "unknown";
+}
+
+void PhaseTimers::ExportTo(MetricsRegistry* registry,
+                           const std::string& prefix) const {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    Phase phase = static_cast<Phase>(i);
+    registry
+        ->GetCounter(prefix + "phase_ns_total{phase=\"" + PhaseName(phase) +
+                     "\"}")
+        ->Increment(Ns(phase));
+  }
+}
+
+}  // namespace xaos::obs

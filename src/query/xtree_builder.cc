@@ -1,5 +1,7 @@
 #include "query/xtree_builder.h"
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "query/normalizer.h"
 #include "xpath/parser.h"
 
@@ -148,6 +150,8 @@ StatusOr<XTree> BuildXTree(const LocationPath& path) {
 
 StatusOr<std::vector<XTree>> CompileToXTrees(std::string_view expression,
                                              int max_paths) {
+  // Query-compile phase accounting; successful compiles only.
+  uint64_t start = obs::Enabled() ? obs::NowNs() : 0;
   XAOS_ASSIGN_OR_RETURN(xpath::Expression parsed,
                         xpath::ParseExpression(expression));
   XAOS_ASSIGN_OR_RETURN(std::vector<LocationPath> paths,
@@ -157,6 +161,13 @@ StatusOr<std::vector<XTree>> CompileToXTrees(std::string_view expression,
   for (const LocationPath& path : paths) {
     XAOS_ASSIGN_OR_RETURN(XTree tree, BuildXTree(path));
     trees.push_back(std::move(tree));
+  }
+  if (start != 0) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetHistogram("xaos_compile_ns")->Record(obs::NowNs() - start);
+    registry.GetCounter("xaos_queries_compiled_total")->Increment();
+    registry.GetCounter("xaos_xtrees_built_total")
+        ->Increment(trees.size());
   }
   return trees;
 }

@@ -29,6 +29,11 @@
 #include "dom/serializer.h"                 // IWYU pragma: export
 #include "gen/random_workload.h"            // IWYU pragma: export
 #include "gen/xmark_generator.h"            // IWYU pragma: export
+#include "obs/export.h"                     // IWYU pragma: export
+#include "obs/json.h"                       // IWYU pragma: export
+#include "obs/memory.h"                     // IWYU pragma: export
+#include "obs/metrics.h"                    // IWYU pragma: export
+#include "obs/timer.h"                      // IWYU pragma: export
 #include "query/reroot.h"                   // IWYU pragma: export
 #include "query/xtree_builder.h"            // IWYU pragma: export
 #include "util/status.h"                    // IWYU pragma: export

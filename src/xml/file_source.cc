@@ -8,7 +8,7 @@
 namespace xaos::xml {
 
 Status ParseFile(const std::string& path, ContentHandler* handler,
-                 size_t chunk_bytes) {
+                 size_t chunk_bytes, ParserOptions options) {
   std::FILE* file = nullptr;
   bool is_stdin = (path == "-");
   if (is_stdin) {
@@ -20,7 +20,7 @@ Status ParseFile(const std::string& path, ContentHandler* handler,
     }
   }
 
-  SaxParser parser(handler);
+  SaxParser parser(handler, options);
   std::vector<char> buffer(chunk_bytes);
   Status status;
   while (true) {

@@ -8,6 +8,7 @@
 
 #include "util/status.h"
 #include "xml/sax_event.h"
+#include "xml/sax_parser.h"
 
 namespace xaos::xml {
 
@@ -16,7 +17,7 @@ namespace xaos::xml {
 // internal token buffer is retained between chunks, so memory use is
 // independent of file size.
 Status ParseFile(const std::string& path, ContentHandler* handler,
-                 size_t chunk_bytes = 1 << 16);
+                 size_t chunk_bytes = 1 << 16, ParserOptions options = {});
 
 }  // namespace xaos::xml
 

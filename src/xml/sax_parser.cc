@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "util/string_util.h"
 #include "xml/entities.h"
 
@@ -12,10 +14,56 @@ namespace {
 // construct: "<![CDATA[".
 constexpr size_t kMaxIntroducer = 9;
 
+// Forwards every event to the wrapped handler, charging the time spent
+// inside it to Phase::kMatch. The parser subtracts this from each Feed's
+// wall time to get the parse share (see ParserOptions::phase_timers).
+class MatchTimingHandler : public ContentHandler {
+ public:
+  MatchTimingHandler(ContentHandler* inner, obs::PhaseTimers* timers)
+      : inner_(inner), timers_(timers) {}
+
+  void StartDocument() override { Timed([&] { inner_->StartDocument(); }); }
+  void EndDocument() override { Timed([&] { inner_->EndDocument(); }); }
+  void StartElement(std::string_view name,
+                    const std::vector<Attribute>& attributes) override {
+    Timed([&] { inner_->StartElement(name, attributes); });
+  }
+  void EndElement(std::string_view name) override {
+    Timed([&] { inner_->EndElement(name); });
+  }
+  void Characters(std::string_view text) override {
+    Timed([&] { inner_->Characters(text); });
+  }
+  void Comment(std::string_view text) override {
+    Timed([&] { inner_->Comment(text); });
+  }
+  void ProcessingInstruction(std::string_view target,
+                             std::string_view data) override {
+    Timed([&] { inner_->ProcessingInstruction(target, data); });
+  }
+
+ private:
+  template <typename Fn>
+  void Timed(Fn&& fn) {
+    uint64_t start = obs::NowNs();
+    fn();
+    timers_->Add(obs::Phase::kMatch, obs::NowNs() - start);
+  }
+
+  ContentHandler* inner_;
+  obs::PhaseTimers* timers_;
+};
+
 }  // namespace
 
 SaxParser::SaxParser(ContentHandler* handler, ParserOptions options)
-    : handler_(handler), options_(options) {}
+    : handler_(handler), options_(options) {
+  if (options_.phase_timers != nullptr) {
+    timing_wrapper_ =
+        std::make_unique<MatchTimingHandler>(handler, options_.phase_timers);
+    handler_ = timing_wrapper_.get();
+  }
+}
 
 bool SaxParser::IsWhitespace(char c) {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n';
@@ -65,6 +113,15 @@ Status SaxParser::Feed(std::string_view chunk) {
   if (finished_) {
     return InvalidArgumentError("Feed() after Finish()");
   }
+  // Phase split: everything in this call is parse time except what the
+  // timing wrapper attributes to the match phase meanwhile.
+  uint64_t start = 0, match_before = 0;
+  obs::PhaseTimers* timers = options_.phase_timers;
+  if (timers != nullptr) {
+    start = obs::NowNs();
+    match_before = timers->Ns(obs::Phase::kMatch);
+  }
+  bytes_fed_ += chunk.size();
   if (!started_document_) {
     started_document_ = true;
     handler_->StartDocument();
@@ -76,6 +133,11 @@ Status SaxParser::Feed(std::string_view chunk) {
   }
   buffer_.append(chunk.data(), chunk.size());
   Progress p = Pump();
+  if (timers != nullptr) {
+    uint64_t total = obs::NowNs() - start;
+    uint64_t match = timers->Ns(obs::Phase::kMatch) - match_before;
+    timers->Add(obs::Phase::kParse, total > match ? total - match : 0);
+  }
   if (p == Progress::kError) return error_;
   return Status::Ok();
 }
@@ -120,7 +182,29 @@ Status SaxParser::Finish() {
     Fail("document has no root element");
     return error_;
   }
+  uint64_t start = 0, match_before = 0;
+  obs::PhaseTimers* timers = options_.phase_timers;
+  if (timers != nullptr) {
+    start = obs::NowNs();
+    match_before = timers->Ns(obs::Phase::kMatch);
+  }
   handler_->EndDocument();
+  if (timers != nullptr) {
+    uint64_t total = obs::NowNs() - start;
+    uint64_t match = timers->Ns(obs::Phase::kMatch) - match_before;
+    timers->Add(obs::Phase::kParse, total > match ? total - match : 0);
+  }
+  // Once per document, fold the parser's counters into the process-wide
+  // registry; free when metrics are off.
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("xaos_parser_documents_total")->Increment();
+    registry.GetCounter("xaos_parser_bytes_total")->Increment(bytes_fed_);
+    registry.GetCounter("xaos_parser_elements_total")
+        ->Increment(element_count_);
+    registry.GetCounter("xaos_parser_text_events_total")
+        ->Increment(text_event_count_);
+  }
   return Status::Ok();
 }
 
@@ -129,6 +213,7 @@ void SaxParser::EmitPendingText() {
   text_pending_ = false;
   if (text_accum_.empty()) return;
   if (options_.report_whitespace_text || !IsAllXmlWhitespace(text_accum_)) {
+    ++text_event_count_;
     handler_->Characters(text_accum_);
   }
   text_accum_.clear();

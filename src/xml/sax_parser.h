@@ -18,12 +18,17 @@
 #define XAOS_XML_SAX_PARSER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
 #include "xml/sax_event.h"
+
+namespace xaos::obs {
+class PhaseTimers;
+}  // namespace xaos::obs
 
 namespace xaos::xml {
 
@@ -39,6 +44,12 @@ struct ParserOptions {
   bool report_processing_instructions = false;
   // Guard against pathological nesting.
   int max_depth = 20000;
+  // Optional phase accounting (obs/timer.h): when set, time spent inside
+  // handler callbacks is attributed to Phase::kMatch and the remainder of
+  // each Feed()/Finish() to Phase::kParse, splitting the single streaming
+  // pass into the paper's parse vs. match phases. Costs two clock reads per
+  // delivered event; leave null (the default) for zero overhead.
+  obs::PhaseTimers* phase_timers = nullptr;
 };
 
 // Incremental push parser. Typical use:
@@ -74,6 +85,9 @@ class SaxParser {
   // Number of start-element events emitted so far.
   uint64_t element_count() const { return element_count_; }
 
+  // Bytes accepted through Feed() so far.
+  uint64_t bytes_fed() const { return bytes_fed_; }
+
  private:
   enum class Progress { kOk, kNeedMore, kError };
 
@@ -105,6 +119,10 @@ class SaxParser {
 
   ContentHandler* handler_;
   ParserOptions options_;
+  // When options_.phase_timers is set, handler_ points at this wrapper,
+  // which times callbacks into the match phase before forwarding to the
+  // user's handler.
+  std::unique_ptr<ContentHandler> timing_wrapper_;
 
   std::string buffer_;     // unconsumed input (suffix of the stream)
   size_t pos_ = 0;         // consumed prefix of buffer_
@@ -122,6 +140,8 @@ class SaxParser {
   int line_ = 1;
   int column_ = 1;
   uint64_t element_count_ = 0;
+  uint64_t bytes_fed_ = 0;
+  uint64_t text_event_count_ = 0;
 
   std::vector<Attribute> attributes_;  // scratch, reused per start tag
 };

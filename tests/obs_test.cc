@@ -1,0 +1,304 @@
+// The observability layer: metrics primitives, registry, exporters, phase
+// timers, memory accounting, and the disabled-mode no-op guarantees.
+
+#include <string>
+
+#include "core/engine_stats.h"
+#include "core/multi_engine.h"
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge gauge;
+  gauge.Set(10);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.SetMax(5);  // below: no change
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.SetMax(100);
+  EXPECT_EQ(gauge.Value(), 100);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds value 0; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), 64);
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~uint64_t{0});
+}
+
+TEST(HistogramTest, RecordTracksCountSumMaxAndBuckets) {
+  Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(5);
+  histogram.Record(5);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_EQ(histogram.Sum(), 11u);
+  EXPECT_EQ(histogram.Max(), 5u);
+  EXPECT_EQ(histogram.BucketCountAt(0), 1u);  // value 0
+  EXPECT_EQ(histogram.BucketCountAt(1), 1u);  // value 1
+  EXPECT_EQ(histogram.BucketCountAt(3), 2u);  // values in [4, 8)
+}
+
+TEST(RegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("x"), 1u);
+  registry.Clear();
+  EXPECT_TRUE(registry.Snapshot().counters.empty());
+}
+
+TEST(RegistryTest, SnapshotSkipsEmptyHistogramBuckets) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h")->Record(5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot& h = snapshot.histograms.at("h");
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].first, 7u);  // upper bound of bucket 3
+  EXPECT_EQ(h.buckets[0].second, 1u);
+}
+
+TEST(ExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total")->Increment(3);
+  registry.GetGauge("live")->Set(-2);
+  registry.GetHistogram("ns")->Record(5);
+  EXPECT_EQ(ToJson(registry),
+            "{\"counters\": {\"events_total\": 3}, "
+            "\"gauges\": {\"live\": -2}, "
+            "\"histograms\": {\"ns\": {\"count\": 1, \"sum\": 5, \"max\": 5, "
+            "\"buckets\": [{\"le\": 7, \"count\": 1}]}}}");
+  EXPECT_TRUE(JsonValid(ToJson(registry)));
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total{k=\"v\"}")->Increment(1);
+  registry.GetCounter("a_total{k=\"w\"}")->Increment(2);
+  registry.GetGauge("g")->Set(7);
+  std::string text = ToPrometheusText(registry);
+  EXPECT_EQ(text,
+            "# TYPE a_total counter\n"
+            "a_total{k=\"v\"} 1\n"
+            "a_total{k=\"w\"} 2\n"
+            "# TYPE g gauge\n"
+            "g 7\n");
+}
+
+TEST(ExportTest, PrometheusHistogramIsCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ns");
+  h->Record(1);
+  h->Record(5);
+  std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // The le="7" bucket includes the le="1" observation (cumulative).
+  EXPECT_NE(text.find("ns_bucket{le=\"7\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ns_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("ns_count 2\n"), std::string::npos);
+}
+
+TEST(JsonTest, EscapeAndNumber) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(3), "3");
+}
+
+TEST(JsonTest, Validator) {
+  EXPECT_TRUE(JsonValid("{}"));
+  EXPECT_TRUE(JsonValid("  {\"a\": [1, 2.5, -3e2, true, null, \"x\\n\"]} "));
+  EXPECT_TRUE(JsonValid("\"\\u00e9\""));
+  EXPECT_FALSE(JsonValid(""));
+  EXPECT_FALSE(JsonValid("{"));
+  EXPECT_FALSE(JsonValid("{\"a\":1,}"));
+  EXPECT_FALSE(JsonValid("01"));
+  EXPECT_FALSE(JsonValid("\"\\x\""));
+  EXPECT_FALSE(JsonValid("{} {}"));
+}
+
+TEST(TimerTest, PhaseTimersExport) {
+  PhaseTimers timers;
+  timers.Add(Phase::kParse, 100);
+  timers.Add(Phase::kParse, 50);
+  timers.Add(Phase::kMatch, 25);
+  EXPECT_EQ(timers.Ns(Phase::kParse), 150u);
+  EXPECT_DOUBLE_EQ(timers.Seconds(Phase::kMatch), 25e-9);
+
+  MetricsRegistry registry;
+  timers.ExportTo(&registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("xaos_phase_ns_total{phase=\"parse\"}"),
+            150u);
+  EXPECT_EQ(snapshot.counters.at("xaos_phase_ns_total{phase=\"compile\"}"),
+            0u);
+  EXPECT_EQ(snapshot.counters.at("xaos_phase_ns_total{phase=\"match\"}"),
+            25u);
+}
+
+TEST(TimerTest, ScopedTimerRecordsIntoHistogram) {
+  Histogram histogram;
+  { ScopedTimer timer(&histogram); }
+  EXPECT_EQ(histogram.Count(), 1u);
+}
+
+TEST(TimerTest, EventCostSamplerPeriod) {
+  Histogram histogram;
+  EventCostSampler sampler(&histogram, /*period=*/3);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (sampler.ShouldSample()) {
+      sampler.RecordNs(1);
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 3);
+  EXPECT_EQ(histogram.Count(), 3u);
+
+  EventCostSampler disabled(nullptr);
+  EXPECT_FALSE(disabled.ShouldSample());
+}
+
+TEST(MemoryTest, AccountantTracksPeak) {
+  MemoryAccountant accountant;
+  accountant.Add(100);
+  accountant.Add(50);
+  accountant.Remove(120);
+  EXPECT_EQ(accountant.live_bytes, 30u);
+  EXPECT_EQ(accountant.peak_bytes, 150u);
+  accountant.Add(10);
+  EXPECT_EQ(accountant.peak_bytes, 150u);  // below the old high-water mark
+}
+
+TEST(EngineStatsTest, CreationHooksMaintainLiveAndPeak) {
+  core::EngineStats stats;
+  stats.OnStructureCreated(100);
+  stats.OnStructureCreated(200);
+  stats.OnStructureDestroyed(100);
+  stats.OnStructureCreated(50);
+  EXPECT_EQ(stats.structures_created, 3u);
+  EXPECT_EQ(stats.structures_live, 2u);
+  EXPECT_EQ(stats.structures_live_peak, 2u);
+  EXPECT_EQ(stats.structure_memory.live_bytes, 250u);
+  EXPECT_EQ(stats.structure_memory.peak_bytes, 300u);
+}
+
+TEST(EngineStatsTest, ToMetricsFoldsEveryField) {
+  core::EngineStats stats;
+  stats.elements_total = 10;
+  stats.elements_discarded = 8;
+  stats.OnStructureCreated(64);
+  stats.propagations = 3;
+  stats.optimistic_propagations = 2;
+
+  MetricsRegistry registry;
+  stats.ToMetrics(&registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("xaos_engine_elements_total"), 10u);
+  EXPECT_EQ(snapshot.counters.at("xaos_engine_elements_discarded_total"), 8u);
+  EXPECT_EQ(snapshot.counters.at("xaos_engine_structures_created_total"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("xaos_engine_structures_live"), 1);
+  EXPECT_EQ(snapshot.gauges.at("xaos_engine_structures_live_peak"), 1);
+  EXPECT_EQ(snapshot.gauges.at("xaos_engine_structure_bytes_live"), 64);
+  EXPECT_EQ(snapshot.gauges.at("xaos_engine_structure_bytes_peak"), 64);
+  EXPECT_EQ(snapshot.counters.at("xaos_engine_propagations_total"), 3u);
+  EXPECT_EQ(snapshot.counters.at("xaos_engine_optimistic_propagations_total"),
+            2u);
+}
+
+// End-to-end: a streaming evaluation maintains byte-level accounting on
+// every structure creation path (satellite check: peak is updated by
+// construction, so it can never read zero when structures were created).
+TEST(EngineStatsTest, StreamingEvaluationAccountsBytes) {
+  auto query = core::Query::Compile("//b/ancestor::a");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  ASSERT_TRUE(xml::ParseString("<a><b/><b/></a>", &evaluator).ok());
+  core::EngineStats stats = evaluator.AggregateStats();
+  EXPECT_GT(stats.structures_created, 0u);
+  EXPECT_GT(stats.structure_memory.peak_bytes, 0u);
+  // Live structures (and bytes) remain for the engine's retained state;
+  // peak is at least live.
+  EXPECT_GE(stats.structure_memory.peak_bytes,
+            stats.structure_memory.live_bytes);
+}
+
+TEST(DisabledModeTest, OffByDefaultAndNoFlushWhenDisabled) {
+  ASSERT_FALSE(Enabled());  // runtime default is off
+  MetricsRegistry::Default().Clear();
+
+  StatusOr<core::QueryResult> result =
+      core::EvaluateStreaming("//b", "<a><b/></a>", {});
+  ASSERT_TRUE(result.ok());
+  // Nothing reached the default registry: no parser counters, no compile
+  // histogram.
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  EXPECT_EQ(snapshot.counters.count("xaos_parser_documents_total"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("xaos_compile_ns"), 0u);
+}
+
+#if XAOS_OBS_ENABLED
+TEST(DisabledModeTest, EnabledModeFlushesParserAndCompileMetrics) {
+  SetEnabled(true);
+  MetricsRegistry::Default().Clear();
+
+  StatusOr<core::QueryResult> result =
+      core::EvaluateStreaming("//b", "<a><b/>text</a>", {});
+  ASSERT_TRUE(result.ok());
+
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("xaos_parser_documents_total"), 1u);
+  EXPECT_EQ(snapshot.counters.at("xaos_parser_elements_total"), 2u);
+  EXPECT_GE(snapshot.counters.at("xaos_parser_bytes_total"), 15u);
+  EXPECT_EQ(snapshot.counters.at("xaos_queries_compiled_total"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("xaos_compile_ns").count, 1u);
+
+  SetEnabled(false);
+  MetricsRegistry::Default().Clear();
+}
+#endif  // XAOS_OBS_ENABLED
+
+TEST(ExportTest, WriteMetricsJsonRejectsUnwritablePath) {
+  MetricsRegistry registry;
+  Status status = WriteMetricsJson(registry, "/nonexistent-dir/x.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace xaos::obs

@@ -1,9 +1,11 @@
 // TraceHandler: the Table-2-style execution trace.
 
 #include <string>
+#include <vector>
 
 #include "core/trace.h"
 #include "gtest/gtest.h"
+#include "obs/json.h"
 #include "query/xtree_builder.h"
 #include "test_util.h"
 
@@ -44,6 +46,86 @@ TEST(TraceTest, ParseErrorSurfacesInTrace) {
   XaosEngine engine(&trees->front());
   std::string trace = TraceDocument(&engine, "<a><b></a>");
   EXPECT_NE(trace.find("parse error"), std::string::npos);
+}
+
+// Splits a JSON-lines blob into its non-empty lines.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(TraceJsonTest, EveryLineIsValidJson) {
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocumentJson(&engine, test::kFigure2Document);
+
+  std::vector<std::string> lines = Lines(trace);
+  // 28 event records (paper Table 2) plus the verdict record.
+  ASSERT_EQ(lines.size(), 29u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(obs::JsonValid(line)) << line;
+  }
+  EXPECT_EQ(lines.back(), "{\"event\":\"verdict\",\"matched\":true}");
+}
+
+TEST(TraceJsonTest, RecordsCarryDeltasAndLookingForSet) {
+  auto trees = query::CompileToXTrees(test::kFigure3Query);
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocumentJson(&engine, test::kFigure2Document);
+
+  EXPECT_NE(trace.find("{\"step\":1,\"event\":\"start\",\"node\":\"Root\""),
+            std::string::npos);
+  // Step 23's undo cascade (Table 2) appears as a structured delta.
+  EXPECT_NE(trace.find("\"undone\":2"), std::string::npos);
+  EXPECT_NE(trace.find("\"discarded\":1"), std::string::npos);
+  // Looking-for entries are (label, level) pairs; level -1 encodes "inf".
+  EXPECT_NE(trace.find("\"looking_for\":[{\"label\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"level\":-1"), std::string::npos);
+  EXPECT_NE(trace.find("\"level\":3"), std::string::npos);
+}
+
+TEST(TraceJsonTest, NoMatchVerdictAndParseError) {
+  {
+    auto trees = query::CompileToXTrees("//nope");
+    ASSERT_TRUE(trees.ok());
+    XaosEngine engine(&trees->front());
+    std::string trace = TraceDocumentJson(&engine, "<a><b/></a>");
+    EXPECT_NE(trace.find("{\"event\":\"verdict\",\"matched\":false}"),
+              std::string::npos);
+  }
+  {
+    auto trees = query::CompileToXTrees("//a");
+    ASSERT_TRUE(trees.ok());
+    XaosEngine engine(&trees->front());
+    std::string trace = TraceDocumentJson(&engine, "<a><b></a>");
+    std::vector<std::string> lines = Lines(trace);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_NE(lines.back().find("{\"event\":\"error\",\"message\":"),
+              std::string::npos);
+    EXPECT_TRUE(obs::JsonValid(lines.back())) << lines.back();
+  }
+}
+
+TEST(TraceJsonTest, NodeNamesAreEscaped) {
+  // A name that needs escaping cannot appear in well-formed XML element
+  // names, but the escaper must still be wired: verify via the error
+  // message path, which passes arbitrary status text through JsonEscape.
+  auto trees = query::CompileToXTrees("//a");
+  ASSERT_TRUE(trees.ok());
+  XaosEngine engine(&trees->front());
+  std::string trace = TraceDocumentJson(&engine, "<a attr=\"unterminated>");
+  for (const std::string& line : Lines(trace)) {
+    EXPECT_TRUE(obs::JsonValid(line)) << line;
+  }
 }
 
 }  // namespace

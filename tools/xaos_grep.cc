@@ -14,9 +14,18 @@
 //                  soon as a match is guaranteed
 //   --xml          print each selected element's subtree as XML
 //   --tuples       print output tuples (for $-marked multi-output queries)
-//   --stats        print engine statistics per file
+//   --stats        print engine statistics per file (--stats=json for a
+//                  structured JSON object on stderr instead of text)
 //   --explain      print the compiled x-tree/x-dag and exit
 //   --trace        print a Table-2-style event trace while evaluating
+//   --trace-json   like --trace but one JSON object per event (JSON lines)
+//   --metrics-json=FILE
+//                  enable instrumentation and write the full metrics
+//                  registry (phase timings, parser/engine counters, peak
+//                  structure bytes) as JSON to FILE ("-" for stdout)
+//
+// --count, --match, --xml and --tuples are mutually exclusive output modes;
+// combining them is an error (exit 2).
 
 #include <cstdio>
 #include <cstring>
@@ -34,8 +43,11 @@ struct Options {
   bool capture = false;
   bool tuples = false;
   bool stats = false;
+  bool stats_json = false;
   bool explain = false;
   bool trace = false;
+  bool trace_json = false;
+  std::string metrics_json_path;
   std::string expression;
   std::vector<std::string> files;
 };
@@ -43,8 +55,9 @@ struct Options {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xaos_grep [--count|--match|--xml|--tuples|--stats|--explain|"
-      "--trace] '<xpath>' [file.xml ...]\n"
+      "usage: xaos_grep [--count|--match|--xml|--tuples] [--stats[=json]] "
+      "[--explain] [--trace|--trace-json] [--metrics-json=FILE] "
+      "'<xpath>' [file.xml ...]\n"
       "reads standard input when no file is given (or for '-')\n");
   return 2;
 }
@@ -55,6 +68,29 @@ void PrintItem(const xaos::core::OutputItem& item, const Options& options) {
     return;
   }
   std::printf("%s\n", item.info.ToString().c_str());
+}
+
+// Prints one file's aggregated engine statistics to stderr, as text or as
+// a single JSON object.
+void PrintStats(const xaos::core::EngineStats& stats, const char* prefix,
+                const char* sep, bool as_json) {
+  if (as_json) {
+    xaos::obs::MetricsRegistry registry;
+    stats.ToMetrics(&registry);
+    std::string json = xaos::obs::ToJson(registry);
+    std::fprintf(stderr, "%s%s%s\n", prefix, sep, json.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "%s%s%llu elements, %.2f%% discarded, %llu structures, "
+               "peak %llu (%llu bytes)\n",
+               prefix, sep,
+               static_cast<unsigned long long>(stats.elements_total),
+               100.0 * stats.DiscardedFraction(),
+               static_cast<unsigned long long>(stats.structures_created),
+               static_cast<unsigned long long>(stats.structures_live_peak),
+               static_cast<unsigned long long>(
+                   stats.structure_memory.peak_bytes));
 }
 
 }  // namespace
@@ -73,10 +109,22 @@ int main(int argc, char** argv) {
       options.tuples = true;
     } else if (arg == "--stats") {
       options.stats = true;
+    } else if (arg == "--stats=json") {
+      options.stats = true;
+      options.stats_json = true;
     } else if (arg == "--explain") {
       options.explain = true;
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--trace-json") {
+      options.trace = true;
+      options.trace_json = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      options.metrics_json_path = arg.substr(std::strlen("--metrics-json="));
+      if (options.metrics_json_path.empty()) {
+        std::fprintf(stderr, "--metrics-json needs a file path\n");
+        return Usage();
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage();
@@ -87,10 +135,31 @@ int main(int argc, char** argv) {
     }
   }
   if (options.expression.empty()) return Usage();
+  int output_modes = static_cast<int>(options.count) +
+                     static_cast<int>(options.match_only) +
+                     static_cast<int>(options.capture) +
+                     static_cast<int>(options.tuples);
+  if (output_modes > 1) {
+    std::fprintf(stderr,
+                 "conflicting output modes: --count, --match, --xml and "
+                 "--tuples are mutually exclusive\n");
+    return 2;
+  }
   if (options.files.empty()) options.files.push_back("-");
 
+  // Instrumentation must be on before compilation so the query-compile
+  // phase and the parser/engine counters reach the default registry.
+  bool collect_metrics = !options.metrics_json_path.empty();
+  xaos::obs::PhaseTimers timers;
+  if (collect_metrics) xaos::obs::SetEnabled(true);
+
+  uint64_t compile_start = collect_metrics ? xaos::obs::NowNs() : 0;
   xaos::StatusOr<xaos::core::Query> query =
       xaos::core::Query::Compile(options.expression);
+  if (collect_metrics) {
+    timers.Add(xaos::obs::Phase::kCompile,
+               xaos::obs::NowNs() - compile_start);
+  }
   if (!query.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  query.status().ToString().c_str());
@@ -105,6 +174,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  xaos::xml::ParserOptions parser_options;
+  if (collect_metrics) parser_options.phase_timers = &timers;
+
   if (options.trace) {
     if (query->trees().size() != 1) {
       std::fprintf(stderr, "--trace requires a single-disjunct query\n");
@@ -112,11 +184,15 @@ int main(int argc, char** argv) {
     }
     xaos::core::XaosEngine engine(&query->trees().front());
     xaos::core::TraceHandler tracer(
-        &engine, [](std::string_view line) {
+        &engine,
+        [](std::string_view line) {
           std::fwrite(line.data(), 1, line.size(), stdout);
-        });
+        },
+        options.trace_json ? xaos::core::TraceFormat::kJsonLines
+                           : xaos::core::TraceFormat::kTable2);
     for (const std::string& path : options.files) {
-      xaos::Status status = xaos::xml::ParseFile(path, &tracer);
+      xaos::Status status =
+          xaos::xml::ParseFile(path, &tracer, 1 << 16, parser_options);
       if (!status.ok()) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(),
                      status.ToString().c_str());
@@ -134,7 +210,8 @@ int main(int argc, char** argv) {
   bool multiple_files = options.files.size() > 1;
   bool any_match = false;
   for (const std::string& path : options.files) {
-    xaos::Status status = xaos::xml::ParseFile(path, &evaluator);
+    xaos::Status status =
+        xaos::xml::ParseFile(path, &evaluator, 1 << 16, parser_options);
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
@@ -176,15 +253,20 @@ int main(int argc, char** argv) {
     }
 
     if (options.stats) {
-      xaos::core::EngineStats stats = evaluator.AggregateStats();
-      std::fprintf(stderr,
-                   "%s%s%llu elements, %.2f%% discarded, %llu structures, "
-                   "peak %llu\n",
-                   prefix, sep,
-                   static_cast<unsigned long long>(stats.elements_total),
-                   100.0 * stats.DiscardedFraction(),
-                   static_cast<unsigned long long>(stats.structures_created),
-                   static_cast<unsigned long long>(stats.structures_live_peak));
+      PrintStats(evaluator.AggregateStats(), prefix, sep, options.stats_json);
+    }
+  }
+
+  if (collect_metrics) {
+    xaos::obs::MetricsRegistry& registry =
+        xaos::obs::MetricsRegistry::Default();
+    timers.ExportTo(&registry);
+    evaluator.ExportMetrics(&registry);
+    xaos::Status status =
+        xaos::obs::WriteMetricsJson(registry, options.metrics_json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      return 2;
     }
   }
   return any_match ? 0 : 1;
