@@ -25,9 +25,9 @@ const std::string& Document() {
 // Sink that forces event materialization without storing anything.
 class CountingHandler : public xaos::xml::ContentHandler {
  public:
-  void StartElement(std::string_view name,
-                    const std::vector<xaos::xml::Attribute>& attrs) override {
-    count_ += name.size() + attrs.size();
+  void StartElement(const xaos::xml::QName& name,
+                    xaos::xml::AttributeSpan attrs) override {
+    count_ += name.text.size() + attrs.size();
   }
   void Characters(std::string_view text) override { count_ += text.size(); }
   size_t count() const { return count_; }

@@ -81,8 +81,8 @@ int main(int argc, char** argv) {
       void EndDocument() override {
         for (auto& s : *subs) s->EndDocument();
       }
-      void StartElement(std::string_view name,
-                        const std::vector<xml::Attribute>& a) override {
+      void StartElement(const xml::QName& name,
+                        xml::AttributeSpan a) override {
         for (auto& s : *subs) s->StartElement(name, a);
       }
       void EndElement(std::string_view name) override {

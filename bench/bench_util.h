@@ -265,6 +265,9 @@ inline void AddEngineStats(BenchReporter* reporter,
   reporter->AddResultMetric(
       "optimistic_propagations",
       static_cast<double>(stats.optimistic_propagations));
+  reporter->AddResultMetric(
+      "arena_bytes_allocated",
+      static_cast<double>(stats.arena_bytes_allocated));
 }
 
 }  // namespace xaos::bench

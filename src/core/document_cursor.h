@@ -1,0 +1,95 @@
+// A shared document cursor: uniform node-id, level and ordinal assignment
+// for a fleet of engines fed from one event stream.
+//
+// Historically each XaosEngine numbered document nodes with its own private
+// counter, advanced only by the events it chose to receive (attributes and
+// text were numbered only when the query mentioned them). With label-indexed
+// dispatch an engine no longer sees every event, so ids must come from a
+// source that does: the fleet advances one DocumentCursor per event and
+// every engine reads ids from it. The numbering is uniform — every element,
+// every attribute and every text run gets an id whether or not any engine
+// cares — so ids are identical across engines and monotone in document
+// order (the property the engine's ancestor/ordering checks rely on).
+//
+// An engine attached to a cursor keeps only a *sparse* stack (frames for
+// elements it was shown); parent-id guards in its matching logic treat
+// skipped ancestors as empty frames.
+
+#ifndef XAOS_CORE_DOCUMENT_CURSOR_H_
+#define XAOS_CORE_DOCUMENT_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element_info.h"
+#include "util/check.h"
+
+namespace xaos::core {
+
+class DocumentCursor {
+ public:
+  struct Node {
+    ElementId id = 0;         // this element's id (virtual root: 0)
+    ElementId parent_id = 0;
+    ElementId attr_base = 0;  // id of this element's first attribute
+    uint32_t level = 0;       // virtual root: 0, document element: 1
+    uint64_t ordinal = 0;     // 1-based start-element ordinal; root: 0
+  };
+
+  DocumentCursor() { Reset(); }
+
+  // Starts a new document: spine holds only the virtual root.
+  void Reset() {
+    spine_.clear();
+    spine_.push_back(Node{});
+    next_id_ = 1;
+    text_id_ = 0;
+    elements_total_ = 0;
+  }
+
+  // Advances past a start-element with `attr_count` attributes. Ids are
+  // assigned in event order: the element first, then one per attribute.
+  void StartElement(size_t attr_count) {
+    Node node;
+    node.parent_id = spine_.back().id;
+    node.id = next_id_++;
+    node.attr_base = next_id_;
+    next_id_ += static_cast<ElementId>(attr_count);
+    node.level = static_cast<uint32_t>(spine_.size());
+    node.ordinal = ++elements_total_;
+    spine_.push_back(node);
+  }
+
+  void EndElement() {
+    XAOS_CHECK(spine_.size() > 1);
+    spine_.pop_back();
+  }
+
+  // Advances past one text run (each run gets its own id).
+  void Characters() { text_id_ = next_id_++; }
+
+  // The innermost open element (or the virtual root).
+  const Node& top() const { return spine_.back(); }
+  // Depth of the spine including the virtual root (== top().level + 1).
+  size_t depth() const { return spine_.size(); }
+
+  // Id of attribute `k` (0-based) of the innermost open element.
+  ElementId attribute_id(size_t k) const {
+    return spine_.back().attr_base + static_cast<ElementId>(k);
+  }
+  // Id of the text run most recently announced via Characters().
+  ElementId text_id() const { return text_id_; }
+
+  // Total start-elements seen this document.
+  uint64_t elements_total() const { return elements_total_; }
+
+ private:
+  std::vector<Node> spine_;
+  ElementId next_id_ = 1;
+  ElementId text_id_ = 0;
+  uint64_t elements_total_ = 0;
+};
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_DOCUMENT_CURSOR_H_

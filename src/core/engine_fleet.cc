@@ -1,0 +1,153 @@
+#include "core/engine_fleet.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace xaos::core {
+namespace {
+
+// Folds the growth of the global symbol table since the last fold into the
+// process-wide registry. The table is process-global while registries can
+// be many, so the counter lives in the default registry and the baseline is
+// shared: each fold publishes only the delta it won via CAS (no double
+// counting across concurrent fleets).
+void FoldSymbolsInterned(obs::MetricsRegistry* registry) {
+  static std::atomic<uint64_t> folded{0};
+  uint64_t now = util::SymbolTable::Global().size();
+  uint64_t prev = folded.load(std::memory_order_relaxed);
+  while (prev < now) {
+    if (folded.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+      registry->GetCounter("xaos_symbols_interned")->Increment(now - prev);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void EngineFleet::AddEngine(XaosEngine* engine) {
+  engines_.push_back(engine);
+  finalized_ = false;
+}
+
+void EngineFleet::Finalize() {
+  if (finalized_) return;
+  always_dispatch_.clear();
+  text_engines_.clear();
+  by_symbol_.clear();
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    XaosEngine* engine = engines_[i];
+    engine->AttachCursor(&cursor_);
+    int idx = static_cast<int>(i);
+    // Wildcard tests match any name; sibling axes rely on a dense stack
+    // (every element delivered); capture mode records whole subtrees.
+    bool always = engine->has_any_element_candidates() ||
+                  engine->has_any_attribute_candidates() ||
+                  engine->wants_siblings() || engine->captures_subtrees();
+    if (always) {
+      always_dispatch_.push_back(idx);
+    } else {
+      for (util::Symbol s : engine->mentioned_symbols()) {
+        if (static_cast<size_t>(s) >= by_symbol_.size()) {
+          by_symbol_.resize(static_cast<size_t>(s) + 1);
+        }
+        by_symbol_[static_cast<size_t>(s)].push_back(idx);
+      }
+    }
+    if (engine->wants_text() || engine->captures_subtrees()) {
+      text_engines_.push_back(idx);
+    }
+  }
+  stamps_.assign(engines_.size(), 0);
+  stamp_ = 0;
+  finalized_ = true;
+}
+
+void EngineFleet::AddSymbolTargets(util::Symbol symbol,
+                                   std::string_view name) {
+  util::Symbol s = symbol;
+  if (s == util::kInvalidSymbol) {
+    // Event source without interning (replay paths). A name the table has
+    // never seen cannot be mentioned by any engine.
+    s = util::SymbolTable::Global().Lookup(name);
+  }
+  if (s < 0 || static_cast<size_t>(s) >= by_symbol_.size()) return;
+  for (int idx : by_symbol_[static_cast<size_t>(s)]) Deliver(idx);
+}
+
+void EngineFleet::StartDocument() {
+  Finalize();
+  cursor_.Reset();
+  depth_ = 0;
+  engines_skipped_document_ = 0;
+  for (XaosEngine* engine : engines_) engine->StartDocument();
+}
+
+void EngineFleet::StartElement(const xml::QName& name,
+                               xml::AttributeSpan attributes) {
+  cursor_.StartElement(attributes.size());
+
+  if (++stamp_ == 0) {
+    // Stamp wrap: invalidate all marks and restart.
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    stamp_ = 1;
+  }
+  delivered_scratch_.clear();
+  for (int idx : always_dispatch_) Deliver(idx);
+  AddSymbolTargets(name.symbol, name.text);
+  for (const xml::AttributeView& attr : attributes) {
+    AddSymbolTargets(attr.symbol, attr.name);
+  }
+
+  uint64_t skipped = engines_.size() - delivered_scratch_.size();
+  engines_skipped_ += skipped;
+  engines_skipped_document_ += skipped;
+
+  for (int idx : delivered_scratch_) {
+    engines_[static_cast<size_t>(idx)]->StartElement(name, attributes);
+  }
+
+  if (depth_ == delivered_stack_.size()) delivered_stack_.emplace_back();
+  delivered_stack_[depth_] = delivered_scratch_;  // reuses capacity
+  ++depth_;
+}
+
+void EngineFleet::EndElement(std::string_view name) {
+  XAOS_CHECK(depth_ > 0) << "unbalanced events";
+  --depth_;
+  for (int idx : delivered_stack_[depth_]) {
+    engines_[static_cast<size_t>(idx)]->EndElement(name);
+  }
+  cursor_.EndElement();
+}
+
+void EngineFleet::Characters(std::string_view text) {
+  cursor_.Characters();
+  for (int idx : text_engines_) {
+    engines_[static_cast<size_t>(idx)]->Characters(text);
+  }
+}
+
+void EngineFleet::EndDocument() {
+  for (XaosEngine* engine : engines_) {
+    engine->EndDocument();
+    // The engine only counted the elements it was shown; fold the filtered
+    // ones in as discarded so per-document stats still describe the whole
+    // document. (For engines that went inert mid-stream this also covers
+    // the post-confirmation tail, same as before dispatch filtering.)
+    uint64_t seen = engine->stats().elements_total;
+    if (cursor_.elements_total() > seen) {
+      engine->AccountSkippedElements(cursor_.elements_total() - seen);
+    }
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("xaos_dispatch_engines_skipped_total")
+        ->Increment(engines_skipped_document_);
+    FoldSymbolsInterned(&registry);
+  }
+}
+
+}  // namespace xaos::core

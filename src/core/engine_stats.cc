@@ -15,6 +15,10 @@ void EngineStats::ToMetrics(obs::MetricsRegistry* registry,
       ->Increment(propagations);
   registry->GetCounter(prefix + "optimistic_propagations_total")
       ->Increment(optimistic_propagations);
+  // Exact name from the observability contract (no prefix): total bytes the
+  // matching arenas served in place of heap allocations.
+  registry->GetCounter("xaos_arena_bytes_allocated")
+      ->Increment(arena_bytes_allocated);
   registry->GetGauge(prefix + "structures_live")
       ->Set(static_cast<int64_t>(structures_live));
   registry->GetGauge(prefix + "structures_live_peak")

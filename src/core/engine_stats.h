@@ -42,6 +42,11 @@ struct EngineStats {
   uint64_t propagations = 0;
   uint64_t optimistic_propagations = 0;
 
+  // Allocation traffic served by the engine's pool arena this document
+  // (bytes handed out by Allocate, recycled blocks counted every time) —
+  // the heap traffic the arena absorbed. Set at EndDocument.
+  uint64_t arena_bytes_allocated = 0;
+
   double DiscardedFraction() const {
     return elements_total == 0
                ? 0.0

@@ -24,15 +24,20 @@ std::string ElementInfo::ToString() const {
 }
 
 MatchingStructure::MatchingStructure(query::XNodeId xnode, ElementInfo element,
-                                     int slot_count, EngineStats* stats)
+                                     int slot_count, EngineStats* stats,
+                                     util::PoolArena* arena)
     : xnode_(xnode),
       element_(std::move(element)),
-      slots_(static_cast<size_t>(slot_count)),
-      confirmed_counts_(static_cast<size_t>(slot_count), 0),
+      slots_(static_cast<size_t>(slot_count),
+             SlotVector(util::PoolAllocator<MatchingPtr>(arena)),
+             util::PoolAllocator<SlotVector>(arena)),
+      confirmed_counts_(static_cast<size_t>(slot_count), 0,
+                        util::PoolAllocator<int>(arena)),
+      backrefs_(util::PoolAllocator<BackRef>(arena)),
       stats_(stats) {
   if (stats_ != nullptr) {
-    // Engines allocate via make_shared, which co-locates a control block of
-    // roughly two pointers plus the reference counts with the object.
+    // Engines allocate via allocate_shared, which co-locates a control block
+    // of roughly two pointers plus the reference counts with the object.
     constexpr uint64_t kControlBlockBytes = 32;
     accounted_bytes_ =
         sizeof(MatchingStructure) + kControlBlockBytes +
@@ -72,7 +77,7 @@ void MatchingStructure::Link(const MatchingPtr& parent, int i,
 }
 
 bool MatchingStructure::RemoveFromSlot(int i, const MatchingStructure* child) {
-  std::vector<MatchingPtr>& slot = slots_[static_cast<size_t>(i)];
+  SlotVector& slot = slots_[static_cast<size_t>(i)];
   for (size_t k = 0; k < slot.size(); ++k) {
     if (slot[k].get() == child) {
       slot.erase(slot.begin() + static_cast<ptrdiff_t>(k));

@@ -8,6 +8,12 @@
 // when every slot is non-empty (with all referenced structures themselves
 // total) — the engine maintains this invariant through propagation and undo
 // (Section 4.3).
+//
+// Storage: structures and their internal vectors live in the owning
+// engine's PoolArena (created via std::allocate_shared, so shared_ptr /
+// weak_ptr semantics and destructor-timed accounting are preserved while
+// steady-state allocation traffic never reaches the heap). The arena must
+// outlive every structure allocated from it.
 
 #ifndef XAOS_CORE_MATCHING_STRUCTURE_H_
 #define XAOS_CORE_MATCHING_STRUCTURE_H_
@@ -19,6 +25,7 @@
 #include "core/element_info.h"
 #include "core/engine_stats.h"
 #include "query/xtree.h"
+#include "util/pool_arena.h"
 
 namespace xaos::core {
 
@@ -27,12 +34,15 @@ using MatchingPtr = std::shared_ptr<MatchingStructure>;
 
 class MatchingStructure {
  public:
+  using SlotVector = util::ArenaVector<MatchingPtr>;
+
   // `stats`, if non-null, receives OnStructureCreated now (with this
   // structure's approximate byte footprint) and OnStructureDestroyed on
   // destruction, so live/peak counts and bytes are maintained on every
-  // creation path by construction.
+  // creation path by construction. `arena` backs the slot/count/backref
+  // vectors and must outlive the structure.
   MatchingStructure(query::XNodeId xnode, ElementInfo element, int slot_count,
-                    EngineStats* stats);
+                    EngineStats* stats, util::PoolArena* arena);
   ~MatchingStructure();
 
   // Approximate heap footprint accounted for this structure: the object
@@ -50,9 +60,7 @@ class MatchingStructure {
   const ElementInfo& element() const { return element_; }
 
   int slot_count() const { return static_cast<int>(slots_.size()); }
-  const std::vector<MatchingPtr>& slot(int i) const {
-    return slots_[static_cast<size_t>(i)];
-  }
+  const SlotVector& slot(int i) const { return slots_[static_cast<size_t>(i)]; }
   // A slot counts as non-empty if it stores an entry or has accumulated
   // confirmed entries (boolean submatchings release confirmed entries and
   // keep only the count — paper Section 5.1).
@@ -108,14 +116,14 @@ class MatchingStructure {
     int slot;
     bool optimistic;
   };
-  std::vector<BackRef>& backrefs() { return backrefs_; }
+  util::ArenaVector<BackRef>& backrefs() { return backrefs_; }
 
  private:
   query::XNodeId xnode_;
   ElementInfo element_;
-  std::vector<std::vector<MatchingPtr>> slots_;
-  std::vector<int> confirmed_counts_;  // parallel to slots_
-  std::vector<BackRef> backrefs_;
+  util::ArenaVector<SlotVector> slots_;
+  util::ArenaVector<int> confirmed_counts_;  // parallel to slots_
+  util::ArenaVector<BackRef> backrefs_;
   bool closed_ = false;
   bool dead_ = false;
   bool confirmed_ = false;

@@ -9,6 +9,68 @@
 #include "xml/sax_parser.h"
 
 namespace xaos::core {
+namespace {
+
+// Unions the results of the engines in [begin, end): document order,
+// deduplicated by node id (disjuncts of one query can select the same node;
+// ids are comparable across engines because the fleet numbers nodes with
+// one shared cursor).
+QueryResult MergeResults(const std::vector<std::unique_ptr<XaosEngine>>& engines,
+                         size_t begin, size_t end) {
+  QueryResult merged;
+  std::unordered_set<ElementId> seen;
+  for (size_t i = begin; i < end; ++i) {
+    const QueryResult& result = engines[i]->result();
+    merged.matched = merged.matched || result.matched;
+    for (const OutputItem& item : result.items) {
+      if (seen.insert(item.info.id).second) {
+        merged.items.push_back(item);
+      }
+    }
+  }
+  std::sort(merged.items.begin(), merged.items.end(),
+            [](const OutputItem& a, const OutputItem& b) {
+              return a.info.id < b.info.id;
+            });
+  return merged;
+}
+
+Status FirstError(const std::vector<std::unique_ptr<XaosEngine>>& engines) {
+  for (const auto& engine : engines) {
+    if (!engine->status().ok()) return engine->status();
+  }
+  return Status::Ok();
+}
+
+// Sums per-engine statistics. Per-document event counts are identical
+// across engines (the fleet back-fills filtered elements as discarded);
+// report them once. An element counts as discarded if every engine
+// discarded it — approximated by the minimum. Structure counts and arena
+// traffic accumulate.
+EngineStats SumStats(const std::vector<std::unique_ptr<XaosEngine>>& engines) {
+  EngineStats total;
+  bool first = true;
+  for (const auto& engine : engines) {
+    const EngineStats& s = engine->stats();
+    total.elements_total = s.elements_total;
+    total.elements_discarded =
+        first ? s.elements_discarded
+              : std::min(total.elements_discarded, s.elements_discarded);
+    first = false;
+    total.structures_created += s.structures_created;
+    total.structures_undone += s.structures_undone;
+    total.structures_live += s.structures_live;
+    total.structures_live_peak += s.structures_live_peak;
+    total.structure_memory.live_bytes += s.structure_memory.live_bytes;
+    total.structure_memory.peak_bytes += s.structure_memory.peak_bytes;
+    total.propagations += s.propagations;
+    total.optimistic_propagations += s.optimistic_propagations;
+    total.arena_bytes_allocated += s.arena_bytes_allocated;
+  }
+  return total;
+}
+
+}  // namespace
 
 StatusOr<Query> Query::Compile(std::string_view xpath, int max_paths) {
   XAOS_ASSIGN_OR_RETURN(std::vector<query::XTree> trees,
@@ -35,6 +97,7 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
   engines_.reserve(trees_->size());
   for (const query::XTree& tree : *trees_) {
     engines_.push_back(std::make_unique<XaosEngine>(&tree, options));
+    fleet_.AddEngine(engines_.back().get());
   }
   if (obs::Enabled()) {
     sampler_ = obs::EventCostSampler(
@@ -43,37 +106,21 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
   }
 }
 
-void StreamingEvaluator::StartDocument() {
-  for (auto& engine : engines_) engine->StartDocument();
-}
+void StreamingEvaluator::StartDocument() { fleet_.StartDocument(); }
 
-void StreamingEvaluator::EndDocument() {
-  for (auto& engine : engines_) engine->EndDocument();
-}
+void StreamingEvaluator::EndDocument() { fleet_.EndDocument(); }
 
-void StreamingEvaluator::StartElement(
-    std::string_view name, const std::vector<xml::Attribute>& attributes) {
-  if (sample_events_ && sampler_.ShouldSample()) {
-    uint64_t start = obs::NowNs();
-    for (auto& engine : engines_) engine->StartElement(name, attributes);
-    sampler_.RecordNs(obs::NowNs() - start);
-    return;
-  }
-  for (auto& engine : engines_) engine->StartElement(name, attributes);
+void StreamingEvaluator::StartElement(const xml::QName& name,
+                                      xml::AttributeSpan attributes) {
+  TimedDispatch([&] { fleet_.StartElement(name, attributes); });
 }
 
 void StreamingEvaluator::EndElement(std::string_view name) {
-  if (sample_events_ && sampler_.ShouldSample()) {
-    uint64_t start = obs::NowNs();
-    for (auto& engine : engines_) engine->EndElement(name);
-    sampler_.RecordNs(obs::NowNs() - start);
-    return;
-  }
-  for (auto& engine : engines_) engine->EndElement(name);
+  TimedDispatch([&] { fleet_.EndElement(name); });
 }
 
 void StreamingEvaluator::Characters(std::string_view text) {
-  for (auto& engine : engines_) engine->Characters(text);
+  fleet_.Characters(text);
 }
 
 bool StreamingEvaluator::MatchConfirmed() const {
@@ -83,58 +130,87 @@ bool StreamingEvaluator::MatchConfirmed() const {
   return false;
 }
 
-Status StreamingEvaluator::status() const {
-  for (const auto& engine : engines_) {
-    if (!engine->status().ok()) return engine->status();
-  }
-  return Status::Ok();
-}
+Status StreamingEvaluator::status() const { return FirstError(engines_); }
 
 QueryResult StreamingEvaluator::Result() const {
-  QueryResult merged;
-  std::unordered_set<ElementId> seen;
-  for (const auto& engine : engines_) {
-    const QueryResult& result = engine->result();
-    merged.matched = merged.matched || result.matched;
-    for (const OutputItem& item : result.items) {
-      if (seen.insert(item.info.id).second) {
-        merged.items.push_back(item);
-      }
-    }
-  }
-  std::sort(merged.items.begin(), merged.items.end(),
-            [](const OutputItem& a, const OutputItem& b) {
-              return a.info.id < b.info.id;
-            });
-  return merged;
+  return MergeResults(engines_, 0, engines_.size());
 }
 
 EngineStats StreamingEvaluator::AggregateStats() const {
-  EngineStats total;
-  bool first = true;
-  for (const auto& engine : engines_) {
-    const EngineStats& s = engine->stats();
-    // Per-document event counts are identical across engines; report them
-    // once. An element counts as discarded if every engine discarded it —
-    // approximated by the minimum. Structure counts accumulate.
-    total.elements_total = s.elements_total;
-    total.elements_discarded =
-        first ? s.elements_discarded
-              : std::min(total.elements_discarded, s.elements_discarded);
-    first = false;
-    total.structures_created += s.structures_created;
-    total.structures_undone += s.structures_undone;
-    total.structures_live += s.structures_live;
-    total.structures_live_peak += s.structures_live_peak;
-    total.structure_memory.live_bytes += s.structure_memory.live_bytes;
-    total.structure_memory.peak_bytes += s.structure_memory.peak_bytes;
-    total.propagations += s.propagations;
-    total.optimistic_propagations += s.optimistic_propagations;
-  }
-  return total;
+  return SumStats(engines_);
 }
 
 void StreamingEvaluator::ExportMetrics(obs::MetricsRegistry* registry) const {
+  AggregateStats().ToMetrics(registry);
+}
+
+MultiQueryEvaluator::MultiQueryEvaluator(EngineOptions options)
+    : options_(options) {
+  if (obs::Enabled()) {
+    sampler_ = obs::EventCostSampler(
+        obs::MetricsRegistry::Default().GetHistogram("xaos_engine_event_ns"));
+    sample_events_ = true;
+  }
+}
+
+size_t MultiQueryEvaluator::AddQuery(const Query& query) {
+  QuerySlot slot;
+  slot.trees = query.trees_;
+  slot.begin = engines_.size();
+  for (const query::XTree& tree : *slot.trees) {
+    engines_.push_back(std::make_unique<XaosEngine>(&tree, options_));
+    fleet_.AddEngine(engines_.back().get());
+  }
+  slot.end = engines_.size();
+  queries_.push_back(std::move(slot));
+  return queries_.size() - 1;
+}
+
+void MultiQueryEvaluator::StartDocument() { fleet_.StartDocument(); }
+
+void MultiQueryEvaluator::EndDocument() { fleet_.EndDocument(); }
+
+void MultiQueryEvaluator::StartElement(const xml::QName& name,
+                                       xml::AttributeSpan attributes) {
+  TimedDispatch([&] { fleet_.StartElement(name, attributes); });
+}
+
+void MultiQueryEvaluator::EndElement(std::string_view name) {
+  TimedDispatch([&] { fleet_.EndElement(name); });
+}
+
+void MultiQueryEvaluator::Characters(std::string_view text) {
+  fleet_.Characters(text);
+}
+
+Status MultiQueryEvaluator::status() const { return FirstError(engines_); }
+
+bool MultiQueryEvaluator::Matched(size_t q) const {
+  const QuerySlot& slot = queries_[q];
+  for (size_t i = slot.begin; i < slot.end; ++i) {
+    if (engines_[i]->result().matched) return true;
+  }
+  return false;
+}
+
+bool MultiQueryEvaluator::MatchConfirmed(size_t q) const {
+  const QuerySlot& slot = queries_[q];
+  for (size_t i = slot.begin; i < slot.end; ++i) {
+    if (engines_[i]->match_confirmed()) return true;
+  }
+  return false;
+}
+
+QueryResult MultiQueryEvaluator::Result(size_t q) const {
+  const QuerySlot& slot = queries_[q];
+  return MergeResults(engines_, slot.begin, slot.end);
+}
+
+EngineStats MultiQueryEvaluator::AggregateStats() const {
+  return SumStats(engines_);
+}
+
+void MultiQueryEvaluator::ExportMetrics(obs::MetricsRegistry* registry) const {
   AggregateStats().ToMetrics(registry);
 }
 

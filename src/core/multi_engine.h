@@ -1,6 +1,8 @@
 // Top-level query API: compile an XPath expression (possibly containing
 // `or` / `|`) into a set of x-trees and evaluate them together over a
-// single event stream, unioning the results (paper Section 5.2).
+// single event stream, unioning the results (paper Section 5.2) — plus the
+// multi-query evaluator that runs many independent subscriptions over one
+// stream through the label-indexed dispatch fleet (engine_fleet.h).
 
 #ifndef XAOS_CORE_MULTI_ENGINE_H_
 #define XAOS_CORE_MULTI_ENGINE_H_
@@ -10,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/engine_fleet.h"
 #include "core/result.h"
 #include "core/xaos_engine.h"
 #include "dom/document.h"
@@ -44,19 +47,21 @@ class Query {
   std::shared_ptr<const std::vector<query::XTree>> trees_;
 
   friend class StreamingEvaluator;
+  friend class MultiQueryEvaluator;
 };
 
 // Evaluates a compiled query over one document at a time. The evaluator is
 // itself a ContentHandler: feed it parser or replayer events; one XaosEngine
-// runs per disjunct. Reusable: each StartDocument resets all engines.
+// runs per disjunct, dispatched through an EngineFleet (shared document
+// cursor + label index). Reusable: each StartDocument resets all engines.
 class StreamingEvaluator : public xml::ContentHandler {
  public:
   explicit StreamingEvaluator(const Query& query, EngineOptions options = {});
 
   void StartDocument() override;
   void EndDocument() override;
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>& attributes) override;
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 
@@ -72,17 +77,96 @@ class StreamingEvaluator : public xml::ContentHandler {
   EngineStats AggregateStats() const;
   // Folds AggregateStats() into `registry` (see EngineStats::ToMetrics).
   void ExportMetrics(obs::MetricsRegistry* registry) const;
+  // Engine deliveries the dispatch index suppressed (cumulative).
+  uint64_t engines_skipped() const { return fleet_.engines_skipped(); }
 
   const std::vector<std::unique_ptr<XaosEngine>>& engines() const {
     return engines_;
   }
 
  private:
+  // Runs one event dispatch, charging a sampled subset of events to the
+  // default registry's `xaos_engine_event_ns` histogram.
+  template <typename Fn>
+  void TimedDispatch(Fn&& fn) {
+    if (sample_events_ && sampler_.ShouldSample()) {
+      uint64_t start = obs::NowNs();
+      fn();
+      sampler_.RecordNs(obs::NowNs() - start);
+      return;
+    }
+    fn();
+  }
+
   std::shared_ptr<const std::vector<query::XTree>> trees_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
+  EngineFleet fleet_;
   // Per-event cost sampling into the default registry's
   // `xaos_engine_event_ns` histogram; armed at construction when obs is
   // enabled, otherwise a single dead branch per event.
+  bool sample_events_ = false;
+  obs::EventCostSampler sampler_{nullptr};
+};
+
+// Evaluates many compiled queries ("subscriptions") over one event stream
+// in a single pass — the publish/subscribe configuration. All engines share
+// one EngineFleet, so per-event cost is proportional to the engines whose
+// labels occur on the event, not to the subscription count; results are
+// byte-identical to running one StreamingEvaluator per query.
+class MultiQueryEvaluator : public xml::ContentHandler {
+ public:
+  explicit MultiQueryEvaluator(EngineOptions options = {});
+
+  // Registers a subscription and returns its index (stable; used to read
+  // per-query results). All queries must be added before StartDocument.
+  size_t AddQuery(const Query& query);
+  size_t query_count() const { return queries_.size(); }
+
+  void StartDocument() override;
+  void EndDocument() override;
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override;
+  void EndElement(std::string_view name) override;
+  void Characters(std::string_view text) override;
+
+  // First engine error, if any.
+  Status status() const;
+  // Whether query `q` matched. Valid after EndDocument.
+  bool Matched(size_t q) const;
+  // True as soon as query `q`'s match is guaranteed (usable mid-stream).
+  bool MatchConfirmed(size_t q) const;
+  // Query `q`'s result, disjuncts unioned. Valid after EndDocument.
+  QueryResult Result(size_t q) const;
+
+  // Sum of all engines' statistics.
+  EngineStats AggregateStats() const;
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+  uint64_t engines_skipped() const { return fleet_.engines_skipped(); }
+  size_t engine_count() const { return engines_.size(); }
+
+ private:
+  // Engines of query q occupy [begin, end) of engines_.
+  struct QuerySlot {
+    std::shared_ptr<const std::vector<query::XTree>> trees;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  template <typename Fn>
+  void TimedDispatch(Fn&& fn) {
+    if (sample_events_ && sampler_.ShouldSample()) {
+      uint64_t start = obs::NowNs();
+      fn();
+      sampler_.RecordNs(obs::NowNs() - start);
+      return;
+    }
+    fn();
+  }
+
+  EngineOptions options_;
+  std::vector<QuerySlot> queries_;
+  std::vector<std::unique_ptr<XaosEngine>> engines_;
+  EngineFleet fleet_;
   bool sample_events_ = false;
   obs::EventCostSampler sampler_{nullptr};
 };

@@ -122,10 +122,10 @@ void TraceHandler::EndDocument() {
   EmitVerdict();
 }
 
-void TraceHandler::StartElement(std::string_view name,
-                                const std::vector<xml::Attribute>& attrs) {
+void TraceHandler::StartElement(const xml::QName& name,
+                                xml::AttributeSpan attrs) {
   engine_->StartElement(name, attrs);
-  Emit('S', name);
+  Emit('S', name.text);
 }
 
 void TraceHandler::EndElement(std::string_view name) {

@@ -48,8 +48,8 @@ class TraceHandler : public xml::ContentHandler {
 
   void StartDocument() override;
   void EndDocument() override;
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>& attributes) override;
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 

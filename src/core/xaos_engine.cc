@@ -22,6 +22,20 @@ XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
   int n = tree_->size();
   slot_in_parent_.assign(static_cast<size_t>(n), -1);
   is_output_.assign(static_cast<size_t>(n), false);
+  // Name tests are interned once here (the x-tree compiler usually already
+  // did — name_symbol — so this is a no-op hash at most once per x-node);
+  // at event time candidate lookup is a flat index by the event's Symbol.
+  auto add_named = [this](std::vector<std::vector<XNodeId>>* table,
+                          const NodeTestSpec& spec, XNodeId v) {
+    util::Symbol s = spec.name_symbol != util::kInvalidSymbol
+                         ? spec.name_symbol
+                         : util::SymbolTable::Global().Intern(spec.name);
+    if (static_cast<size_t>(s) >= table->size()) {
+      table->resize(static_cast<size_t>(s) + 1);
+    }
+    (*table)[static_cast<size_t>(s)].push_back(v);
+    mentioned_symbols_.push_back(s);
+  };
   for (XNodeId v = 0; v < n; ++v) {
     const query::XNode& node = tree_->node(v);
     is_output_[static_cast<size_t>(v)] = node.is_output;
@@ -34,13 +48,13 @@ XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
         root_candidates_.push_back(v);
         break;
       case NodeTestSpec::Kind::kElement:
-        element_candidates_[node.test.name].push_back(v);
+        add_named(&element_candidates_, node.test, v);
         break;
       case NodeTestSpec::Kind::kAnyElement:
         any_element_candidates_.push_back(v);
         break;
       case NodeTestSpec::Kind::kAttribute:
-        attribute_candidates_[node.test.name].push_back(v);
+        add_named(&attribute_candidates_, node.test, v);
         wants_attributes_ = true;
         break;
       case NodeTestSpec::Kind::kAnyAttribute:
@@ -53,6 +67,10 @@ XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
         break;
     }
   }
+  std::sort(mentioned_symbols_.begin(), mentioned_symbols_.end());
+  mentioned_symbols_.erase(
+      std::unique(mentioned_symbols_.begin(), mentioned_symbols_.end()),
+      mentioned_symbols_.end());
   // Pre-sort every candidate list by topological rank so that self-edges
   // are resolved in order within a single event.
   auto by_rank = [this](XNodeId a, XNodeId b) {
@@ -64,10 +82,10 @@ XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
   std::sort(any_attribute_candidates_.begin(), any_attribute_candidates_.end(),
             by_rank);
   std::sort(text_candidates_.begin(), text_candidates_.end(), by_rank);
-  for (auto& [name, list] : element_candidates_) {
+  for (auto& list : element_candidates_) {
     std::sort(list.begin(), list.end(), by_rank);
   }
-  for (auto& [name, list] : attribute_candidates_) {
+  for (auto& list : attribute_candidates_) {
     std::sort(list.begin(), list.end(), by_rank);
   }
   open_by_xnode_.resize(static_cast<size_t>(n));
@@ -130,13 +148,16 @@ void XaosEngine::ResetDocumentState() {
   captured_.clear();
   root_structure_.reset();
   live_root_ = nullptr;
-  next_id_ = 0;
   done_ = false;
   early_match_ = false;
   inert_ = false;
   error_ = Status::Ok();
   stats_ = EngineStats{};
   result_ = QueryResult{};
+  // Releasing the previous document's structures above returned their
+  // blocks to the arena's free lists; from here on the delta of
+  // bytes_allocated() is this document's allocation traffic.
+  arena_baseline_ = arena_.bytes_allocated();
 }
 
 void XaosEngine::FailWith(Status status) {
@@ -161,25 +182,33 @@ const MatchingPtr* XaosEngine::FindMatch(const Frame& frame, XNodeId xnode) {
   return nullptr;
 }
 
-void XaosEngine::CollectCandidates(DocNodeKind kind, std::string_view name,
+void XaosEngine::CollectCandidates(DocNodeKind kind, util::Symbol symbol,
                                    std::vector<XNodeId>* out) const {
   out->clear();
   auto append = [out](const std::vector<XNodeId>& list) {
     out->insert(out->end(), list.begin(), list.end());
+  };
+  // A symbol outside the table (or never interned at all) cannot equal any
+  // interned query name — no candidates by name.
+  auto named = [](const std::vector<std::vector<XNodeId>>& table,
+                  util::Symbol s) -> const std::vector<XNodeId>* {
+    if (s < 0 || static_cast<size_t>(s) >= table.size()) return nullptr;
+    const std::vector<XNodeId>& list = table[static_cast<size_t>(s)];
+    return list.empty() ? nullptr : &list;
   };
   switch (kind) {
     case DocNodeKind::kRoot:
       append(root_candidates_);
       break;
     case DocNodeKind::kElement: {
-      auto it = element_candidates_.find(name);  // heterogeneous lookup
-      if (it != element_candidates_.end()) append(it->second);
+      if (const auto* list = named(element_candidates_, symbol)) append(*list);
       append(any_element_candidates_);
       break;
     }
     case DocNodeKind::kAttribute: {
-      auto it = attribute_candidates_.find(name);
-      if (it != attribute_candidates_.end()) append(it->second);
+      if (const auto* list = named(attribute_candidates_, symbol)) {
+        append(*list);
+      }
       append(any_attribute_candidates_);
       break;
     }
@@ -202,8 +231,14 @@ bool XaosEngine::IsRelevant(XNodeId v, const Frame& frame) const {
     switch (edge.axis) {
       case Axis::kChild:
       case Axis::kAttribute:
-        // The would-be parent of the new node is the current stack top.
-        if (depth_ == 0 || FindMatch(stack_[depth_ - 1], u) == nullptr) {
+        // The would-be parent of the new node is the current stack top —
+        // unless dispatch filtering skipped the real parent (sparse stack),
+        // in which case the top is some higher ancestor. A skipped element
+        // matched nothing, so the constraint is unsupported either way; the
+        // parent-id guard makes that explicit.
+        if (depth_ == 0 ||
+            stack_[depth_ - 1].info.id != frame.info.parent_id ||
+            FindMatch(stack_[depth_ - 1], u) == nullptr) {
           return false;
         }
         break;
@@ -224,9 +259,11 @@ bool XaosEngine::IsRelevant(XNodeId v, const Frame& frame) const {
         break;
       case Axis::kFollowingSibling: {
         // A preceding sibling (a closed child of the would-be parent) must
-        // match `u`.
+        // match `u`. Sibling-axis engines always see every element (dense
+        // stack), but guard the parent identity anyway.
         if (depth_ == 0) return false;
         const Frame& parent = stack_[depth_ - 1];
+        if (parent.info.id != frame.info.parent_id) return false;
         bool found = false;
         for (const MatchingPtr& p :
              parent.closed_by_xnode[static_cast<size_t>(u)]) {
@@ -253,7 +290,8 @@ bool XaosEngine::IsRelevant(XNodeId v, const Frame& frame) const {
 }
 
 void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
-                              std::string_view value) {
+                              util::Symbol symbol, std::string_view value,
+                              const NodePosition& position) {
   // Acquire (or reuse) the frame at the current depth; it is only made
   // visible (depth_ incremented) after matching, so relevance checks still
   // see the previous top as the parent.
@@ -270,18 +308,18 @@ void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
     }
   }
 
-  frame.info.id = next_id_++;
-  frame.info.parent_id = depth_ > 0 ? stack_[depth_ - 1].info.id : 0;
-  frame.info.level = static_cast<int>(depth_);
+  // Identity comes from the document cursor, not from this engine's view of
+  // the stream: ids/levels/ordinals are uniform across a fleet of engines
+  // even when dispatch filtering gives each a different event subset, and
+  // remain monotone in document order.
+  frame.info.id = position.id;
+  frame.info.parent_id = position.parent_id;
+  frame.info.level = position.level;
+  frame.info.ordinal = position.ordinal;
   frame.info.kind = kind;
-  if (kind == DocNodeKind::kElement) {
-    ++stats_.elements_total;
-    frame.info.ordinal = static_cast<uint32_t>(stats_.elements_total);
-  } else {
-    frame.info.ordinal = depth_ > 0 ? stack_[depth_ - 1].info.ordinal : 0;
-  }
+  if (kind == DocNodeKind::kElement) ++stats_.elements_total;
 
-  CollectCandidates(kind, name, &candidate_scratch_);
+  CollectCandidates(kind, symbol, &candidate_scratch_);
   bool info_filled = false;
   for (XNodeId v : candidate_scratch_) {
     const NodeTestSpec& spec = tree_->node(v).test;
@@ -296,9 +334,11 @@ void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
     }
     // Creation/live/peak/byte accounting happens inside the constructor via
     // EngineStats::OnStructureCreated, so no allocation path can miss it.
-    auto structure = std::make_shared<MatchingStructure>(
-        v, frame.info, static_cast<int>(tree_->node(v).children.size()),
-        &stats_);
+    // allocate_shared puts object and control block in the arena while
+    // keeping shared/weak_ptr semantics and destructor timing.
+    auto structure = std::allocate_shared<MatchingStructure>(
+        util::PoolAllocator<MatchingStructure>(&arena_), v, frame.info,
+        static_cast<int>(tree_->node(v).children.size()), &stats_, &arena_);
     frame.xnodes.push_back(v);
     frame.structures.push_back(std::move(structure));
   }
@@ -355,8 +395,12 @@ bool XaosEngine::SlotRefillable(const MatchingStructure& parent,
 }
 
 void XaosEngine::CascadeRemoval(MatchingStructure* m, bool retract_only) {
-  std::vector<MatchingStructure::BackRef> kept;
-  std::vector<MatchingStructure::BackRef> refs;
+  // Locals share the structure's arena allocator so cascades stay off the
+  // heap too.
+  util::ArenaVector<MatchingStructure::BackRef> kept(
+      m->backrefs().get_allocator());
+  util::ArenaVector<MatchingStructure::BackRef> refs(
+      m->backrefs().get_allocator());
   refs.swap(m->backrefs());
   for (const MatchingStructure::BackRef& ref : refs) {
     if (retract_only && ref.optimistic) {
@@ -420,7 +464,12 @@ void XaosEngine::PropagateUp(const MatchingPtr& m) {
     switch (tree_->node(v).incoming_axis) {
       case Axis::kChild:
       case Axis::kAttribute: {
-        if (depth_ < 2) break;
+        // stack_[depth_ - 2] is the document parent only if dispatch did
+        // not skip it (sparse stack); a skipped parent matched nothing.
+        if (depth_ < 2 ||
+            stack_[depth_ - 2].info.id != m->element().parent_id) {
+          break;
+        }
         const MatchingPtr* p = FindMatch(stack_[depth_ - 2], parent_xnode);
         if (p != nullptr && !(*p)->dead()) {
           LinkChild(*p, slot, m, /*optimistic=*/false);
@@ -451,7 +500,10 @@ void XaosEngine::PropagateUp(const MatchingPtr& m) {
         // Targets are the already-closed preceding siblings matched to the
         // parent x-node; filling their slot may complete them (deferred
         // propagation).
-        if (depth_ < 2) break;
+        if (depth_ < 2 ||
+            stack_[depth_ - 2].info.id != m->element().parent_id) {
+          break;
+        }
         Frame& parent_frame = stack_[depth_ - 2];
         // Copy: deferred completion may append to this list... it cannot
         // (registration happens at pop), but undo cascades may mutate it.
@@ -529,7 +581,12 @@ void XaosEngine::ProcessEnd() {
       XNodeId w = children[slot];
       switch (tree_->node(w).incoming_axis) {
         case Axis::kParent: {
-          if (depth_ < 2) break;
+          // Sparse-stack guard: stack_[depth_ - 2] must be the document
+          // parent (skipped ancestors matched nothing).
+          if (depth_ < 2 ||
+              stack_[depth_ - 2].info.id != frame.info.parent_id) {
+            break;
+          }
           const MatchingPtr* p = FindMatch(stack_[depth_ - 2], w);
           if (p != nullptr && !(*p)->dead()) {
             LinkChild(m, static_cast<int>(slot), *p, /*optimistic=*/true);
@@ -567,7 +624,10 @@ void XaosEngine::ProcessEnd() {
           break;
         }
         case Axis::kPrecedingSibling: {
-          if (depth_ < 2) break;
+          if (depth_ < 2 ||
+              stack_[depth_ - 2].info.id != frame.info.parent_id) {
+            break;
+          }
           Frame& parent_frame = stack_[depth_ - 2];
           for (const MatchingPtr& p :
                parent_frame.closed_by_xnode[static_cast<size_t>(w)]) {
@@ -623,7 +683,8 @@ void XaosEngine::ProcessEnd() {
   }
   // Keep sibling-relevant matches reachable from the parent frame until the
   // parent closes.
-  if (wants_siblings_ && depth_ >= 2) {
+  if (wants_siblings_ && depth_ >= 2 &&
+      stack_[depth_ - 2].info.id == frame.info.parent_id) {
     Frame& parent_frame = stack_[depth_ - 2];
     for (size_t i = 0; i < frame.xnodes.size(); ++i) {
       XNodeId v = frame.xnodes[i];
@@ -655,7 +716,8 @@ void XaosEngine::TryConfirm(MatchingStructure* m) {
   // Walk the parents that linked this structure before it was confirmed
   // (later links count it directly, see LinkChild).
   bool counted = IsCountedXNode(m->xnode());
-  std::vector<MatchingStructure::BackRef> backrefs;
+  util::ArenaVector<MatchingStructure::BackRef> backrefs(
+      m->backrefs().get_allocator());
   if (counted) {
     // Once counted, the stored entries (and back references) are released:
     // confirmed structures are immutable, so nothing will ever need to
@@ -681,21 +743,35 @@ void XaosEngine::TryConfirm(MatchingStructure* m) {
 
 void XaosEngine::StartDocument() {
   ResetDocumentState();
-  ProcessStart(DocNodeKind::kRoot, "", "");
+  if (!external_cursor_) own_cursor_.Reset();
+  ProcessStart(DocNodeKind::kRoot, "", util::kInvalidSymbol, "",
+               NodePosition{});
   const MatchingPtr* root = FindMatch(stack_[0], kRootXNode);
   live_root_ = (root != nullptr) ? root->get() : nullptr;
 }
 
-void XaosEngine::StartElement(std::string_view name,
-                              const std::vector<xml::Attribute>& attributes) {
+void XaosEngine::StartElement(const xml::QName& name,
+                              xml::AttributeSpan attributes) {
   if (!error_.ok() || inert_) return;
-  ProcessStart(DocNodeKind::kElement, name, "");
+  if (!external_cursor_) own_cursor_.StartElement(attributes.size());
+  const DocumentCursor::Node& node = cursor_->top();
+  // Replay paths (DOM replayer, recorded events, hand-fed tests) deliver
+  // names without interned symbols; resolve against the global table. A
+  // name the table has never seen cannot match any query name test.
+  util::Symbol symbol = name.symbol;
+  if (symbol == util::kInvalidSymbol) {
+    symbol = util::SymbolTable::Global().Lookup(name.text);
+  }
+  ProcessStart(DocNodeKind::kElement, name.text, symbol, "",
+               NodePosition{node.id, node.parent_id,
+                            static_cast<int>(node.level),
+                            static_cast<uint32_t>(node.ordinal)});
   if (!error_.ok()) return;
 
   if (options_.capture_output_subtrees) {
-    for (const std::unique_ptr<Capture>& capture : active_captures_) {
-      capture->writer.StartElement(name);
-      for (const xml::Attribute& attr : attributes) {
+    for (const CapturePtr& capture : active_captures_) {
+      capture->writer.StartElement(name.text);
+      for (const xml::AttributeView& attr : attributes) {
         capture->writer.WriteAttribute(attr.name, attr.value);
       }
     }
@@ -708,10 +784,11 @@ void XaosEngine::StartElement(std::string_view name,
       }
     }
     if (output_match) {
-      auto capture = std::make_unique<Capture>();
+      CapturePtr capture(new (arena_.Allocate(sizeof(Capture))) Capture,
+                         CaptureDeleter{&arena_});
       capture->element_id = top.info.id;
-      capture->writer.StartElement(name);
-      for (const xml::Attribute& attr : attributes) {
+      capture->writer.StartElement(name.text);
+      for (const xml::AttributeView& attr : attributes) {
         capture->writer.WriteAttribute(attr.name, attr.value);
       }
       top.capture_index = static_cast<int>(active_captures_.size());
@@ -720,8 +797,16 @@ void XaosEngine::StartElement(std::string_view name,
   }
 
   if (wants_attributes_) {
-    for (const xml::Attribute& attr : attributes) {
-      ProcessStart(DocNodeKind::kAttribute, attr.name, attr.value);
+    for (size_t k = 0; k < attributes.size(); ++k) {
+      const xml::AttributeView& attr = attributes[k];
+      util::Symbol attr_symbol = attr.symbol;
+      if (attr_symbol == util::kInvalidSymbol) {
+        attr_symbol = util::SymbolTable::Global().Lookup(attr.name);
+      }
+      ProcessStart(DocNodeKind::kAttribute, attr.name, attr_symbol, attr.value,
+                   NodePosition{cursor_->attribute_id(k), node.id,
+                                static_cast<int>(node.level) + 1,
+                                static_cast<uint32_t>(node.ordinal)});
       if (!error_.ok()) return;
       ProcessEnd();
     }
@@ -730,13 +815,18 @@ void XaosEngine::StartElement(std::string_view name,
 
 void XaosEngine::Characters(std::string_view text) {
   if (!error_.ok() || inert_ || depth_ == 0) return;
+  if (!external_cursor_) own_cursor_.Characters();
   if (options_.capture_output_subtrees) {
-    for (const std::unique_ptr<Capture>& capture : active_captures_) {
+    for (const CapturePtr& capture : active_captures_) {
       capture->writer.WriteText(text);
     }
   }
   if (wants_text_) {
-    ProcessStart(DocNodeKind::kText, "", text);
+    const DocumentCursor::Node& node = cursor_->top();
+    ProcessStart(DocNodeKind::kText, "", util::kInvalidSymbol, text,
+                 NodePosition{cursor_->text_id(), node.id,
+                              static_cast<int>(node.level) + 1,
+                              static_cast<uint32_t>(node.ordinal)});
     if (!error_.ok()) return;
     ProcessEnd();
   }
@@ -745,7 +835,7 @@ void XaosEngine::Characters(std::string_view text) {
 void XaosEngine::EndElement(std::string_view /*name*/) {
   if (!error_.ok() || inert_) return;
   if (options_.capture_output_subtrees) {
-    for (const std::unique_ptr<Capture>& capture : active_captures_) {
+    for (const CapturePtr& capture : active_captures_) {
       capture->writer.EndElement();
     }
     Frame& top = stack_[depth_ - 1];
@@ -758,11 +848,13 @@ void XaosEngine::EndElement(std::string_view /*name*/) {
     }
   }
   ProcessEnd();
+  if (!external_cursor_) own_cursor_.EndElement();
 }
 
 void XaosEngine::EndDocument() {
   if (!error_.ok()) return;
   if (inert_) {
+    stats_.arena_bytes_allocated = arena_.bytes_allocated() - arena_baseline_;
     // Early-terminated filtering mode: the match is guaranteed; per-item
     // results were not tracked past the confirmation point.
     result_ = QueryResult{};
@@ -774,6 +866,7 @@ void XaosEngine::EndDocument() {
   const MatchingPtr* root = FindMatch(stack_[0], kRootXNode);
   root_structure_ = (root != nullptr) ? *root : nullptr;
   ProcessEnd();
+  stats_.arena_bytes_allocated = arena_.bytes_allocated() - arena_baseline_;
   BuildResult(root_structure_);
   done_ = true;
 }

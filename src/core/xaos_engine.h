@@ -36,13 +36,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/document_cursor.h"
 #include "core/element_info.h"
 #include "core/engine_stats.h"
 #include "core/matching_structure.h"
 #include "core/result.h"
 #include "query/xdag.h"
 #include "query/xtree.h"
+#include "util/pool_arena.h"
 #include "util/statusor.h"
+#include "util/symbol_table.h"
 #include "xml/sax_event.h"
 #include "xml/xml_writer.h"
 
@@ -107,10 +110,45 @@ class XaosEngine : public xml::ContentHandler {
   // one engine can process a sequence of documents.
   void StartDocument() override;
   void EndDocument() override;
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>& attributes) override;
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+
+  // --- multi-query dispatch support (EngineFleet) ---
+  // Reads document-node ids/levels/ordinals from `cursor` instead of the
+  // engine's private one. The caller then owns event numbering: it must
+  // advance the cursor for *every* document event (including events it does
+  // not deliver to this engine) before delivering the ones it does. Must be
+  // called before StartDocument; the cursor must outlive the engine's use.
+  void AttachCursor(const DocumentCursor* cursor) {
+    cursor_ = cursor;
+    external_cursor_ = (cursor != nullptr);
+    if (!external_cursor_) cursor_ = &own_cursor_;
+  }
+  // Folds `n` elements this engine never saw (filtered out by dispatch)
+  // into its per-document stats as discarded, so elements_total still
+  // reflects the whole document.
+  void AccountSkippedElements(uint64_t n) {
+    stats_.elements_total += n;
+    stats_.elements_discarded += n;
+  }
+  // Interned names this engine's x-tree tests mention (elements and
+  // attributes, deduplicated) — the dispatch index key set.
+  const std::vector<util::Symbol>& mentioned_symbols() const {
+    return mentioned_symbols_;
+  }
+  // True if the engine must see every element regardless of its name.
+  bool has_any_element_candidates() const {
+    return !any_element_candidates_.empty();
+  }
+  bool has_any_attribute_candidates() const {
+    return !any_attribute_candidates_.empty();
+  }
+  bool wants_attributes() const { return wants_attributes_; }
+  bool wants_text() const { return wants_text_; }
+  bool wants_siblings() const { return wants_siblings_; }
+  bool captures_subtrees() const { return options_.capture_output_subtrees; }
 
   const query::XTree& tree() const { return *tree_; }
   const query::XDag& xdag() const { return xdag_; }
@@ -168,11 +206,33 @@ class XaosEngine : public xml::ContentHandler {
     std::string xml;
     xml::XmlWriter writer{&xml};
   };
+  // Captures are placement-new'd into the arena; the deleter returns the
+  // block to its free list.
+  struct CaptureDeleter {
+    util::PoolArena* arena;
+    void operator()(Capture* c) const {
+      c->~Capture();
+      arena->Deallocate(c, sizeof(Capture));
+    }
+  };
+  using CapturePtr = std::unique_ptr<Capture, CaptureDeleter>;
+
+  // Document-position identity of the node being started, read off the
+  // cursor by the event handlers.
+  struct NodePosition {
+    ElementId id = 0;
+    ElementId parent_id = 0;
+    int level = 0;
+    uint32_t ordinal = 0;
+  };
 
   // Creates the frame for a new document node, matching it against
-  // candidate x-nodes, and pushes it onto the stack.
+  // candidate x-nodes, and pushes it onto the stack. `symbol` is the
+  // interned name if the event source supplied one (kInvalidSymbol
+  // otherwise — resolved via SymbolTable::Lookup).
   void ProcessStart(query::DocNodeKind kind, std::string_view name,
-                    std::string_view value);
+                    util::Symbol symbol, std::string_view value,
+                    const NodePosition& position);
   // Closes the top frame: optimistic pulls, satisfaction checks,
   // propagation/undo, and stack maintenance (Section 4.3).
   void ProcessEnd();
@@ -181,9 +241,11 @@ class XaosEngine : public xml::ContentHandler {
   // not-yet-pushed `frame`.
   bool IsRelevant(query::XNodeId v, const Frame& frame) const;
 
-  // Collects x-nodes whose tests could match the given node, sorted by
-  // x-dag topological rank (so self-edges see their sources first).
-  void CollectCandidates(query::DocNodeKind kind, std::string_view name,
+  // Collects x-nodes whose tests could match a node of the given kind and
+  // interned name, sorted by x-dag topological rank (so self-edges see
+  // their sources first). Name tests resolve through the symbol-indexed
+  // candidate tables — integer index, no hashing.
+  void CollectCandidates(query::DocNodeKind kind, util::Symbol symbol,
                          std::vector<query::XNodeId>* out) const;
 
   // Recursively retracts a structure that cannot be part of a total
@@ -235,28 +297,25 @@ class XaosEngine : public xml::ContentHandler {
   void ResetDocumentState();
   void FailWith(Status status);
 
-  // Hash/equality functors enabling string_view lookups without a
-  // temporary std::string (C++20 heterogeneous unordered lookup).
-  struct StringHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  using CandidateMap =
-      std::unordered_map<std::string, std::vector<query::XNodeId>, StringHash,
-                         std::equal_to<>>;
-
   const query::XTree* tree_;
   query::XDag xdag_;
   EngineOptions options_;
 
+  // Backing store for all matching structures, their internal vectors and
+  // captures. Declared before every member that can hold a MatchingPtr
+  // (stack_, open_by_xnode_, active_captures_, root_structure_) so it is
+  // destroyed after them. Freed blocks recycle through size-classed free
+  // lists, so steady-state per-event allocation never reaches the heap.
+  util::PoolArena arena_;
+
   // --- immutable query-derived tables ---
-  // Candidate x-node ids by element tag / attribute name, plus wildcard and
-  // kind lists; all pre-sorted by topological rank.
-  CandidateMap element_candidates_;
+  // Candidate x-node ids indexed by interned element tag / attribute name
+  // Symbol (empty slot = no candidates), plus wildcard and kind lists; all
+  // pre-sorted by topological rank.
+  std::vector<std::vector<query::XNodeId>> element_candidates_;
+  std::vector<std::vector<query::XNodeId>> attribute_candidates_;
+  std::vector<util::Symbol> mentioned_symbols_;
   std::vector<query::XNodeId> any_element_candidates_;
-  CandidateMap attribute_candidates_;
   std::vector<query::XNodeId> any_attribute_candidates_;
   std::vector<query::XNodeId> text_candidates_;
   std::vector<query::XNodeId> root_candidates_;
@@ -281,13 +340,21 @@ class XaosEngine : public xml::ContentHandler {
   // Structures of currently open document nodes, per x-node (stack
   // discipline: the newest open match is at the back).
   std::vector<std::vector<MatchingPtr>> open_by_xnode_;
-  std::vector<std::unique_ptr<Capture>> active_captures_;
+  std::vector<CapturePtr> active_captures_;
   std::unordered_map<ElementId, std::string> captured_;
   MatchingPtr root_structure_;
   // The Root structure of the document in progress (owned by stack_[0]);
   // used to detect early match confirmation.
   MatchingStructure* live_root_ = nullptr;
-  ElementId next_id_ = 0;
+  // Node numbering: by default the engine advances its own cursor on every
+  // event it receives; under a fleet (AttachCursor) the shared cursor is
+  // advanced by the fleet for every event of the document, so ids stay
+  // uniform across engines even though each sees only a filtered stream.
+  DocumentCursor own_cursor_;
+  const DocumentCursor* cursor_ = &own_cursor_;
+  bool external_cursor_ = false;
+  // arena_.bytes_allocated() at the start of the current document.
+  uint64_t arena_baseline_ = 0;
   bool done_ = false;
   bool early_match_ = false;
   bool inert_ = false;  // stop_after_confirmed_match triggered

@@ -8,10 +8,10 @@ DomBuilder::DomBuilder(Document* document) : document_(document) {
   stack_.push_back(document->document_node());
 }
 
-void DomBuilder::StartElement(std::string_view name,
-                              const std::vector<xml::Attribute>& attributes) {
-  NodeId element = document_->CreateElement(name);
-  for (const xml::Attribute& attr : attributes) {
+void DomBuilder::StartElement(const xml::QName& name,
+                              xml::AttributeSpan attributes) {
+  NodeId element = document_->CreateElement(name.text);
+  for (const xml::AttributeView& attr : attributes) {
     document_->AddAttribute(element, attr.name, attr.value);
   }
   document_->AppendChild(stack_.back(), element);

@@ -20,8 +20,8 @@ class DomBuilder : public xml::ContentHandler {
   // `document` must be freshly constructed and outlive the builder.
   explicit DomBuilder(Document* document);
 
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>& attributes) override;
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 

@@ -5,13 +5,16 @@ namespace xaos::dom {
 void ReplaySubtree(const Document& document, NodeId subtree_root,
                    xml::ContentHandler* handler) {
   // Iterative pre-order traversal with explicit end-element emission.
+  std::vector<xml::AttributeView> attr_scratch;
   NodeId node = subtree_root;
   while (true) {
     bool descend = false;
     if (document.kind(node) == NodeKind::kText) {
       handler->Characters(document.text(node));
     } else if (document.IsElement(node)) {
-      handler->StartElement(document.name(node), document.attributes(node));
+      handler->StartElement(
+          document.name(node),
+          xml::MakeAttributeViews(document.attributes(node), &attr_scratch));
       descend = document.first_child(node) != kInvalidNode;
       if (!descend) handler->EndElement(document.name(node));
     } else {

@@ -12,10 +12,10 @@ class WriterHandler : public xml::ContentHandler {
  public:
   explicit WriterHandler(xml::XmlWriter* writer) : writer_(writer) {}
 
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>& attributes) override {
-    writer_->StartElement(name);
-    for (const xml::Attribute& attr : attributes) {
+  void StartElement(const xml::QName& name,
+                    xml::AttributeSpan attributes) override {
+    writer_->StartElement(name.text);
+    for (const xml::AttributeView& attr : attributes) {
       writer_->WriteAttribute(attr.name, attr.value);
     }
   }

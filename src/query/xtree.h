@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/symbol_table.h"
 #include "xpath/ast.h"
 
 namespace xaos::query {
@@ -38,11 +39,20 @@ struct NodeTestSpec {
   Kind kind = Kind::kElement;
   std::string name;                    // kElement / kAttribute
   std::optional<std::string> value;    // required string value (attr/text)
+  // Interned id of `name`, filled in by the x-tree compiler so the engine
+  // can index candidate tables without hashing. kInvalidSymbol on
+  // hand-built specs; the engine interns lazily in that case.
+  util::Symbol name_symbol = util::kInvalidSymbol;
 
   // Display label, e.g. "Y", "*", "@id", "#text", "#root".
   std::string Label() const;
 
-  friend bool operator==(const NodeTestSpec&, const NodeTestSpec&) = default;
+  // Equality is over the test semantics (kind/name/value); the cached
+  // symbol is derived from `name` and deliberately excluded so hand-built
+  // specs compare equal to compiler-produced ones.
+  friend bool operator==(const NodeTestSpec& a, const NodeTestSpec& b) {
+    return a.kind == b.kind && a.name == b.name && a.value == b.value;
+  }
 };
 
 // The document-node kinds the engine distinguishes when matching.

@@ -44,6 +44,9 @@ StatusOr<NodeTestSpec> SpecForStep(const Step& step) {
     }
   }
   spec.value = step.compare_literal;
+  if (!spec.name.empty()) {
+    spec.name_symbol = util::SymbolTable::Global().Intern(spec.name);
+  }
   return spec;
 }
 

@@ -1,0 +1,44 @@
+#include "util/symbol_table.h"
+
+#include <mutex>
+
+namespace xaos::util {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Double-checked: another thread may have interned between the locks.
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Symbol s = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), s);
+  return s;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it != index_.end() ? it->second : kInvalidSymbol;
+}
+
+std::string_view SymbolTable::Name(Symbol s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_[static_cast<size_t>(s)];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+}  // namespace xaos::util

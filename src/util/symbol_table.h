@@ -1,0 +1,60 @@
+// QName interning: a process-wide table mapping element/attribute names to
+// dense integer Symbols, so name tests downstream become integer compares
+// and flat-array lookups instead of per-event string hashing (the technique
+// fast XPath engines use to turn label tests into symbol-space arithmetic).
+//
+// The table only ever grows; Symbols are stable for the process lifetime
+// and identical names always intern to the same Symbol, so ids are
+// comparable across parsers, compiled queries and engines. Producers (the
+// SAX parser, the x-tree compiler) call Intern() once per name occurrence
+// they own; consumers on hot paths use the Symbol and fall back to the
+// read-only Lookup() when an event source did not supply one.
+
+#ifndef XAOS_UTIL_SYMBOL_TABLE_H_
+#define XAOS_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xaos::util {
+
+// Dense id of an interned name. Valid Symbols are >= 0 and contiguous from
+// 0 in interning order, so they index flat vectors directly.
+using Symbol = int32_t;
+inline constexpr Symbol kInvalidSymbol = -1;
+
+class SymbolTable {
+ public:
+  // Returns the Symbol for `name`, interning it if absent. Thread-safe;
+  // the hit path takes only a shared lock.
+  Symbol Intern(std::string_view name);
+
+  // Returns the Symbol for `name` or kInvalidSymbol if it was never
+  // interned. Never mutates the table (a name a table has not seen cannot
+  // match any interned query label, so callers treat absence as "no
+  // candidates").
+  Symbol Lookup(std::string_view name) const;
+
+  // The interned spelling of `s`. `s` must be a valid Symbol of this table.
+  std::string_view Name(Symbol s) const;
+
+  // Number of interned names (== the smallest invalid Symbol).
+  size_t size() const;
+
+  // The process-wide table shared by parsers, compilers and engines.
+  static SymbolTable& Global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  // Keys view into names_, whose deque storage never reallocates strings.
+  std::unordered_map<std::string_view, Symbol> index_;
+  std::deque<std::string> names_;
+};
+
+}  // namespace xaos::util
+
+#endif  // XAOS_UTIL_SYMBOL_TABLE_H_

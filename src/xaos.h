@@ -21,6 +21,8 @@
 #include "baseline/brute_force_matcher.h"   // IWYU pragma: export
 #include "baseline/compare.h"               // IWYU pragma: export
 #include "baseline/navigational_engine.h"   // IWYU pragma: export
+#include "core/document_cursor.h"           // IWYU pragma: export
+#include "core/engine_fleet.h"              // IWYU pragma: export
 #include "core/multi_engine.h"              // IWYU pragma: export
 #include "core/trace.h"                     // IWYU pragma: export
 #include "core/xaos_engine.h"               // IWYU pragma: export
@@ -36,8 +38,10 @@
 #include "obs/timer.h"                      // IWYU pragma: export
 #include "query/reroot.h"                   // IWYU pragma: export
 #include "query/xtree_builder.h"            // IWYU pragma: export
+#include "util/pool_arena.h"                // IWYU pragma: export
 #include "util/status.h"                    // IWYU pragma: export
 #include "util/statusor.h"                  // IWYU pragma: export
+#include "util/symbol_table.h"              // IWYU pragma: export
 #include "xml/sax_parser.h"                 // IWYU pragma: export
 #include "xml/xml_writer.h"                 // IWYU pragma: export
 #include "xpath/parser.h"                   // IWYU pragma: export

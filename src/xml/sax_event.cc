@@ -2,6 +2,16 @@
 
 namespace xaos::xml {
 
+AttributeSpan MakeAttributeViews(const std::vector<Attribute>& attributes,
+                                 std::vector<AttributeView>* scratch) {
+  scratch->clear();
+  scratch->reserve(attributes.size());
+  for (const Attribute& attr : attributes) {
+    scratch->push_back({attr.name, attr.value, util::kInvalidSymbol});
+  }
+  return AttributeSpan(*scratch);
+}
+
 std::string EventToString(const Event& event) {
   switch (event.kind) {
     case Event::Kind::kStartDocument:
@@ -29,6 +39,7 @@ std::string EventToString(const Event& event) {
 }
 
 void ReplayEvents(const std::vector<Event>& events, ContentHandler* handler) {
+  std::vector<AttributeView> scratch;
   for (const Event& event : events) {
     switch (event.kind) {
       case Event::Kind::kStartDocument:
@@ -38,7 +49,8 @@ void ReplayEvents(const std::vector<Event>& events, ContentHandler* handler) {
         handler->EndDocument();
         break;
       case Event::Kind::kStartElement:
-        handler->StartElement(event.name, event.attributes);
+        handler->StartElement(event.name,
+                              MakeAttributeViews(event.attributes, &scratch));
         break;
       case Event::Kind::kEndElement:
         handler->EndElement(event.name);

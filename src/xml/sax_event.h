@@ -5,18 +5,53 @@
 // the event vocabulary produced by xml::SaxParser and dom::DomReplayer and
 // consumed by ContentHandler implementations (core::XaosEngine,
 // dom::DomBuilder, ...).
+//
+// Names travel as views paired with interned Symbols (util/symbol_table.h):
+// the parser interns each element/attribute name once per event, and
+// consumers that index by name (the engine's candidate tables, the
+// multi-query dispatcher) use the integer id instead of hashing the string
+// again. Producers that cannot cheaply supply a Symbol pass kInvalidSymbol;
+// consumers fall back to SymbolTable::Global().Lookup().
 
 #ifndef XAOS_XML_SAX_EVENT_H_
 #define XAOS_XML_SAX_EVENT_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/symbol_table.h"
+
 namespace xaos::xml {
 
+// An element or attribute name: the spelling plus (optionally) its interned
+// Symbol. Implicitly convertible from and to string_view so handler code
+// that only cares about the text keeps reading naturally.
+struct QName {
+  std::string_view text;
+  util::Symbol symbol = util::kInvalidSymbol;
+
+  QName() = default;
+  QName(std::string_view t) : text(t) {}                        // NOLINT
+  QName(const char* t) : text(t) {}                             // NOLINT
+  QName(const std::string& t) : text(t) {}                      // NOLINT
+  QName(std::string_view t, util::Symbol s) : text(t), symbol(s) {}
+  operator std::string_view() const { return text; }            // NOLINT
+};
+
 // A single attribute of a start-element event. The value has entity and
-// character references already resolved.
+// character references already resolved. Non-owning: the views are only
+// valid for the duration of the StartElement call.
+struct AttributeView {
+  std::string_view name;
+  std::string_view value;
+  util::Symbol symbol = util::kInvalidSymbol;  // interned `name`, if known
+};
+
+using AttributeSpan = std::span<const AttributeView>;
+
+// An owning attribute, for materialized events and DOM storage.
 struct Attribute {
   std::string name;
   std::string value;
@@ -25,6 +60,12 @@ struct Attribute {
     return a.name == b.name && a.value == b.value;
   }
 };
+
+// Fills `scratch` with views over owned `attributes` and returns a span of
+// it — the bridge for producers that store Attributes (event replay, DOM
+// replay). Symbols are left unresolved.
+AttributeSpan MakeAttributeViews(const std::vector<Attribute>& attributes,
+                                 std::vector<AttributeView>* scratch);
 
 // Interface for consumers of a stream of parse events. Methods are invoked
 // in document order; StartElement/EndElement calls are properly nested.
@@ -39,9 +80,9 @@ class ContentHandler {
   // Invoked once after the document element closes (and trailing misc).
   virtual void EndDocument() {}
 
-  // `name` and `attributes` are only valid for the duration of the call.
-  virtual void StartElement(std::string_view name,
-                            const std::vector<Attribute>& attributes) {
+  // `name` and `attributes` (including every view they contain) are only
+  // valid for the duration of the call.
+  virtual void StartElement(const QName& name, AttributeSpan attributes) {
     (void)name;
     (void)attributes;
   }
@@ -97,10 +138,14 @@ class EventRecorder : public ContentHandler {
   void EndDocument() override {
     events_.push_back({Event::Kind::kEndDocument, "", "", {}});
   }
-  void StartElement(std::string_view name,
-                    const std::vector<Attribute>& attributes) override {
-    events_.push_back(
-        {Event::Kind::kStartElement, std::string(name), "", attributes});
+  void StartElement(const QName& name, AttributeSpan attributes) override {
+    Event event{Event::Kind::kStartElement, std::string(name.text), "", {}};
+    event.attributes.reserve(attributes.size());
+    for (const AttributeView& attr : attributes) {
+      event.attributes.push_back(
+          {std::string(attr.name), std::string(attr.value)});
+    }
+    events_.push_back(std::move(event));
   }
   void EndElement(std::string_view name) override {
     events_.push_back({Event::Kind::kEndElement, std::string(name), "", {}});

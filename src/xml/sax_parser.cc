@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 #include "xml/entities.h"
 
 namespace xaos::xml {
@@ -24,8 +25,7 @@ class MatchTimingHandler : public ContentHandler {
 
   void StartDocument() override { Timed([&] { inner_->StartDocument(); }); }
   void EndDocument() override { Timed([&] { inner_->EndDocument(); }); }
-  void StartElement(std::string_view name,
-                    const std::vector<Attribute>& attributes) override {
+  void StartElement(const QName& name, AttributeSpan attributes) override {
     Timed([&] { inner_->StartElement(name, attributes); });
   }
   void EndElement(std::string_view name) override {
@@ -349,8 +349,13 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
     return Fail("maximum element depth exceeded");
   }
 
-  // Attributes.
+  util::SymbolTable& symbols = util::SymbolTable::Global();
+
+  // Attributes. Views point into `body` (and thus buffer_) or into reused
+  // decode slots; both stay valid until the StartElement callback returns,
+  // which happens before Consume() advances past this tag.
   attributes_.clear();
+  size_t decode_used = 0;
   size_t i = name_len;
   while (true) {
     size_t ws = i;
@@ -381,20 +386,32 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
     if (raw_value.find('<') != std::string_view::npos) {
       return Fail("'<' in attribute value");
     }
-    StatusOr<std::string> value = DecodeReferences(raw_value);
-    if (!value.ok()) return Fail(value.status().message());
-    for (const Attribute& existing : attributes_) {
-      if (existing.name == attr_name) {
+    std::string_view value_view = raw_value;
+    if (raw_value.find('&') != std::string_view::npos) {
+      StatusOr<std::string> value = DecodeReferences(raw_value);
+      if (!value.ok()) return Fail(value.status().message());
+      if (decode_used == attr_decode_slots_.size()) {
+        attr_decode_slots_.emplace_back();
+      }
+      std::string& slot = attr_decode_slots_[decode_used++];
+      slot.assign(*value);
+      value_view = slot;
+    }
+    util::Symbol attr_symbol = symbols.Intern(attr_name);
+    // Interned ids make uniqueness an integer compare (names are equal iff
+    // their Symbols are).
+    for (const AttributeView& existing : attributes_) {
+      if (existing.symbol == attr_symbol) {
         return Fail("duplicate attribute '" + std::string(attr_name) + "'");
       }
     }
-    attributes_.push_back(
-        {std::string(attr_name), std::move(*value)});
+    attributes_.push_back({attr_name, value_view, attr_symbol});
     i = value_end + 1;
   }
 
   EmitPendingText();
-  handler_->StartElement(name, attributes_);
+  handler_->StartElement(QName(name, symbols.Intern(name)),
+                         AttributeSpan(attributes_));
   ++element_count_;
   if (self_closing) {
     handler_->EndElement(name);

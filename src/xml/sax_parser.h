@@ -18,6 +18,7 @@
 #define XAOS_XML_SAX_PARSER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -143,7 +144,13 @@ class SaxParser {
   uint64_t bytes_fed_ = 0;
   uint64_t text_event_count_ = 0;
 
-  std::vector<Attribute> attributes_;  // scratch, reused per start tag
+  // Per-start-tag scratch, reused across tags so steady-state parsing does
+  // no per-attribute heap allocation: `attributes_` holds views into
+  // buffer_ (or into a reused decode slot when the raw value contains
+  // references).
+  std::vector<AttributeView> attributes_;
+  // Deque: slot strings must not move while attributes_ views into them.
+  std::deque<std::string> attr_decode_slots_;
 };
 
 // Convenience: parses a complete in-memory document.

@@ -21,9 +21,8 @@ namespace {
 // Counts elements by tag.
 class TagCounter : public xml::ContentHandler {
  public:
-  void StartElement(std::string_view name,
-                    const std::vector<xml::Attribute>&) override {
-    ++counts_[std::string(name)];
+  void StartElement(const xml::QName& name, xml::AttributeSpan) override {
+    ++counts_[std::string(name.text)];
     ++total_;
   }
   int count(const std::string& tag) const {

@@ -1,0 +1,183 @@
+// Multi-query evaluator tests: the label-indexed dispatch fleet must be
+// observationally identical to naive per-query fan-out (same verdicts, same
+// result items, byte for byte) across hand-picked axis coverage and the
+// random workload generator — plus presence tests for the hot-path
+// observability counters.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/compare.h"
+#include "core/multi_engine.h"
+#include "gen/random_workload.h"
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+using baseline::CanonicalItem;
+
+// Evaluates every expression naively (independent StreamingEvaluator per
+// query) and through one shared MultiQueryEvaluator, and requires identical
+// matched flags and canonical result items per query.
+void ExpectDispatchTransparent(const std::vector<std::string>& expressions,
+                               const std::string& xml) {
+  std::vector<core::Query> queries;
+  for (const std::string& expression : expressions) {
+    StatusOr<core::Query> query = core::Query::Compile(expression);
+    ASSERT_TRUE(query.ok()) << expression << ": " << query.status();
+    queries.push_back(std::move(*query));
+  }
+
+  core::MultiQueryEvaluator multi;
+  for (const core::Query& query : queries) multi.AddQuery(query);
+  ASSERT_TRUE(xml::ParseString(xml, &multi).ok());
+  ASSERT_TRUE(multi.status().ok()) << multi.status();
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    core::StreamingEvaluator naive(queries[q]);
+    ASSERT_TRUE(xml::ParseString(xml, &naive).ok());
+    ASSERT_TRUE(naive.status().ok()) << naive.status();
+
+    core::QueryResult naive_result = naive.Result();
+    core::QueryResult multi_result = multi.Result(q);
+    EXPECT_EQ(naive_result.matched, multi_result.matched)
+        << "verdict mismatch for " << expressions[q];
+    EXPECT_EQ(baseline::CanonicalFromResult(naive_result),
+              baseline::CanonicalFromResult(multi_result))
+        << "result mismatch for " << expressions[q];
+  }
+}
+
+TEST(MultiQueryEvaluatorTest, AxisCoverage) {
+  const std::string doc =
+      "<a k=\"1\"><b><a><c/></a><d/></b><c/>"
+      "<b x=\"y\"><c/><a/><e>text</e></b></a>";
+  ExpectDispatchTransparent(
+      {
+          "//a//c",                           // descendant
+          "//c/ancestor::a",                  // backward axis
+          "/a/b/a/c",                         // child spine
+          "//*[c]",                           // wildcard (always-dispatch)
+          "//b[@x]",                          // attribute test
+          "//c/following-sibling::a",         // sibling (dense stack)
+          "//e[text()='text']",               // text test
+          "//b[c]/a | //a[c]",                // union
+          "//zzz",                            // label absent: never woken
+          "//d/parent::b",                    // parent
+      },
+      doc);
+}
+
+TEST(MultiQueryEvaluatorTest, MixedRelevantAndIrrelevantQueries) {
+  // One matching query among many whose labels never occur: the dispatch
+  // index must keep the idle engines byte-identical to naive (no verdicts,
+  // empty results) while the live one still sees everything it needs.
+  std::vector<std::string> expressions = {"//b/c"};
+  for (int i = 0; i < 20; ++i) {
+    expressions.push_back("//absent_" + std::to_string(i) + "/name");
+  }
+  ExpectDispatchTransparent(expressions, "<a><b><c/></b><b/></a>");
+}
+
+// Random workloads: several generated (query, document) pairs per seed,
+// all queries evaluated over each document.
+class RandomMultiQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMultiQueryTest, DispatchTransparent) {
+  uint64_t seed = GetParam();
+  gen::RandomQueryOptions query_options;
+  gen::RandomDocOptions doc_options;
+  doc_options.target_elements = 300;
+  doc_options.max_noise_depth = 6;
+
+  std::vector<std::string> expressions;
+  std::vector<std::string> documents;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto workload =
+        gen::GenerateWorkload(query_options, doc_options, seed * 16 + i);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    expressions.push_back(workload->expression);
+    documents.push_back(workload->document);
+  }
+  // Cross products: each document was built for one of the queries; the
+  // other three exercise partial/failed matching under dispatch filtering.
+  for (const std::string& document : documents) {
+    ExpectDispatchTransparent(expressions, document);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMultiQueryTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+TEST(MultiQueryEvaluatorTest, ReuseAcrossDocuments) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::MultiQueryEvaluator multi;
+  size_t q = multi.AddQuery(*query);
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &multi).ok());
+  EXPECT_TRUE(multi.Matched(q));
+  ASSERT_TRUE(xml::ParseString("<a><b/><c/></a>", &multi).ok());
+  EXPECT_FALSE(multi.Matched(q));
+}
+
+// --- observability counters -------------------------------------------------
+
+TEST(HotPathCountersTest, ArenaBytesExported) {
+  StatusOr<core::Query> query = core::Query::Compile("//a//c");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b><c/></a>", &evaluator).ok());
+  ASSERT_TRUE(evaluator.status().ok());
+  EXPECT_GT(evaluator.AggregateStats().arena_bytes_allocated, 0u);
+
+  obs::MetricsRegistry registry;
+  evaluator.ExportMetrics(&registry);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.count("xaos_arena_bytes_allocated"), 1u);
+  EXPECT_GT(snapshot.counters.at("xaos_arena_bytes_allocated"), 0u);
+  EXPECT_NE(obs::ToJson(snapshot).find("xaos_arena_bytes_allocated"),
+            std::string::npos);
+  EXPECT_NE(obs::ToPrometheusText(snapshot).find("xaos_arena_bytes_allocated"),
+            std::string::npos);
+}
+
+TEST(HotPathCountersTest, DispatchAndInterningCountersInDefaultRegistry) {
+  obs::SetEnabled(true);  // runtime default is off; no-op when compiled out
+  if (!obs::Enabled()) GTEST_SKIP() << "observability disabled at build time";
+  // The fleet folds these into the default registry at EndDocument.
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::MultiQueryEvaluator multi;
+  multi.AddQuery(*query);
+  StatusOr<core::Query> idle = core::Query::Compile("//never_present/x");
+  ASSERT_TRUE(idle.ok());
+  multi.AddQuery(*idle);
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &multi).ok());
+  EXPECT_GT(multi.engines_skipped(), 0u);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Default().Snapshot();
+  ASSERT_EQ(snapshot.counters.count("xaos_dispatch_engines_skipped_total"),
+            1u);
+  EXPECT_GT(snapshot.counters.at("xaos_dispatch_engines_skipped_total"), 0u);
+  ASSERT_EQ(snapshot.counters.count("xaos_symbols_interned"), 1u);
+  // The parser interned at least the element names of this document.
+  EXPECT_GT(snapshot.counters.at("xaos_symbols_interned"), 0u);
+
+  std::string prometheus = obs::ToPrometheusText(snapshot);
+  EXPECT_NE(prometheus.find("xaos_dispatch_engines_skipped_total"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("xaos_symbols_interned"), std::string::npos);
+  std::string json = obs::ToJson(snapshot);
+  EXPECT_NE(json.find("xaos_dispatch_engines_skipped_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("xaos_symbols_interned"), std::string::npos);
+  obs::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace xaos

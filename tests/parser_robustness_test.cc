@@ -26,10 +26,9 @@ class InvariantHandler : public ContentHandler {
     EXPECT_EQ(depth_, 0);
     ended_ = true;
   }
-  void StartElement(std::string_view name,
-                    const std::vector<Attribute>&) override {
+  void StartElement(const QName& name, AttributeSpan) override {
     EXPECT_TRUE(started_ && !ended_);
-    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(name.text.empty());
     ++depth_;
     ++elements_;
   }
