@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
   double scale = flags.GetDouble("scale", 0.02);
   int repetitions = flags.GetInt("repetitions", 3);
   int max_subs = flags.GetInt("max-subs", 1000);
+  // --threads=N adds a parallel/subs=M row per block: the same subscription
+  // pool sharded across N ParallelFleet workers, verdict-checked against
+  // the naive baseline like the indexed mode. 0 disables.
+  int threads = flags.GetInt("threads", 0);
   std::string json_out = flags.GetString("json-out", "");
   flags.FailOnUnknown();
 
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
   reporter.SetParam("scale", scale);
   reporter.SetParam("repetitions", repetitions);
   reporter.SetParam("max-subs", max_subs);
+  reporter.SetParam("threads", threads);
 
   gen::XMarkOptions doc_options;
   doc_options.scale = scale;
@@ -191,6 +196,48 @@ int main(int argc, char** argv) {
     reporter.AddResultMetric("engines_skipped_per_doc",
                              static_cast<double>(skipped_per_doc));
     reporter.AddResultMetric("speedup_vs_naive", speedup);
+
+    // Sharded parallel fleet.
+    if (threads > 0) {
+      core::ParallelFleetOptions options;
+      options.num_workers = static_cast<size_t>(threads);
+      core::ParallelFleet fleet(options);
+      for (const core::Query& query : queries) fleet.AddQuery(query);
+      std::vector<double> parallel_times;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        parallel_times.push_back(bench::TimeSeconds([&] {
+          if (!xml::ParseString(doc, &fleet).ok()) std::abort();
+        }));
+      }
+      uint64_t parallel_count = 0;
+      for (int q = 0; q < subs; ++q) {
+        bool m = fleet.Matched(static_cast<size_t>(q));
+        parallel_count += m ? 1 : 0;
+        if (m != naive_matched[static_cast<size_t>(q)]) {
+          std::fprintf(stderr,
+                       "VERDICT MISMATCH at %d subscriptions, query %d (%s): "
+                       "naive=%d parallel=%d\n",
+                       subs, q, expressions[static_cast<size_t>(q)].c_str(),
+                       naive_matched[static_cast<size_t>(q)] ? 1 : 0,
+                       m ? 1 : 0);
+          return 1;
+        }
+      }
+      bench::Series parallel = bench::Summarize(parallel_times);
+      double parallel_speedup =
+          parallel.mean > 0 ? naive.mean / parallel.mean : 0.0;
+      std::snprintf(label, sizeof(label), "parallel/subs=%d", subs);
+      std::printf("%-20s %-10.4f %-10.2f %-10llu %-14s %-10.2f\n", label,
+                  parallel.mean, megabytes / parallel.mean,
+                  static_cast<unsigned long long>(parallel_count), "-",
+                  parallel_speedup);
+      reporter.AddResult(label, parallel, megabytes);
+      reporter.AddResultMetric("subscriptions", subs);
+      reporter.AddResultMetric("workers", threads);
+      reporter.AddResultMetric("matched",
+                               static_cast<double>(parallel_count));
+      reporter.AddResultMetric("speedup_vs_naive", parallel_speedup);
+    }
   }
 
   if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;

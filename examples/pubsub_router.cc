@@ -17,7 +17,10 @@
 // exposition format at the end of the run (including the dispatch-skip
 // statistics the evaluator exposes).
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,7 +37,20 @@ struct Subscription {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads=N routes documents through a ParallelFleet that shards the
+  // subscription pool across N worker threads fed from a single parse;
+  // without it (or with 0) everything runs on the parsing thread through
+  // one MultiQueryEvaluator. Results are identical either way.
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads=N]\n";
+      return 2;
+    }
+  }
   const std::vector<std::pair<std::string, std::string>> rules = {
       {"alice", "//order[item/@sku='A-17']"},
       {"bob", "//item[price]/ancestor::order[customer]"},  // backward axis
@@ -52,6 +68,12 @@ int main() {
       registry.GetHistogram("router_document_ns");
 
   xaos::core::MultiQueryEvaluator evaluator;
+  std::unique_ptr<xaos::core::ParallelFleet> fleet;
+  if (threads > 0) {
+    xaos::core::ParallelFleetOptions options;
+    options.num_workers = static_cast<size_t>(threads);
+    fleet = std::make_unique<xaos::core::ParallelFleet>(options);
+  }
   std::vector<Subscription> subscriptions;
   for (const auto& [name, expression] : rules) {
     auto query = xaos::core::Query::Compile(expression);
@@ -62,10 +84,19 @@ int main() {
     Subscription sub;
     sub.name = name;
     sub.expression = expression;
-    sub.query_index = evaluator.AddQuery(*query);
+    sub.query_index =
+        fleet ? fleet->AddQuery(*query) : evaluator.AddQuery(*query);
     sub.deliveries = registry.GetCounter("router_deliveries_total{subscription=\"" +
                                          name + "\"}");
     subscriptions.push_back(std::move(sub));
+  }
+  xaos::xml::ContentHandler* handler =
+      fleet ? static_cast<xaos::xml::ContentHandler*>(fleet.get())
+            : &evaluator;
+  if (fleet) {
+    fleet->Finalize();
+    std::cout << "routing with " << fleet->worker_count()
+              << " worker threads\n";
   }
 
   const std::vector<std::string> documents = {
@@ -79,23 +110,27 @@ int main() {
 
   for (size_t i = 0; i < documents.size(); ++i) {
     uint64_t start = xaos::obs::NowNs();
-    xaos::Status status = xaos::xml::ParseString(documents[i], &evaluator);
+    xaos::Status status = xaos::xml::ParseString(documents[i], handler);
     uint64_t elapsed = xaos::obs::NowNs() - start;
-    if (!status.ok() || !evaluator.status().ok()) {
+    xaos::Status eval_status = fleet ? fleet->status() : evaluator.status();
+    if (!status.ok() || !eval_status.ok()) {
       std::cerr << "document " << i << ": "
-                << (!status.ok() ? status : evaluator.status()) << "\n";
+                << (!status.ok() ? status : eval_status) << "\n";
       return 1;
     }
     documents_total->Increment();
     document_ns->Record(elapsed);
     if (elapsed > kSlowDocumentNs) {
       std::cerr << "slow document: " << elapsed << " ns on document " << i + 1
-                << " across " << evaluator.query_count() << " subscriptions\n";
+                << " across "
+                << (fleet ? fleet->query_count() : evaluator.query_count())
+                << " subscriptions\n";
     }
     std::cout << "document " << i + 1 << " -> ";
     bool any = false;
     for (Subscription& sub : subscriptions) {
-      if (evaluator.Matched(sub.query_index)) {
+      if (fleet ? fleet->Matched(sub.query_index)
+                : evaluator.Matched(sub.query_index)) {
         sub.deliveries->Increment();
         std::cout << (any ? ", " : "") << sub.name;
         any = true;
@@ -109,9 +144,13 @@ int main() {
     std::cout << "  " << sub.name << ": " << sub.expression << "\n";
   }
 
-  registry.GetCounter("router_dispatch_engines_skipped_total")
-      ->Increment(evaluator.engines_skipped());
-  evaluator.ExportMetrics(&registry);
+  if (fleet) {
+    fleet->ExportMetrics(&registry);
+  } else {
+    registry.GetCounter("router_dispatch_engines_skipped_total")
+        ->Increment(evaluator.engines_skipped());
+    evaluator.ExportMetrics(&registry);
+  }
 
   std::cout << "\nmetrics:\n"
             << xaos::obs::ToPrometheusText(registry);

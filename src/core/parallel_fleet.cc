@@ -1,0 +1,330 @@
+#include "core/parallel_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace xaos::core {
+namespace {
+
+// Load estimate for assigning a query to a shard. Every x-node costs one
+// unit; features that defeat the label index — wildcard tests (the engine
+// joins the always-dispatch set) and sibling axes (dense stack: every
+// element is delivered) — cost extra because such engines see every event.
+uint64_t EstimateQueryCost(const Query& query) {
+  uint64_t cost = 0;
+  for (const query::XTree& tree : query.trees()) {
+    cost += static_cast<uint64_t>(tree.size());
+    for (query::XNodeId id = 0; id < tree.size(); ++id) {
+      const query::XNode& node = tree.node(id);
+      if (node.test.kind == query::NodeTestSpec::Kind::kAnyElement ||
+          node.test.kind == query::NodeTestSpec::Kind::kAnyAttribute) {
+        cost += 8;
+      }
+      if (node.incoming_axis == xpath::Axis::kFollowingSibling ||
+          node.incoming_axis == xpath::Axis::kPrecedingSibling) {
+        cost += 8;
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+ParallelFleet::ParallelFleet(ParallelFleetOptions options)
+    : options_(options),
+      batcher_(this, options.max_batch_events, options.max_batch_text_bytes) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_batch_events == 0) options_.max_batch_events = 1;
+  if (options_.ring_capacity < 2) options_.ring_capacity = 2;
+}
+
+ParallelFleet::~ParallelFleet() {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (Worker& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker.park_mu);
+      worker.park_cv.notify_one();
+    }
+    if (worker.thread.joinable()) worker.thread.join();
+  }
+}
+
+size_t ParallelFleet::AddQuery(const Query& query) {
+  XAOS_CHECK(!finalized_) << "AddQuery after the first StartDocument";
+  queries_.push_back(query);
+  assignments_.push_back(Assignment{});
+  return queries_.size() - 1;
+}
+
+void ParallelFleet::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  size_t worker_count = static_cast<size_t>(options_.num_workers);
+  if (!queries_.empty()) worker_count = std::min(worker_count, queries_.size());
+
+  for (size_t i = 0; i < worker_count; ++i) {
+    Worker& worker = workers_.emplace_back(options_.ring_capacity);
+    worker.evaluator =
+        std::make_unique<MultiQueryEvaluator>(options_.engine_options);
+  }
+
+  // Greedy longest-processing-time assignment: heaviest queries first, each
+  // onto the currently lightest shard.
+  std::vector<size_t> order(queries_.size());
+  std::vector<uint64_t> costs(queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    order[q] = q;
+    costs[q] = EstimateQueryCost(queries_[q]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return costs[a] > costs[b];
+  });
+  for (size_t q : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < workers_.size(); ++s) {
+      if (workers_[s].stats.cost_estimate <
+          workers_[lightest].stats.cost_estimate) {
+        lightest = s;
+      }
+    }
+    Worker& shard = workers_[lightest];
+    assignments_[q].shard = lightest;
+    assignments_[q].local_index = shard.evaluator->AddQuery(queries_[q]);
+    shard.stats.cost_estimate += costs[q];
+    shard.stats.query_count += 1;
+  }
+  for (Worker& worker : workers_) {
+    worker.stats.engine_count = worker.evaluator->engine_count();
+    // The worker thread is spawned after the shard's evaluator is fully
+    // built, so thread creation publishes the engine state to it.
+    worker.thread = std::thread(&ParallelFleet::WorkerLoop, this, &worker);
+  }
+}
+
+// --- producer side ----------------------------------------------------------
+
+xml::EventBatch* ParallelFleet::AcquireBatch() {
+  XAOS_CHECK(current_ == nullptr);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!free_batches_.empty()) {
+      current_ = free_batches_.back();
+      free_batches_.pop_back();
+    }
+  }
+  if (current_ == nullptr) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    current_ = &all_batches_.emplace_back();
+  }
+  current_->batch.Clear();
+  return &current_->batch;
+}
+
+void ParallelFleet::PublishBatch(xml::EventBatch* batch) {
+  XAOS_CHECK(current_ != nullptr && batch == &current_->batch);
+  PooledBatch* pooled = current_;
+  current_ = nullptr;
+  // The countdown is written before the ring push; the push's release store
+  // publishes both it and the batch contents to each consumer.
+  pooled->remaining.store(static_cast<uint32_t>(workers_.size()),
+                          std::memory_order_relaxed);
+  ++batches_published_;
+  for (Worker& worker : workers_) {
+    PushBlocking(&worker, pooled);
+  }
+}
+
+void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
+  bool stalled = false;
+  while (!worker->ring.TryPush(batch)) {
+    if (!stalled) {
+      stalled = true;
+      ++publish_stalls_;
+    }
+    std::this_thread::yield();
+  }
+  // Wake the consumer if it parked on an empty ring. The seq_cst fence
+  // pairing (push above, parked store in PopBlocking) plus the consumer's
+  // bounded wait make a missed hint harmless.
+  if (worker->parked.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(worker->park_mu);
+    worker->park_cv.notify_one();
+  }
+}
+
+void ParallelFleet::StartDocument() {
+  Finalize();
+  batcher_.StartDocument();
+}
+
+void ParallelFleet::StartElement(const xml::QName& name,
+                                 xml::AttributeSpan attributes) {
+  batcher_.StartElement(name, attributes);
+}
+
+void ParallelFleet::EndElement(std::string_view name) {
+  batcher_.EndElement(name);
+}
+
+void ParallelFleet::Characters(std::string_view text) {
+  batcher_.Characters(text);
+}
+
+void ParallelFleet::EndDocument() {
+  batcher_.EndDocument();  // publishes the final (kEndDocument) batch
+  {
+    std::unique_lock<std::mutex> lock(doc_mu_);
+    doc_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+    workers_done_ = 0;
+  }
+  ++documents_;
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("xaos_parallel_documents_total")->Increment();
+    ExportMetrics(&registry);
+  }
+}
+
+// --- worker side ------------------------------------------------------------
+
+ParallelFleet::PooledBatch* ParallelFleet::PopBlocking(Worker* worker) {
+  PooledBatch* batch = nullptr;
+  for (;;) {
+    // Spin briefly: under load the producer refills the ring well within
+    // this window and the worker never touches the mutex.
+    for (int spin = 0; spin < 2048; ++spin) {
+      if (worker->ring.TryPop(&batch)) return batch;
+      if (stop_.load(std::memory_order_relaxed)) {
+        // Drain-then-exit: only quit on a confirmed-empty ring.
+        if (!worker->ring.TryPop(&batch)) return nullptr;
+        return batch;
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(worker->park_mu);
+    worker->parked.store(true, std::memory_order_seq_cst);
+    if (worker->ring.TryPop(&batch)) {
+      worker->parked.store(false, std::memory_order_seq_cst);
+      return batch;
+    }
+    // Bounded wait: a lost wakeup only costs one timeout period.
+    worker->park_cv.wait_for(lock, std::chrono::milliseconds(1));
+    worker->parked.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void ParallelFleet::ReleaseBatch(PooledBatch* batch) {
+  if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    free_batches_.push_back(batch);
+  }
+}
+
+void ParallelFleet::WorkerLoop(Worker* worker) {
+  for (;;) {
+    PooledBatch* batch = PopBlocking(worker);
+    if (batch == nullptr) return;
+    batch->batch.Replay(worker->evaluator.get(), &worker->attr_scratch);
+    worker->stats.batches_consumed += 1;
+    worker->stats.events_processed += batch->batch.event_count();
+    bool ends_document = batch->batch.ends_document();
+    ReleaseBatch(batch);
+    if (ends_document) {
+      std::lock_guard<std::mutex> lock(doc_mu_);
+      ++workers_done_;
+      doc_cv_.notify_all();
+    }
+  }
+}
+
+// --- results ----------------------------------------------------------------
+
+Status ParallelFleet::status() const {
+  for (const Worker& worker : workers_) {
+    Status s = worker.evaluator->status();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+bool ParallelFleet::Matched(size_t q) const {
+  const Assignment& a = assignments_[q];
+  return workers_[a.shard].evaluator->Matched(a.local_index);
+}
+
+QueryResult ParallelFleet::Result(size_t q) const {
+  const Assignment& a = assignments_[q];
+  return workers_[a.shard].evaluator->Result(a.local_index);
+}
+
+std::vector<size_t> ParallelFleet::MatchedQueries() const {
+  std::vector<size_t> matched;
+  for (size_t q = 0; q < assignments_.size(); ++q) {
+    if (Matched(q)) matched.push_back(q);
+  }
+  return matched;
+}
+
+EngineStats ParallelFleet::AggregateStats() const {
+  // Every shard replays the whole document, so per-document event counts
+  // are uniform across shards (keep the first); structure and arena
+  // traffic accumulate, matching MultiQueryEvaluator's aggregation.
+  EngineStats total;
+  bool first = true;
+  for (const Worker& worker : workers_) {
+    EngineStats s = worker.evaluator->AggregateStats();
+    if (first) {
+      total = s;
+      first = false;
+      continue;
+    }
+    total.elements_discarded =
+        std::min(total.elements_discarded, s.elements_discarded);
+    total.structures_created += s.structures_created;
+    total.structures_undone += s.structures_undone;
+    total.structures_live += s.structures_live;
+    total.structures_live_peak += s.structures_live_peak;
+    total.structure_memory.live_bytes += s.structure_memory.live_bytes;
+    total.structure_memory.peak_bytes += s.structure_memory.peak_bytes;
+    total.propagations += s.propagations;
+    total.optimistic_propagations += s.optimistic_propagations;
+    total.arena_bytes_allocated += s.arena_bytes_allocated;
+  }
+  return total;
+}
+
+std::vector<ParallelShardStats> ParallelFleet::ShardStats() const {
+  std::vector<ParallelShardStats> stats;
+  stats.reserve(workers_.size());
+  for (const Worker& worker : workers_) stats.push_back(worker.stats);
+  return stats;
+}
+
+void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
+  // The fleet's own tallies are cumulative, so exports are idempotent
+  // gauges: re-exporting after every document never double-counts.
+  registry->GetGauge("xaos_parallel_batches_published")
+      ->Set(static_cast<int64_t>(batches_published_));
+  registry->GetGauge("xaos_parallel_publish_stalls")
+      ->Set(static_cast<int64_t>(publish_stalls_));
+  registry->GetGauge("xaos_parallel_workers")
+      ->Set(static_cast<int64_t>(workers_.size()));
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    const ParallelShardStats& stats = workers_[s].stats;
+    std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    registry->GetGauge("xaos_parallel_shard_queries" + label)
+        ->Set(static_cast<int64_t>(stats.query_count));
+    registry->GetGauge("xaos_parallel_shard_batches_total" + label)
+        ->Set(static_cast<int64_t>(stats.batches_consumed));
+    registry->GetGauge("xaos_parallel_shard_events_total" + label)
+        ->Set(static_cast<int64_t>(stats.events_processed));
+    registry->GetGauge("xaos_parallel_shard_cost_estimate" + label)
+        ->Set(static_cast<int64_t>(stats.cost_estimate));
+  }
+}
+
+}  // namespace xaos::core

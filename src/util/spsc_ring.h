@@ -1,0 +1,85 @@
+// A bounded lock-free single-producer / single-consumer ring buffer — the
+// conduit between the parallel fleet's parse thread and each match worker
+// (core/parallel_fleet.h). One thread may call TryPush, one (other) thread
+// may call TryPop; the head/tail indices use acquire/release pairs so every
+// value popped is fully constructed, and each side caches the opposite
+// index to avoid a cache-line ping per operation.
+//
+// The ring itself never blocks; callers layer their own waiting strategy
+// (spin / yield / park) on top of the Try* primitives so policy concerns
+// like stall counting and shutdown stay out of the data structure.
+
+#ifndef XAOS_UTIL_SPSC_RING_H_
+#define XAOS_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace xaos::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    mask_ = rounded - 1;
+    slots_ = std::make_unique<T[]>(rounded);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false if the ring is full.
+  bool TryPush(T value) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false if the ring is empty.
+  bool TryPop(T* out) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy; exact only when called from the producer or the
+  // consumer thread while the other side is quiescent.
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Producer and consumer indices live on separate cache lines so the two
+  // threads only share a line when one actually has to refresh its cache of
+  // the other's progress.
+  alignas(64) std::atomic<size_t> tail_{0};   // next slot to write
+  size_t head_cache_ = 0;                     // producer's view of head_
+  alignas(64) std::atomic<size_t> head_{0};   // next slot to read
+  size_t tail_cache_ = 0;                     // consumer's view of tail_
+  alignas(64) size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace xaos::util
+
+#endif  // XAOS_UTIL_SPSC_RING_H_

@@ -24,6 +24,7 @@
 #include "core/document_cursor.h"           // IWYU pragma: export
 #include "core/engine_fleet.h"              // IWYU pragma: export
 #include "core/multi_engine.h"              // IWYU pragma: export
+#include "core/parallel_fleet.h"            // IWYU pragma: export
 #include "core/trace.h"                     // IWYU pragma: export
 #include "core/xaos_engine.h"               // IWYU pragma: export
 #include "dom/dom_builder.h"                // IWYU pragma: export
@@ -42,6 +43,7 @@
 #include "util/status.h"                    // IWYU pragma: export
 #include "util/statusor.h"                  // IWYU pragma: export
 #include "util/symbol_table.h"              // IWYU pragma: export
+#include "xml/event_batch.h"                // IWYU pragma: export
 #include "xml/sax_parser.h"                 // IWYU pragma: export
 #include "xml/xml_writer.h"                 // IWYU pragma: export
 #include "xpath/parser.h"                   // IWYU pragma: export

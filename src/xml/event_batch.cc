@@ -1,0 +1,114 @@
+#include "xml/event_batch.h"
+
+namespace xaos::xml {
+
+void EventBatch::AddStartElement(const QName& name, AttributeSpan attributes) {
+  BatchedEvent event;
+  event.kind = BatchedEvent::Kind::kStartElement;
+  event.symbol = name.symbol;
+  event.text_offset = AppendText(name.text);
+  event.text_size = static_cast<uint32_t>(name.text.size());
+  event.attr_begin = static_cast<uint32_t>(attributes_.size());
+  event.attr_count = static_cast<uint32_t>(attributes.size());
+  for (const AttributeView& attr : attributes) {
+    BatchedAttribute record;
+    record.name_offset = AppendText(attr.name);
+    record.name_size = static_cast<uint32_t>(attr.name.size());
+    record.value_offset = AppendText(attr.value);
+    record.value_size = static_cast<uint32_t>(attr.value.size());
+    record.symbol = attr.symbol;
+    attributes_.push_back(record);
+  }
+  events_.push_back(event);
+}
+
+void EventBatch::AddEndElement(std::string_view name) {
+  BatchedEvent event;
+  event.kind = BatchedEvent::Kind::kEndElement;
+  event.text_offset = AppendText(name);
+  event.text_size = static_cast<uint32_t>(name.size());
+  events_.push_back(event);
+}
+
+void EventBatch::AddCharacters(std::string_view text) {
+  BatchedEvent event;
+  event.kind = BatchedEvent::Kind::kCharacters;
+  event.text_offset = AppendText(text);
+  event.text_size = static_cast<uint32_t>(text.size());
+  events_.push_back(event);
+}
+
+void EventBatch::Replay(ContentHandler* handler,
+                        std::vector<AttributeView>* attr_scratch) const {
+  for (const BatchedEvent& event : events_) {
+    switch (event.kind) {
+      case BatchedEvent::Kind::kStartDocument:
+        handler->StartDocument();
+        break;
+      case BatchedEvent::Kind::kEndDocument:
+        handler->EndDocument();
+        break;
+      case BatchedEvent::Kind::kStartElement: {
+        attr_scratch->clear();
+        for (uint32_t i = 0; i < event.attr_count; ++i) {
+          const BatchedAttribute& record = attributes_[event.attr_begin + i];
+          attr_scratch->push_back(
+              AttributeView{Slice(record.name_offset, record.name_size),
+                            Slice(record.value_offset, record.value_size),
+                            record.symbol});
+        }
+        handler->StartElement(
+            QName(Slice(event.text_offset, event.text_size), event.symbol),
+            AttributeSpan(*attr_scratch));
+        break;
+      }
+      case BatchedEvent::Kind::kEndElement:
+        handler->EndElement(Slice(event.text_offset, event.text_size));
+        break;
+      case BatchedEvent::Kind::kCharacters:
+        handler->Characters(Slice(event.text_offset, event.text_size));
+        break;
+    }
+  }
+}
+
+void EventBatcher::StartDocument() {
+  Current()->AddStartDocument();
+  PublishIfFull();
+}
+
+void EventBatcher::EndDocument() {
+  Current()->AddEndDocument();
+  PublishCurrent();
+}
+
+void EventBatcher::StartElement(const QName& name, AttributeSpan attributes) {
+  Current()->AddStartElement(name, attributes);
+  PublishIfFull();
+}
+
+void EventBatcher::EndElement(std::string_view name) {
+  Current()->AddEndElement(name);
+  PublishIfFull();
+}
+
+void EventBatcher::Characters(std::string_view text) {
+  Current()->AddCharacters(text);
+  PublishIfFull();
+}
+
+void EventBatcher::PublishIfFull() {
+  if (current_ == nullptr) return;
+  if (current_->event_count() >= max_events_ ||
+      current_->text_bytes() >= max_text_bytes_) {
+    PublishCurrent();
+  }
+}
+
+void EventBatcher::PublishCurrent() {
+  if (current_ == nullptr || current_->empty()) return;
+  sink_->PublishBatch(current_);
+  current_ = nullptr;
+}
+
+}  // namespace xaos::xml

@@ -90,13 +90,20 @@ size_t SaxParser::ScanName(std::string_view s, size_t i) {
 }
 
 void SaxParser::Consume(size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    if (buffer_[pos_ + i] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
+  // Jump newline to newline with memchr instead of classifying every byte;
+  // only the tail after the last newline contributes to the column.
+  const char* p = buffer_.data() + pos_;
+  size_t remaining = n;
+  while (remaining > 0) {
+    const char* nl = static_cast<const char*>(std::memchr(p, '\n', remaining));
+    if (nl == nullptr) {
+      column_ += static_cast<int>(remaining);
+      break;
     }
+    ++line_;
+    column_ = 1;
+    remaining -= static_cast<size_t>(nl - p) + 1;
+    p = nl + 1;
   }
   pos_ += n;
   seen_any_content_ = true;
@@ -225,7 +232,8 @@ Status SaxParser::AppendText(std::string_view raw, bool decode) {
                     : "character data before the document element");
     return error_;
   }
-  if (decode && raw.find('&') != std::string_view::npos) {
+  if (decode && !raw.empty() &&
+      std::memchr(raw.data(), '&', raw.size()) != nullptr) {
     StatusOr<std::string> decoded = DecodeReferences(raw);
     if (!decoded.ok()) {
       Fail(decoded.status().message());
@@ -310,24 +318,38 @@ SaxParser::Progress SaxParser::ParseMarkup() {
 SaxParser::Progress SaxParser::FindStartTagEnd(size_t* end,
                                                bool* self_closing) {
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
-  char quote = 0;
-  for (size_t i = 1; i < rest.size(); ++i) {
-    char c = rest[i];
-    if (quote != 0) {
-      if (c == quote) quote = 0;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      quote = c;
-    } else if (c == '>') {
-      *end = i;
-      *self_closing = (i >= 2 && rest[i - 1] == '/');
+  // memchr from candidate '>' to candidate '>': scan for the nearest
+  // closing angle, then check only the span before it for a quote (which
+  // would hide the '>') or a stray '<'. Tags without attribute values hit
+  // the fast path: one memchr for '>' plus three bounded probes.
+  size_t i = 1;
+  for (;;) {
+    if (i >= rest.size()) return Progress::kNeedMore;
+    const char* base = rest.data() + i;
+    size_t avail = rest.size() - i;
+    const char* gt = static_cast<const char*>(std::memchr(base, '>', avail));
+    // Without any '>' the tag cannot end in this buffer, quoted or not.
+    if (gt == nullptr) return Progress::kNeedMore;
+    size_t span = static_cast<size_t>(gt - base);
+    const char* q1 = static_cast<const char*>(std::memchr(base, '"', span));
+    const char* q2 = static_cast<const char*>(std::memchr(base, '\'', span));
+    const char* quote = (q1 != nullptr && (q2 == nullptr || q1 < q2)) ? q1 : q2;
+    const char* lt = static_cast<const char*>(std::memchr(
+        base, '<', quote != nullptr ? static_cast<size_t>(quote - base) : span));
+    if (lt != nullptr) return Fail("'<' inside tag");
+    if (quote == nullptr) {
+      size_t at = static_cast<size_t>(gt - rest.data());
+      *end = at;
+      *self_closing = (at >= 2 && rest[at - 1] == '/');
       return Progress::kOk;
-    } else if (c == '<') {
-      return Fail("'<' inside tag");
     }
+    // Skip the quoted attribute value and rescan behind it.
+    const char* rest_end = rest.data() + rest.size();
+    const char* close = static_cast<const char*>(std::memchr(
+        quote + 1, *quote, static_cast<size_t>(rest_end - (quote + 1))));
+    if (close == nullptr) return Progress::kNeedMore;
+    i = static_cast<size_t>(close + 1 - rest.data());
   }
-  return Progress::kNeedMore;
 }
 
 SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,

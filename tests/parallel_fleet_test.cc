@@ -1,0 +1,210 @@
+// ParallelFleet tests: the sharded multi-thread evaluator must be
+// observationally identical to the sequential MultiQueryEvaluator — same
+// per-query verdicts and the same canonical result items — for any worker
+// count, across hand-picked axis coverage, the random workload generator,
+// multi-batch documents and reuse across documents. This is the
+// differential harness the TSan CI job runs over the concurrent paths.
+
+#include <string>
+#include <vector>
+
+#include "baseline/compare.h"
+#include "core/multi_engine.h"
+#include "core/parallel_fleet.h"
+#include "gen/random_workload.h"
+#include "gen/xmark_generator.h"
+#include "gtest/gtest.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+// Evaluates every expression through one sequential MultiQueryEvaluator and
+// through ParallelFleets with `worker_counts` workers, requiring identical
+// matched flags and canonical result items per query. `options` lets tests
+// force multi-batch capture with tiny budgets.
+void ExpectParallelTransparent(const std::vector<std::string>& expressions,
+                               const std::string& xml,
+                               const std::vector<int>& worker_counts = {1, 2,
+                                                                        4},
+                               core::ParallelFleetOptions options = {}) {
+  std::vector<core::Query> queries;
+  for (const std::string& expression : expressions) {
+    StatusOr<core::Query> query = core::Query::Compile(expression);
+    ASSERT_TRUE(query.ok()) << expression << ": " << query.status();
+    queries.push_back(std::move(*query));
+  }
+
+  core::MultiQueryEvaluator sequential;
+  for (const core::Query& query : queries) sequential.AddQuery(query);
+  ASSERT_TRUE(xml::ParseString(xml, &sequential).ok());
+  ASSERT_TRUE(sequential.status().ok()) << sequential.status();
+
+  for (int workers : worker_counts) {
+    options.num_workers = workers;
+    core::ParallelFleet fleet(options);
+    for (const core::Query& query : queries) fleet.AddQuery(query);
+    ASSERT_TRUE(xml::ParseString(xml, &fleet).ok());
+    ASSERT_TRUE(fleet.status().ok()) << fleet.status();
+
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(sequential.Matched(q), fleet.Matched(q))
+          << "verdict mismatch for " << expressions[q] << " at " << workers
+          << " workers";
+      EXPECT_EQ(baseline::CanonicalFromResult(sequential.Result(q)),
+                baseline::CanonicalFromResult(fleet.Result(q)))
+          << "result mismatch for " << expressions[q] << " at " << workers
+          << " workers";
+    }
+  }
+}
+
+TEST(ParallelFleetTest, AxisCoverage) {
+  const std::string doc =
+      "<a k=\"1\"><b><a><c/></a><d/></b><c/>"
+      "<b x=\"y\"><c/><a/><e>text</e></b></a>";
+  ExpectParallelTransparent(
+      {
+          "//a//c",                    // descendant
+          "//c/ancestor::a",           // backward axis
+          "/a/b/a/c",                  // child spine
+          "//*[c]",                    // wildcard (always-dispatch)
+          "//b[@x]",                   // attribute test
+          "//c/following-sibling::a",  // sibling (dense stack)
+          "//e[text()='text']",        // text test
+          "//b[c]/a | //a[c]",         // union
+          "//zzz",                     // label absent: never woken
+          "//d/parent::b",             // parent
+      },
+      doc);
+}
+
+TEST(ParallelFleetTest, TinyBatchesForceMultiBatchDocuments) {
+  // Two-event batches: every document spans many batches, exercising batch
+  // boundaries in the middle of open elements and the end-of-document latch.
+  core::ParallelFleetOptions options;
+  options.max_batch_events = 2;
+  options.max_batch_text_bytes = 16;
+  options.ring_capacity = 2;
+  ExpectParallelTransparent(
+      {"//a//c", "//c/ancestor::a", "//b[@x]", "//e[text()='text']"},
+      "<a k=\"1\"><b><a><c/></a><d/></b><c/>"
+      "<b x=\"y\"><c/><a/><e>text</e></b></a>",
+      {1, 2, 4}, options);
+}
+
+TEST(ParallelFleetTest, MoreWorkersThanQueries) {
+  // Worker count clamps to the query count; results stay identical.
+  ExpectParallelTransparent({"//b/c"}, "<a><b><c/></b><b/></a>", {4});
+}
+
+TEST(ParallelFleetTest, ReuseAcrossDocuments) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::ParallelFleetOptions options;
+  options.num_workers = 2;
+  core::ParallelFleet fleet(options);
+  size_t q = fleet.AddQuery(*query);
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &fleet).ok());
+  EXPECT_TRUE(fleet.Matched(q));
+  ASSERT_TRUE(xml::ParseString("<a><b/><c/></a>", &fleet).ok());
+  EXPECT_FALSE(fleet.Matched(q));
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &fleet).ok());
+  EXPECT_TRUE(fleet.Matched(q));
+}
+
+TEST(ParallelFleetTest, MatchedQueriesMergesInAscendingOrder) {
+  std::vector<std::string> expressions = {"//b/c", "//zzz", "//a", "//d"};
+  std::vector<core::Query> queries;
+  for (const std::string& expression : expressions) {
+    StatusOr<core::Query> query = core::Query::Compile(expression);
+    ASSERT_TRUE(query.ok());
+    queries.push_back(std::move(*query));
+  }
+  core::ParallelFleetOptions options;
+  options.num_workers = 3;
+  core::ParallelFleet fleet(options);
+  for (const core::Query& query : queries) fleet.AddQuery(query);
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b><d/></a>", &fleet).ok());
+  EXPECT_EQ((std::vector<size_t>{0, 2, 3}), fleet.MatchedQueries());
+}
+
+TEST(ParallelFleetTest, ShardAccountingCoversAllQueriesAndEvents) {
+  std::vector<std::string> expressions;
+  for (int i = 0; i < 10; ++i) {
+    expressions.push_back("//tag_" + std::to_string(i));
+  }
+  std::vector<core::Query> queries;
+  for (const std::string& expression : expressions) {
+    StatusOr<core::Query> query = core::Query::Compile(expression);
+    ASSERT_TRUE(query.ok());
+    queries.push_back(std::move(*query));
+  }
+  core::ParallelFleetOptions options;
+  options.num_workers = 4;
+  core::ParallelFleet fleet(options);
+  for (const core::Query& query : queries) fleet.AddQuery(query);
+  ASSERT_TRUE(xml::ParseString("<tag_0><tag_1/><tag_2/></tag_0>", &fleet).ok());
+
+  std::vector<core::ParallelShardStats> stats = fleet.ShardStats();
+  ASSERT_EQ(4u, stats.size());
+  size_t queries_covered = 0;
+  for (const core::ParallelShardStats& shard : stats) {
+    queries_covered += shard.query_count;
+    // Every shard replays the whole stream: start-doc, 3 start, 3 end,
+    // end-doc = 8 events.
+    EXPECT_EQ(8u, shard.events_processed);
+    EXPECT_GE(shard.batches_consumed, 1u);
+  }
+  EXPECT_EQ(expressions.size(), queries_covered);
+  EXPECT_GE(fleet.batches_published(), 1u);
+}
+
+// Random workloads, cross-producted as in multi_engine_test: every
+// generated query evaluated over every generated document, sequential vs
+// parallel at 1/2/4 workers.
+class RandomParallelFleetTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomParallelFleetTest, ParallelTransparent) {
+  uint64_t seed = GetParam();
+  gen::RandomQueryOptions query_options;
+  gen::RandomDocOptions doc_options;
+  doc_options.target_elements = 300;
+  doc_options.max_noise_depth = 6;
+
+  std::vector<std::string> expressions;
+  std::vector<std::string> documents;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto workload =
+        gen::GenerateWorkload(query_options, doc_options, seed * 16 + i);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    expressions.push_back(workload->expression);
+    documents.push_back(workload->document);
+  }
+  for (const std::string& document : documents) {
+    ExpectParallelTransparent(expressions, document);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomParallelFleetTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(ParallelFleetTest, XMarkSmoke) {
+  // A larger document through small rings: exercises producer back-pressure
+  // (ring-full stalls) without any correctness drift.
+  gen::XMarkOptions doc_options;
+  doc_options.scale = 0.002;
+  const std::string doc = gen::GenerateXMark(doc_options);
+
+  std::vector<std::string> expressions = {
+      "/site/regions//item/name", "//person/name", "//category/description",
+      "//item[payment]/name",     "//zzz_absent",
+  };
+  core::ParallelFleetOptions options;
+  options.ring_capacity = 2;
+  options.max_batch_events = 64;
+  ExpectParallelTransparent(expressions, doc, {2, 4}, options);
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,157 @@
+// SymbolTable unit and concurrency tests: the intern path takes a mutex,
+// lookups are lock-free — so N threads hammering Intern/Lookup/Name over an
+// overlapping name universe must agree on one Symbol per name, see every
+// published symbol's spelling, and never tear (the TSan CI job runs this
+// binary to certify the lock-free read paths).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/symbol_table.h"
+
+namespace xaos::util {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  Symbol a = table.Intern("alpha");
+  Symbol b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.Intern("alpha"));
+  EXPECT_EQ(b, table.Intern("beta"));
+  EXPECT_EQ(2u, table.size());
+}
+
+TEST(SymbolTableTest, SymbolsAreDenseFromZero) {
+  SymbolTable table;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<Symbol>(i), table.Intern("name" + std::to_string(i)));
+  }
+  EXPECT_EQ(100u, table.size());
+}
+
+TEST(SymbolTableTest, LookupNeverInserts) {
+  SymbolTable table;
+  EXPECT_EQ(kInvalidSymbol, table.Lookup("ghost"));
+  EXPECT_EQ(0u, table.size());
+  Symbol s = table.Intern("ghost");
+  EXPECT_EQ(s, table.Lookup("ghost"));
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  // Enough names to force several bucket-array doublings.
+  std::vector<Symbol> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    symbols.push_back(table.Intern("tag_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ("tag_" + std::to_string(i), table.Name(symbols[static_cast<size_t>(i)]));
+  }
+}
+
+// --- concurrency ------------------------------------------------------------
+
+// Many threads intern an overlapping universe of names while others look up
+// and resolve spellings. Correctness contract under race: one stable Symbol
+// per name, Name(Intern(x)) == x always, size() is monotone, and any Symbol
+// observed via Lookup resolves to the exact spelling.
+TEST(SymbolTableStressTest, ConcurrentInterning) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 2000;  // shared universe; forces heavy collision
+  constexpr int kRounds = 4;
+
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<Symbol>> per_thread(kThreads,
+                                              std::vector<Symbol>(kNames));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kNames; ++i) {
+          // Interleave the universe differently per thread so inserts and
+          // hits mix at every moment.
+          int pick = (i * (t + 1) + round) % kNames;
+          std::string name = "elem_" + std::to_string(pick);
+          Symbol s = table.Intern(name);
+          if (s < 0 || table.Name(s) != name) {
+            failed.store(true);
+            return;
+          }
+          // Lock-free read paths while other threads insert.
+          if (table.Lookup(name) != s) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+      // Resolve the whole universe once more so every thread records every
+      // name (the strided walk above skips indices when t+1 shares a factor
+      // with kNames).
+      for (int i = 0; i < kNames; ++i) {
+        per_thread[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            table.Intern("elem_" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  // Every thread resolved every name to the same Symbol.
+  for (int i = 0; i < kNames; ++i) {
+    Symbol expected = per_thread[0][static_cast<size_t>(i)];
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(expected, per_thread[static_cast<size_t>(t)]
+                                    [static_cast<size_t>(i)])
+          << "thread " << t << " disagrees on name " << i;
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(kNames), table.size());
+}
+
+// Readers racing a writer that grows the table through multiple rehash
+// generations: Lookup must never miss a name that was interned before the
+// reader started, and Name must never return a torn spelling.
+TEST(SymbolTableStressTest, LookupDuringGrowth) {
+  SymbolTable table;
+  constexpr int kPrefill = 512;
+  constexpr int kGrowth = 8000;
+  for (int i = 0; i < kPrefill; ++i) {
+    table.Intern("stable_" + std::to_string(i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < kPrefill; ++i) {
+          std::string name = "stable_" + std::to_string(i);
+          Symbol s = table.Lookup(name);
+          if (s == kInvalidSymbol || table.Name(s) != name) {
+            failed.store(true);
+            stop.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  // Writer: push the table through several doublings while readers run.
+  for (int i = 0; i < kGrowth; ++i) {
+    table.Intern("growth_" + std::to_string(i));
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(static_cast<size_t>(kPrefill + kGrowth), table.size());
+}
+
+}  // namespace
+}  // namespace xaos::util
