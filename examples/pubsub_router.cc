@@ -42,12 +42,22 @@ int main(int argc, char** argv) {
   // subscription pool across N worker threads fed from a single parse;
   // without it (or with 0) everything runs on the parsing thread through
   // one MultiQueryEvaluator. Results are identical either way.
+  // --max-depth / --max-total-bytes tighten the parser guardrails a
+  // production router would run with; a document that violates them (or is
+  // plain malformed) is rejected, counted, and the stream continues.
   int threads = 0;
+  xaos::xml::ParserOptions parser_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--max-depth=", 12) == 0) {
+      parser_options.limits.max_depth = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--max-total-bytes=", 18) == 0) {
+      parser_options.limits.max_total_bytes =
+          static_cast<uint64_t>(std::atoll(argv[i] + 18));
     } else {
-      std::cerr << "usage: " << argv[0] << " [--threads=N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--threads=N] [--max-depth=N] [--max-total-bytes=N]\n";
       return 2;
     }
   }
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
   xaos::obs::MetricsRegistry registry;
   xaos::obs::Counter* documents_total =
       registry.GetCounter("router_documents_total");
+  xaos::obs::Counter* documents_rejected =
+      registry.GetCounter("router_documents_rejected_total");
   xaos::obs::Histogram* document_ns =
       registry.GetHistogram("router_document_ns");
 
@@ -106,16 +118,32 @@ int main(int argc, char** argv) {
       R"(<order id="3"><item sku="C-9"><price>5</price></item></order>)",
       R"(<cancellation order="1"/>)",
       R"(<note>not an order at all</note>)",
+      // A hostile publisher: malformed mid-stream. The router rejects it
+      // and keeps serving the remaining documents.
+      R"(<order id="4"><item sku="A-17"><price>10</order>)",
+      R"(<order id="5" priority="high"><item sku="A-17"/></order>)",
   };
 
   for (size_t i = 0; i < documents.size(); ++i) {
     uint64_t start = xaos::obs::NowNs();
-    xaos::Status status = xaos::xml::ParseString(documents[i], handler);
+    xaos::Status status =
+        xaos::xml::ParseString(documents[i], handler, parser_options);
     uint64_t elapsed = xaos::obs::NowNs() - start;
+    if (!status.ok()) {
+      // Close out the abandoned document; the evaluator/fleet stays usable
+      // for the rest of the stream.
+      if (fleet) {
+        fleet->AbortDocument(status);
+      } else {
+        evaluator.AbortDocument(status);
+      }
+      documents_rejected->Increment();
+      std::cerr << "document " << i + 1 << " rejected: " << status << "\n";
+      continue;
+    }
     xaos::Status eval_status = fleet ? fleet->status() : evaluator.status();
-    if (!status.ok() || !eval_status.ok()) {
-      std::cerr << "document " << i << ": "
-                << (!status.ok() ? status : eval_status) << "\n";
+    if (!eval_status.ok()) {
+      std::cerr << "document " << i << ": " << eval_status << "\n";
       return 1;
     }
     documents_total->Increment();

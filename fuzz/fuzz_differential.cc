@@ -1,0 +1,7 @@
+// libFuzzer entry point: "<xpath>\n<xml>" inputs checked χαoς-vs-oracle.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunDifferentialInput(data, size);
+}

@@ -1,0 +1,7 @@
+// libFuzzer entry point: hostile bytes into the streaming SAX parser.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunSaxParserInput(data, size);
+}

@@ -1,0 +1,45 @@
+// File-replay driver substituted for libFuzzer when the toolchain has no
+// -fsanitize=fuzzer (e.g. gcc): runs every argument (file or directory,
+// recursively) through the target's LLVMFuzzerTestOneInput once. This is
+// what the corpus regression step and local gcc builds execute; actual
+// coverage-guided fuzzing needs the clang build (see fuzz/CMakeLists.txt).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path path(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const fs::directory_entry& entry :
+           fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "standalone: skipping %s\n", argv[i]);
+    }
+  }
+
+  int runs = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++runs;
+  }
+  std::fprintf(stderr, "standalone: replayed %d input(s)\n", runs);
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "targets.h"
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/brute_force_matcher.h"
+#include "baseline/compare.h"
+#include "core/multi_engine.h"
+#include "dom/dom_builder.h"
+#include "query/xtree.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::fuzz {
+namespace {
+
+// Tight enough that a hostile input can't make one iteration slow or
+// memory-hungry, loose enough that real documents in the corpus pass.
+xml::ParserOptions FuzzParserOptions() {
+  xml::ParserOptions options;
+  options.limits.max_depth = 256;
+  options.limits.max_attribute_count = 64;
+  options.limits.max_attribute_value_bytes = 64u << 10;
+  options.limits.max_name_bytes = 4096;
+  options.limits.max_token_bytes = 1u << 20;
+  options.limits.max_entity_references = 1u << 16;
+  options.limits.max_total_bytes = 8u << 20;
+  return options;
+}
+
+// Traps on any stream-invariant violation; the fuzzer keeps the input.
+class TrapHandler : public xml::ContentHandler {
+ public:
+  void StartDocument() override {
+    if (started_) __builtin_trap();
+    started_ = true;
+  }
+  void EndDocument() override {
+    if (!started_ || depth_ != 0) __builtin_trap();
+  }
+  void StartElement(const xml::QName& name, xml::AttributeSpan) override {
+    if (!started_ || name.text.empty()) __builtin_trap();
+    ++depth_;
+  }
+  void EndElement(std::string_view) override {
+    if (depth_ <= 0) __builtin_trap();
+    --depth_;
+  }
+  void Characters(std::string_view text) override {
+    if (depth_ <= 0 || text.empty()) __builtin_trap();
+  }
+
+ private:
+  bool started_ = false;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+int RunSaxParserInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  std::string_view doc(reinterpret_cast<const char*>(data), size);
+  xml::ParserOptions options = FuzzParserOptions();
+
+  TrapHandler invariants;
+  xml::ParseString(doc, &invariants, options);
+
+  // One-shot vs chunked must agree exactly: same ok-ness, same events.
+  xml::EventRecorder one_shot;
+  bool one_shot_ok = xml::ParseString(doc, &one_shot, options).ok();
+
+  static constexpr size_t kSchedule[] = {1, 3, 7, 2, 16, 64, 5};
+  xml::EventRecorder chunked;
+  xml::SaxParser parser(&chunked, options);
+  Status status;
+  for (size_t step = size; !doc.empty() && status.ok(); ++step) {
+    size_t n = kSchedule[step % (sizeof(kSchedule) / sizeof(kSchedule[0]))];
+    if (n > doc.size()) n = doc.size();
+    status = parser.Feed(doc.substr(0, n));
+    doc.remove_prefix(n);
+  }
+  if (status.ok()) status = parser.Finish();
+  if (status.ok() != one_shot_ok) __builtin_trap();
+  if (status.ok() && !(chunked.events() == one_shot.events())) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+int RunXPathInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 16)) return 0;
+  std::string expression(reinterpret_cast<const char*>(data), size);
+  StatusOr<core::Query> query = core::Query::Compile(expression,
+                                                     /*max_paths=*/8);
+  if (!query.ok()) return 0;
+  // A compiled expression must also build engines and survive a document.
+  core::StreamingEvaluator evaluator(*query);
+  xml::ParseString("<a x=\"1\"><b><c>text</c></b><b y=\"2\"/></a>",
+                   &evaluator);
+  (void)evaluator.Result();
+  return 0;
+}
+
+int RunDifferentialInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 14)) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  size_t newline = input.find('\n');
+  if (newline == std::string_view::npos) return 0;
+  std::string expression(input.substr(0, newline));
+  std::string document(input.substr(newline + 1));
+
+  StatusOr<core::Query> query = core::Query::Compile(expression,
+                                                     /*max_paths=*/4);
+  if (!query.ok()) return 0;
+
+  xml::ParserOptions options = FuzzParserOptions();
+  StatusOr<dom::Document> dom = dom::ParseToDocument(document, options);
+  if (!dom.ok()) return 0;
+
+  core::StreamingEvaluator evaluator(*query);
+  Status parse = xml::ParseString(document, &evaluator, options);
+  // The same parser accepted the document a line above.
+  if (!parse.ok()) __builtin_trap();
+  if (!evaluator.status().ok()) return 0;
+
+  std::set<baseline::CanonicalItem> expected;
+  for (const query::XTree& tree : query->trees()) {
+    baseline::BruteForceOutcome outcome =
+        baseline::BruteForceMatch(*dom, tree, /*max_explored=*/200'000);
+    if (!outcome.complete) return 0;  // too expensive to oracle; skip
+    expected.insert(outcome.items.begin(), outcome.items.end());
+  }
+
+  std::vector<baseline::CanonicalItem> actual =
+      baseline::CanonicalFromResult(evaluator.Result());
+  std::vector<baseline::CanonicalItem> oracle(expected.begin(),
+                                              expected.end());
+  if (!(actual == oracle)) __builtin_trap();
+  return 0;
+}
+
+}  // namespace xaos::fuzz

@@ -1,0 +1,37 @@
+// Shared fuzz-target bodies, compiler-agnostic: each function is the body
+// of one libFuzzer entry point (fuzz_*.cc wraps them in
+// LLVMFuzzerTestOneInput), but lives in a plain library so the same logic
+// also runs under gcc via the standalone replay driver and inside the
+// regular test suite (tests/fuzz_corpus_test.cc replays fuzz/corpus/).
+//
+// Contract: return 0 always (libFuzzer ignores other values); report an
+// invariant violation by trapping (__builtin_trap), which both libFuzzer
+// and the sanitizers turn into a reproducible crash with the offending
+// input.
+
+#ifndef XAOS_FUZZ_TARGETS_H_
+#define XAOS_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xaos::fuzz {
+
+// Feeds `data` to the SAX parser under tight ParserLimits, twice: one-shot
+// and through an adversarial chunk schedule. Traps if the event streams or
+// outcomes diverge, or if the handler observes an unbalanced stream.
+int RunSaxParserInput(const uint8_t* data, size_t size);
+
+// Treats `data` as an XPath expression: compile, and when that succeeds,
+// evaluate over a small fixed document (exercises x-tree building and
+// engine construction on hostile expressions).
+int RunXPathInput(const uint8_t* data, size_t size);
+
+// Differential target. Input layout: "<xpath>\n<xml document>". When both
+// sides are valid, χαoς streaming results must equal the brute-force
+// oracle on the DOM; any disagreement traps.
+int RunDifferentialInput(const uint8_t* data, size_t size);
+
+}  // namespace xaos::fuzz
+
+#endif  // XAOS_FUZZ_TARGETS_H_

@@ -130,6 +130,17 @@ void EngineFleet::Characters(std::string_view text) {
   }
 }
 
+void EngineFleet::AbortDocument() {
+  depth_ = 0;
+  cursor_.Reset();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xaos_dispatch_engines_skipped_total")
+        ->Increment(engines_skipped_document_);
+  }
+  engines_skipped_document_ = 0;
+}
+
 void EngineFleet::EndDocument() {
   for (XaosEngine* engine : engines_) {
     engine->EndDocument();

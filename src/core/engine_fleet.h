@@ -51,6 +51,12 @@ class EngineFleet {
   void Characters(std::string_view text);
   void EndDocument();
 
+  // Abandons the current document mid-stream (the producer failed): resets
+  // the per-document dispatch state so the next StartDocument starts clean
+  // instead of tripping the balance checks. Engine per-document state is
+  // reset by that StartDocument, as always.
+  void AbortDocument();
+
   size_t engine_count() const { return engines_.size(); }
   // Engine deliveries suppressed by the dispatch index so far (cumulative
   // across documents): for each element event, engines that did not

@@ -106,9 +106,18 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
   }
 }
 
-void StreamingEvaluator::StartDocument() { fleet_.StartDocument(); }
+void StreamingEvaluator::StartDocument() {
+  abort_status_ = Status::Ok();
+  fleet_.StartDocument();
+}
 
 void StreamingEvaluator::EndDocument() { fleet_.EndDocument(); }
+
+void StreamingEvaluator::AbortDocument(const Status& cause) {
+  abort_status_ =
+      cause.ok() ? InternalError("document aborted without a cause") : cause;
+  fleet_.AbortDocument();
+}
 
 void StreamingEvaluator::StartElement(const xml::QName& name,
                                       xml::AttributeSpan attributes) {
@@ -130,7 +139,10 @@ bool StreamingEvaluator::MatchConfirmed() const {
   return false;
 }
 
-Status StreamingEvaluator::status() const { return FirstError(engines_); }
+Status StreamingEvaluator::status() const {
+  if (!abort_status_.ok()) return abort_status_;
+  return FirstError(engines_);
+}
 
 QueryResult StreamingEvaluator::Result() const {
   return MergeResults(engines_, 0, engines_.size());
@@ -166,9 +178,18 @@ size_t MultiQueryEvaluator::AddQuery(const Query& query) {
   return queries_.size() - 1;
 }
 
-void MultiQueryEvaluator::StartDocument() { fleet_.StartDocument(); }
+void MultiQueryEvaluator::StartDocument() {
+  abort_status_ = Status::Ok();
+  fleet_.StartDocument();
+}
 
 void MultiQueryEvaluator::EndDocument() { fleet_.EndDocument(); }
+
+void MultiQueryEvaluator::AbortDocument(const Status& cause) {
+  abort_status_ =
+      cause.ok() ? InternalError("document aborted without a cause") : cause;
+  fleet_.AbortDocument();
+}
 
 void MultiQueryEvaluator::StartElement(const xml::QName& name,
                                        xml::AttributeSpan attributes) {
@@ -183,7 +204,10 @@ void MultiQueryEvaluator::Characters(std::string_view text) {
   fleet_.Characters(text);
 }
 
-Status MultiQueryEvaluator::status() const { return FirstError(engines_); }
+Status MultiQueryEvaluator::status() const {
+  if (!abort_status_.ok()) return abort_status_;
+  return FirstError(engines_);
+}
 
 bool MultiQueryEvaluator::Matched(size_t q) const {
   const QuerySlot& slot = queries_[q];

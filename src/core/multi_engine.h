@@ -65,7 +65,13 @@ class StreamingEvaluator : public xml::ContentHandler {
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 
-  // First engine error, if any.
+  // Abandons the current document after a mid-stream producer failure
+  // (parse error, limit rejection, I/O error). `cause` is what status()
+  // reports until the next StartDocument; the evaluator stays reusable
+  // for further documents.
+  void AbortDocument(const Status& cause);
+
+  // The abort cause of an abandoned document, else the first engine error.
   Status status() const;
   // True as soon as any disjunct's match is guaranteed (usable mid-stream;
   // see XaosEngine::match_confirmed).
@@ -101,6 +107,7 @@ class StreamingEvaluator : public xml::ContentHandler {
   std::shared_ptr<const std::vector<query::XTree>> trees_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
+  Status abort_status_;  // non-OK while the last document was abandoned
   // Per-event cost sampling into the default registry's
   // `xaos_engine_event_ns` histogram; armed at construction when obs is
   // enabled, otherwise a single dead branch per event.
@@ -129,7 +136,11 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 
-  // First engine error, if any.
+  // Abandons the current document after a mid-stream producer failure; see
+  // StreamingEvaluator::AbortDocument. The evaluator stays reusable.
+  void AbortDocument(const Status& cause);
+
+  // The abort cause of an abandoned document, else the first engine error.
   Status status() const;
   // Whether query `q` matched. Valid after EndDocument.
   bool Matched(size_t q) const;
@@ -167,6 +178,7 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   std::vector<QuerySlot> queries_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
+  Status abort_status_;  // non-OK while the last document was abandoned
   bool sample_events_ = false;
   obs::EventCostSampler sampler_{nullptr};
 };

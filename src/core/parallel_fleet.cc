@@ -158,7 +158,26 @@ void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
 
 void ParallelFleet::StartDocument() {
   Finalize();
+  document_status_ = Status::Ok();
   batcher_.StartDocument();
+}
+
+void ParallelFleet::AbortDocument(const Status& cause) {
+  document_status_ =
+      cause.ok() ? InternalError("document aborted without a cause") : cause;
+  if (!finalized_ || workers_.empty()) return;  // nothing is running yet
+  ++documents_aborted_;
+  batcher_.AbortDocument();
+  {
+    std::unique_lock<std::mutex> lock(doc_mu_);
+    doc_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+    workers_done_ = 0;
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xaos_parallel_documents_aborted_total")
+        ->Increment();
+  }
 }
 
 void ParallelFleet::StartElement(const xml::QName& name,
@@ -228,12 +247,18 @@ void ParallelFleet::WorkerLoop(Worker* worker) {
   for (;;) {
     PooledBatch* batch = PopBlocking(worker);
     if (batch == nullptr) return;
-    batch->batch.Replay(worker->evaluator.get(), &worker->attr_scratch);
-    worker->stats.batches_consumed += 1;
-    worker->stats.events_processed += batch->batch.event_count();
+    // An abort marker's events are a partial capture of a failed document:
+    // skip them (the shard's engines are reset by the next StartDocument)
+    // and acknowledge through the same latch a document end uses.
+    bool aborts_document = batch->batch.aborts_document();
+    if (!aborts_document) {
+      batch->batch.Replay(worker->evaluator.get(), &worker->attr_scratch);
+      worker->stats.batches_consumed += 1;
+      worker->stats.events_processed += batch->batch.event_count();
+    }
     bool ends_document = batch->batch.ends_document();
     ReleaseBatch(batch);
-    if (ends_document) {
+    if (ends_document || aborts_document) {
       std::lock_guard<std::mutex> lock(doc_mu_);
       ++workers_done_;
       doc_cv_.notify_all();
@@ -244,6 +269,7 @@ void ParallelFleet::WorkerLoop(Worker* worker) {
 // --- results ----------------------------------------------------------------
 
 Status ParallelFleet::status() const {
+  if (!document_status_.ok()) return document_status_;
   for (const Worker& worker : workers_) {
     Status s = worker.evaluator->status();
     if (!s.ok()) return s;
@@ -313,6 +339,8 @@ void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
       ->Set(static_cast<int64_t>(publish_stalls_));
   registry->GetGauge("xaos_parallel_workers")
       ->Set(static_cast<int64_t>(workers_.size()));
+  registry->GetGauge("xaos_parallel_documents_aborted")
+      ->Set(static_cast<int64_t>(documents_aborted_));
   for (size_t s = 0; s < workers_.size(); ++s) {
     const ParallelShardStats& stats = workers_[s].stats;
     std::string label = "{shard=\"" + std::to_string(s) + "\"}";

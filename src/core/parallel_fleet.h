@@ -87,9 +87,9 @@ class ParallelFleet : public xml::ContentHandler,
   void Finalize();
 
   // ContentHandler interface — the calling thread is the parse/producer
-  // thread. EndDocument blocks until all shards finished the document; a
-  // stream abandoned mid-document (parse error) leaves the fleet unusable
-  // for further documents, matching the sequential evaluators' contract.
+  // thread. EndDocument blocks until all shards finished the document. A
+  // stream abandoned mid-document (parse error, limit rejection) must be
+  // closed out with AbortDocument before the next StartDocument.
   void StartDocument() override;
   void EndDocument() override;
   void StartElement(const xml::QName& name,
@@ -97,8 +97,18 @@ class ParallelFleet : public xml::ContentHandler,
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
 
-  // --- results; valid after EndDocument returned ---
-  // First engine error across all shards, if any.
+  // Abandons the current document after a mid-stream producer failure:
+  // publishes an abort marker behind the events already shipped, wakes
+  // every shard (workers skip the partial batch), and blocks until all of
+  // them acknowledged — draining the rings, so no stale events leak into
+  // the next document. `cause` is what status() reports until the next
+  // StartDocument; the fleet stays reusable. Never deadlocks: workers
+  // always drain their rings, and the marker is the last entry.
+  void AbortDocument(const Status& cause);
+
+  // --- results; valid after EndDocument (or AbortDocument) returned ---
+  // The abort cause of an abandoned document, else the first engine error
+  // across all shards, if any.
   Status status() const;
   bool Matched(size_t q) const;
   QueryResult Result(size_t q) const;
@@ -181,9 +191,14 @@ class ParallelFleet : public xml::ContentHandler,
 
   std::atomic<bool> stop_{false};
 
+  // Why the last document was abandoned; cleared by StartDocument. Written
+  // by the producer thread, read by the caller after the abort latch.
+  Status document_status_;
+
   uint64_t batches_published_ = 0;  // producer thread only
   uint64_t publish_stalls_ = 0;     // producer thread only
   uint64_t documents_ = 0;          // producer thread only
+  uint64_t documents_aborted_ = 0;  // producer thread only
 };
 
 }  // namespace xaos::core

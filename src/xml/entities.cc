@@ -47,7 +47,16 @@ bool AppendUtf8(uint32_t cp, std::string* out) {
   return true;
 }
 
-StatusOr<std::string> DecodeReferences(std::string_view text) {
+size_t FindForbiddenControlByte(std::string_view text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x20 && c != 0x9 && c != 0xA && c != 0xD) return i;
+  }
+  return std::string_view::npos;
+}
+
+StatusOr<std::string> DecodeReferences(std::string_view text,
+                                       uint64_t* reference_count) {
   std::string out;
   out.reserve(text.size());
   size_t i = 0;
@@ -58,10 +67,24 @@ StatusOr<std::string> DecodeReferences(std::string_view text) {
       ++i;
       continue;
     }
-    size_t end = text.find(';', i + 1);
-    if (end == std::string_view::npos || end == i + 1) {
+    // Bounded scan: a legal reference body fits well inside the cap, so a
+    // missing ';' within the window means the reference is broken (or an
+    // attack) and we fail without looking at the rest of the payload.
+    std::string_view window =
+        text.substr(i + 1, kMaxReferenceBodyBytes + 1);
+    size_t body_len = window.find(';');
+    if (body_len == std::string_view::npos) {
+      return ParseError(
+          window.size() > kMaxReferenceBodyBytes
+              ? "entity reference exceeds " +
+                    std::to_string(kMaxReferenceBodyBytes) + " bytes"
+              : "unterminated entity reference");
+    }
+    if (body_len == 0) {
       return ParseError("unterminated entity reference");
     }
+    size_t end = i + 1 + body_len;
+    if (reference_count != nullptr) ++*reference_count;
     std::string_view body = text.substr(i + 1, end - i - 1);
     if (body == "amp") {
       out.push_back('&');

@@ -4,6 +4,7 @@
 #ifndef XAOS_XML_ENTITIES_H_
 #define XAOS_XML_ENTITIES_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -12,11 +13,28 @@
 
 namespace xaos::xml {
 
+// Longest reference body (the text between '&' and ';') we accept. The
+// supported vocabulary is tiny — five predefined entities and character
+// references of at most 8 digits — so anything longer is garbage; bounding
+// the scan keeps a '&'-laden payload from turning reference resolution
+// quadratic.
+inline constexpr size_t kMaxReferenceBodyBytes = 32;
+
 // Decodes the five predefined entity references (&amp; &lt; &gt; &apos;
 // &quot;) and decimal/hexadecimal character references (&#NN; &#xHH;,
 // emitted as UTF-8) in `text`. Returns a ParseError for malformed or
-// unknown references.
-StatusOr<std::string> DecodeReferences(std::string_view text);
+// unknown references, including any reference whose body exceeds
+// kMaxReferenceBodyBytes (the ';' search never scans further than that).
+// When `reference_count` is non-null it is incremented once per decoded
+// reference, so callers can enforce a per-document budget.
+StatusOr<std::string> DecodeReferences(std::string_view text,
+                                       uint64_t* reference_count = nullptr);
+
+// Returns the offset of the first byte forbidden in XML content — a C0
+// control other than tab, LF or CR, which the Char production excludes —
+// or npos. Applied to raw (undecoded) character data and attribute values;
+// decoded character references are validated separately in AppendUtf8.
+size_t FindForbiddenControlByte(std::string_view text);
 
 // Escapes `text` for use as element character data: & < > are replaced by
 // entity references.

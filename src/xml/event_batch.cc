@@ -97,6 +97,11 @@ void EventBatcher::Characters(std::string_view text) {
   PublishIfFull();
 }
 
+void EventBatcher::AbortDocument() {
+  Current()->MarkAbortsDocument();
+  PublishCurrent();
+}
+
 void EventBatcher::PublishIfFull() {
   if (current_ == nullptr) return;
   if (current_->event_count() >= max_events_ ||
@@ -106,7 +111,10 @@ void EventBatcher::PublishIfFull() {
 }
 
 void EventBatcher::PublishCurrent() {
-  if (current_ == nullptr || current_->empty()) return;
+  if (current_ == nullptr ||
+      (current_->empty() && !current_->aborts_document())) {
+    return;
+  }
   sink_->PublishBatch(current_);
   current_ = nullptr;
 }

@@ -60,6 +60,7 @@ class EventBatch {
     events_.clear();
     attributes_.clear();
     text_.clear();
+    aborts_document_ = false;
   }
 
   bool empty() const { return events_.empty(); }
@@ -71,6 +72,12 @@ class EventBatch {
     return !events_.empty() &&
            events_.back().kind == BatchedEvent::Kind::kEndDocument;
   }
+  // An abort marker: the producer abandoned the document mid-stream (parse
+  // error, limit rejection). Consumers must not replay the batch's events —
+  // they may be a partial capture — and should run their end-of-document
+  // bookkeeping so the stream stays reusable.
+  void MarkAbortsDocument() { aborts_document_ = true; }
+  bool aborts_document() const { return aborts_document_; }
 
   // --- capture side (single producer) ---
   void AddStartDocument() { AddSimple(BatchedEvent::Kind::kStartDocument); }
@@ -107,6 +114,7 @@ class EventBatch {
   std::vector<BatchedEvent> events_;
   std::vector<BatchedAttribute> attributes_;
   std::string text_;  // arena owning every byte the records reference
+  bool aborts_document_ = false;
 };
 
 // ContentHandler that captures the stream into batches and hands each full
@@ -134,6 +142,11 @@ class EventBatcher : public ContentHandler {
   void StartElement(const QName& name, AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+
+  // Abandons the in-progress document: the current batch (acquired if none
+  // is open) is marked as aborting and published, so every consumer sees
+  // the abort in stream order after the events already shipped.
+  void AbortDocument();
 
  private:
   EventBatch* Current() {

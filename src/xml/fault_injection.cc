@@ -1,0 +1,62 @@
+#include "xml/fault_injection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace xaos::xml {
+
+FaultInjectingSource::FaultInjectingSource(std::string document,
+                                          FaultSpec spec)
+    : document_(std::move(document)), spec_(std::move(spec)) {
+  if (spec_.corrupt_at < document_.size()) {
+    document_[spec_.corrupt_at] =
+        static_cast<char>(document_[spec_.corrupt_at] ^ spec_.corrupt_mask);
+  }
+  if (spec_.truncate_at < document_.size()) {
+    document_.resize(spec_.truncate_at);
+  }
+}
+
+Status FaultInjectingSource::Parse(ContentHandler* handler,
+                                   ParserOptions options) const {
+  SaxParser parser(handler, options);
+  std::string_view rest = document_;
+  size_t schedule_index = 0;
+  while (!rest.empty()) {
+    size_t want = spec_.chunk_bytes;
+    if (!spec_.chunk_sizes.empty()) {
+      want = spec_.chunk_sizes[schedule_index % spec_.chunk_sizes.size()];
+      ++schedule_index;
+    }
+    want = std::clamp<size_t>(want, 1, rest.size());
+    XAOS_RETURN_IF_ERROR(parser.Feed(rest.substr(0, want)));
+    rest.remove_prefix(want);
+  }
+  return parser.Finish();
+}
+
+Status ParseFileWithFaults(const std::string& path, const FaultSpec& spec,
+                           ContentHandler* handler, ParserOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open file: " + path);
+  }
+  std::string document;
+  std::vector<char> buffer(64 * 1024);
+  while (true) {
+    size_t n = std::fread(buffer.data(), 1, buffer.size(), file);
+    if (n == 0) break;
+    document.append(buffer.data(), n);
+  }
+  bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return InvalidArgumentError("I/O error reading: " + path);
+  }
+  FaultInjectingSource source(std::move(document), spec);
+  return source.Parse(handler, options);
+}
+
+}  // namespace xaos::xml

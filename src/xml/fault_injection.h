@@ -1,0 +1,65 @@
+// Fault-injecting input source for robustness testing: wraps the chunked
+// feeding that xml::ParseFile does, but lets a test (or fuzz target) cut
+// the stream short, flip a byte, or force adversarial chunk boundaries —
+// the three ways untrusted traffic actually breaks. The wrapper drives the
+// same SaxParser/ContentHandler path production uses, so whatever it
+// surfaces is exactly what a service would see.
+
+#ifndef XAOS_XML_FAULT_INJECTION_H_
+#define XAOS_XML_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::xml {
+
+// What to do to the stream before the parser sees it.
+struct FaultSpec {
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  // Drop everything from byte `truncate_at` on (the stream still Finishes,
+  // as a closed socket would).
+  size_t truncate_at = kNone;
+  // XOR the byte at `corrupt_at` with `corrupt_mask` (applied before
+  // truncation bounds are evaluated; a mask of 0 leaves the byte intact).
+  size_t corrupt_at = kNone;
+  uint8_t corrupt_mask = 0xFF;
+
+  // Chunk boundary schedule: the stream is fed in chunks of these sizes,
+  // cycling when exhausted (zero entries are treated as 1). Empty: fixed
+  // `chunk_bytes` chunks.
+  std::vector<size_t> chunk_sizes;
+  size_t chunk_bytes = 1024;
+};
+
+// Feeds `document`, transformed per `spec`, into a SaxParser driving
+// `handler`. Returns the first parser error (Feed or Finish), like
+// ParseFile. The faulted bytes are staged once; memory use is O(document).
+class FaultInjectingSource {
+ public:
+  FaultInjectingSource(std::string document, FaultSpec spec);
+
+  // The document after corruption/truncation, as the parser will see it.
+  std::string_view effective_document() const { return document_; }
+
+  Status Parse(ContentHandler* handler, ParserOptions options = {}) const;
+
+ private:
+  std::string document_;
+  FaultSpec spec_;
+};
+
+// Reads `path` (as ParseFile would) and parses it through a
+// FaultInjectingSource with `spec`.
+Status ParseFileWithFaults(const std::string& path, const FaultSpec& spec,
+                           ContentHandler* handler, ParserOptions options = {});
+
+}  // namespace xaos::xml
+
+#endif  // XAOS_XML_FAULT_INJECTION_H_

@@ -110,8 +110,26 @@ void SaxParser::Consume(size_t n) {
 }
 
 SaxParser::Progress SaxParser::Fail(std::string message) {
-  error_ = ParseError(message + " at line " + std::to_string(line_) +
-                      ", column " + std::to_string(column_));
+  return FailWith(StatusCode::kParseError, std::move(message));
+}
+
+SaxParser::Progress SaxParser::FailLimit(std::string message) {
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xaos_limit_rejections_total")
+        ->Increment();
+  }
+  return FailWith(StatusCode::kResourceExhausted, std::move(message));
+}
+
+SaxParser::Progress SaxParser::FailWith(StatusCode code, std::string message) {
+  error_ = Status(code, message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xaos_parse_errors_total")
+        ->Increment();
+  }
   return Progress::kError;
 }
 
@@ -129,6 +147,12 @@ Status SaxParser::Feed(std::string_view chunk) {
     match_before = timers->Ns(obs::Phase::kMatch);
   }
   bytes_fed_ += chunk.size();
+  const ParserLimits& limits = options_.limits;
+  if (limits.max_total_bytes > 0 && bytes_fed_ > limits.max_total_bytes) {
+    FailLimit("document exceeds " + std::to_string(limits.max_total_bytes) +
+              " bytes");
+    return error_;
+  }
   if (!started_document_) {
     started_document_ = true;
     handler_->StartDocument();
@@ -140,6 +164,14 @@ Status SaxParser::Feed(std::string_view chunk) {
   }
   buffer_.append(chunk.data(), chunk.size());
   Progress p = Pump();
+  // Whatever Pump left unconsumed is one incomplete token (plus a few
+  // held-back text bytes); bound it so a stream that never closes a
+  // construct cannot grow the buffer without limit.
+  if (p != Progress::kError && limits.max_token_bytes > 0 &&
+      buffer_.size() - pos_ > limits.max_token_bytes) {
+    p = FailLimit("unterminated token exceeds " +
+                  std::to_string(limits.max_token_bytes) + " bytes");
+  }
   if (timers != nullptr) {
     uint64_t total = obs::NowNs() - start;
     uint64_t match = timers->Ns(obs::Phase::kMatch) - match_before;
@@ -232,11 +264,25 @@ Status SaxParser::AppendText(std::string_view raw, bool decode) {
                     : "character data before the document element");
     return error_;
   }
+  // The XML Char production excludes C0 controls (other than tab/LF/CR)
+  // even inside CDATA; literal bytes get the same treatment decoded
+  // character references always had.
+  if (FindForbiddenControlByte(raw) != std::string_view::npos) {
+    Fail("control character in character data");
+    return error_;
+  }
   if (decode && !raw.empty() &&
       std::memchr(raw.data(), '&', raw.size()) != nullptr) {
-    StatusOr<std::string> decoded = DecodeReferences(raw);
+    StatusOr<std::string> decoded = DecodeReferences(raw, &entity_references_);
     if (!decoded.ok()) {
       Fail(decoded.status().message());
+      return error_;
+    }
+    if (options_.limits.max_entity_references > 0 &&
+        entity_references_ > options_.limits.max_entity_references) {
+      FailLimit("entity-reference budget of " +
+                std::to_string(options_.limits.max_entity_references) +
+                " exceeded");
       return error_;
     }
     text_accum_ += *decoded;
@@ -267,14 +313,31 @@ SaxParser::Progress SaxParser::ParseText() {
   size_t run = (lt == nullptr) ? avail : static_cast<size_t>(lt - from);
   std::string_view text(from, run);
 
+  // "]]>" must not appear literally in character data (XML 1.0 §2.4);
+  // only the CDATA-end scanner may consume it.
+  if (text.find("]]>") != std::string_view::npos) {
+    return Fail("']]>' in character data");
+  }
   if (lt == nullptr) {
     // No markup yet. Hold back a trailing incomplete entity reference so it
-    // is not split across chunks; everything before it can be emitted.
+    // is not split across chunks; everything before it can be emitted. An
+    // overlong reference is not held back — the decode below rejects it
+    // now instead of buffering an unbounded '&'-payload.
     size_t amp = text.rfind('&');
     if (amp != std::string_view::npos &&
-        text.find(';', amp) == std::string_view::npos) {
+        text.find(';', amp) == std::string_view::npos &&
+        text.size() - amp <= kMaxReferenceBodyBytes + 1) {
       text = text.substr(0, amp);
     }
+    // Likewise hold back a trailing "]" / "]]" so a "]]>" split across
+    // chunks is still caught by the scan above on the next Feed. Two
+    // brackets suffice: any "]]>" ends with exactly these.
+    size_t trail = 0;
+    while (trail < 2 && trail < text.size() &&
+           text[text.size() - 1 - trail] == ']') {
+      ++trail;
+    }
+    text.remove_suffix(trail);
     if (text.empty()) return Progress::kNeedMore;
   }
   if (Status s = AppendText(text, /*decode=*/true); !s.ok()) {
@@ -359,16 +422,22 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
   std::string_view body =
       rest.substr(1, tag_end - 1 - (self_closing ? 1 : 0));
 
+  const ParserLimits& limits = options_.limits;
   size_t name_len = ScanName(body, 0);
   if (name_len == 0) return Fail("invalid element name");
+  if (name_len > limits.max_name_bytes) {
+    return FailLimit("element name exceeds " +
+                     std::to_string(limits.max_name_bytes) + " bytes");
+  }
   std::string_view name = body.substr(0, name_len);
 
   if (open_elements_.empty() && seen_root_) {
     return Fail("multiple document elements (second root <" +
                 std::string(name) + ">)");
   }
-  if (static_cast<int>(open_elements_.size()) >= options_.max_depth) {
-    return Fail("maximum element depth exceeded");
+  if (static_cast<int>(open_elements_.size()) >= limits.max_depth) {
+    return FailLimit("maximum element depth of " +
+                     std::to_string(limits.max_depth) + " exceeded");
   }
 
   util::SymbolTable& symbols = util::SymbolTable::Global();
@@ -384,8 +453,17 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
     while (i < body.size() && IsWhitespace(body[i])) ++i;
     if (i >= body.size()) break;
     if (i == ws) return Fail("expected whitespace before attribute");
+    if (attributes_.size() >= limits.max_attribute_count) {
+      return FailLimit("more than " +
+                       std::to_string(limits.max_attribute_count) +
+                       " attributes on one element");
+    }
     size_t attr_len = ScanName(body, i);
     if (attr_len == 0) return Fail("invalid attribute name");
+    if (attr_len > limits.max_name_bytes) {
+      return FailLimit("attribute name exceeds " +
+                       std::to_string(limits.max_name_bytes) + " bytes");
+    }
     std::string_view attr_name = body.substr(i, attr_len);
     i += attr_len;
     while (i < body.size() && IsWhitespace(body[i])) ++i;
@@ -405,13 +483,28 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
       return Fail("unterminated attribute value");
     }
     std::string_view raw_value = body.substr(i, value_end - i);
+    if (raw_value.size() > limits.max_attribute_value_bytes) {
+      return FailLimit("attribute value exceeds " +
+                       std::to_string(limits.max_attribute_value_bytes) +
+                       " bytes");
+    }
     if (raw_value.find('<') != std::string_view::npos) {
       return Fail("'<' in attribute value");
     }
+    if (FindForbiddenControlByte(raw_value) != std::string_view::npos) {
+      return Fail("control character in attribute value");
+    }
     std::string_view value_view = raw_value;
     if (raw_value.find('&') != std::string_view::npos) {
-      StatusOr<std::string> value = DecodeReferences(raw_value);
+      StatusOr<std::string> value =
+          DecodeReferences(raw_value, &entity_references_);
       if (!value.ok()) return Fail(value.status().message());
+      if (limits.max_entity_references > 0 &&
+          entity_references_ > limits.max_entity_references) {
+        return FailLimit(
+            "entity-reference budget of " +
+            std::to_string(limits.max_entity_references) + " exceeded");
+      }
       if (decode_used == attr_decode_slots_.size()) {
         attr_decode_slots_.emplace_back();
       }
@@ -450,6 +543,11 @@ SaxParser::Progress SaxParser::ParseEndTag(size_t tag_end) {
   std::string_view body = rest.substr(2, tag_end - 2);
   size_t name_len = ScanName(body, 0);
   if (name_len == 0) return Fail("invalid end-tag name");
+  if (name_len > options_.limits.max_name_bytes) {
+    return FailLimit("element name exceeds " +
+                     std::to_string(options_.limits.max_name_bytes) +
+                     " bytes");
+  }
   std::string_view name = body.substr(0, name_len);
   size_t i = name_len;
   while (i < body.size() && IsWhitespace(body[i])) ++i;
@@ -511,6 +609,11 @@ SaxParser::Progress SaxParser::ParsePi() {
   std::string_view body = rest.substr(2, end - 2);
   size_t name_len = ScanName(body, 0);
   if (name_len == 0) return Fail("invalid processing-instruction target");
+  if (name_len > options_.limits.max_name_bytes) {
+    return FailLimit("processing-instruction target exceeds " +
+                     std::to_string(options_.limits.max_name_bytes) +
+                     " bytes");
+  }
   std::string_view target = body.substr(0, name_len);
   std::string_view data = body.substr(name_len);
   while (!data.empty() && IsWhitespace(data.front())) data.remove_prefix(1);

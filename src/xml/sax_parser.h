@@ -33,6 +33,32 @@ class PhaseTimers;
 
 namespace xaos::xml {
 
+// Resource-exhaustion guardrails for untrusted input. Every bound that a
+// document exceeds fails the parse with StatusCode::kResourceExhausted
+// (distinct from kParseError: the document may be well-formed, it just
+// costs more than this deployment allows). Defaults are generous enough
+// for any sane document; a service facing adversarial traffic should
+// tighten them to its actual workload. A value of 0 disables the
+// corresponding bound where noted.
+struct ParserLimits {
+  // Maximum open-element nesting depth.
+  int max_depth = 20000;
+  // Maximum attributes on one start tag.
+  size_t max_attribute_count = 4096;
+  // Maximum decoded size of one attribute value, in bytes.
+  size_t max_attribute_value_bytes = 8u << 20;
+  // Maximum length of one element/attribute/PI name, in bytes.
+  size_t max_name_bytes = 64u << 10;
+  // Maximum bytes buffered for one incomplete token (tag, comment, CDATA
+  // section, DOCTYPE). Bounds parser memory: a stream that never closes a
+  // construct is rejected instead of buffered forever. 0 = unlimited.
+  size_t max_token_bytes = 256u << 20;
+  // Total entity/character references decoded per document. 0 = unlimited.
+  uint64_t max_entity_references = 0;
+  // Total document size in bytes accepted through Feed(). 0 = unlimited.
+  uint64_t max_total_bytes = 0;
+};
+
 struct ParserOptions {
   // Merge adjacent character runs (including across CDATA boundaries) into a
   // single Characters() call.
@@ -43,8 +69,8 @@ struct ParserOptions {
   // Deliver Comment() / ProcessingInstruction() events.
   bool report_comments = false;
   bool report_processing_instructions = false;
-  // Guard against pathological nesting.
-  int max_depth = 20000;
+  // Guardrails against resource-exhausting input (see ParserLimits).
+  ParserLimits limits;
   // Optional phase accounting (obs/timer.h): when set, time spent inside
   // handler callbacks is attributed to Phase::kMatch and the remainder of
   // each Feed()/Finish() to Phase::kParse, splitting the single streaming
@@ -106,7 +132,11 @@ class SaxParser {
   // On success sets *end to the index of '>' and *self_closing.
   Progress FindStartTagEnd(size_t* end, bool* self_closing);
 
-  Progress Fail(std::string message);   // records error, returns kError
+  // Record a well-formedness error (kParseError) / a limit rejection
+  // (kResourceExhausted); both poison the parser and return kError.
+  Progress Fail(std::string message);
+  Progress FailLimit(std::string message);
+  Progress FailWith(StatusCode code, std::string message);
   void EmitPendingText();               // flush text_accum_ to the handler
   Status AppendText(std::string_view raw, bool decode);  // into text_accum_
   void Consume(size_t n);               // advance pos_, track line/column
@@ -143,6 +173,7 @@ class SaxParser {
   uint64_t element_count_ = 0;
   uint64_t bytes_fed_ = 0;
   uint64_t text_event_count_ = 0;
+  uint64_t entity_references_ = 0;  // decoded so far (limits budget)
 
   // Per-start-tag scratch, reused across tags so steady-state parsing does
   // no per-attribute heap allocation: `attributes_` holds views into

@@ -1,0 +1,268 @@
+// Fault-injection coverage: every prefix of a corpus document (exhaustive
+// chop), single-byte corruption sweeps and adversarial chunk schedules must
+// yield a clean error-or-success — never a hang, crash, or invariant
+// violation — and a mid-stream failure must propagate through
+// StreamingEvaluator and ParallelFleet (1/2/4 workers) via AbortDocument,
+// leaving the evaluator/fleet reusable for the next document.
+
+#include <string>
+#include <vector>
+
+#include "core/multi_engine.h"
+#include "core/parallel_fleet.h"
+#include "gtest/gtest.h"
+#include "xml/fault_injection.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos {
+namespace {
+
+// A corpus document exercising every token kind the parser holds back
+// across chunk boundaries: attributes with references, comments, CDATA,
+// PIs, nested elements, brackets in text.
+const char kCorpusDoc[] =
+    "<?xml version=\"1.0\"?><!-- preamble --><root a=\"1&amp;2\">"
+    "<b><c x='y'>text ] and ]] brackets</c><![CDATA[raw <markup> ]]>"
+    "<?pi data?></b><d/>&lt;tail&gt;</root>";
+
+// Asserts stream invariants (balance, nesting) even on failing parses.
+class InvariantHandler : public xml::ContentHandler {
+ public:
+  void StartDocument() override {
+    EXPECT_FALSE(started_);
+    started_ = true;
+  }
+  void EndDocument() override {
+    EXPECT_TRUE(started_);
+    EXPECT_EQ(depth_, 0);
+  }
+  void StartElement(const xml::QName& name, xml::AttributeSpan) override {
+    EXPECT_TRUE(started_);
+    EXPECT_FALSE(name.text.empty());
+    ++depth_;
+  }
+  void EndElement(std::string_view) override {
+    EXPECT_GT(depth_, 0);
+    --depth_;
+  }
+  void Characters(std::string_view text) override {
+    EXPECT_GT(depth_, 0);
+    EXPECT_FALSE(text.empty());
+  }
+
+ private:
+  bool started_ = false;
+  int depth_ = 0;
+};
+
+TEST(FaultInjectionTest, ExhaustiveChop) {
+  const std::string doc = kCorpusDoc;
+  // Every proper prefix must fail cleanly (the document is only complete
+  // at full length); the full document must parse.
+  for (size_t cut = 0; cut < doc.size(); ++cut) {
+    xml::FaultSpec spec;
+    spec.truncate_at = cut;
+    spec.chunk_bytes = 3;  // also stress chunk-boundary holdbacks
+    xml::FaultInjectingSource source(doc, spec);
+    ASSERT_EQ(source.effective_document().size(), cut);
+    InvariantHandler handler;
+    Status status = source.Parse(&handler);
+    EXPECT_FALSE(status.ok()) << "prefix of length " << cut << " parsed OK";
+  }
+  xml::FaultInjectingSource full(doc, xml::FaultSpec{});
+  InvariantHandler handler;
+  EXPECT_TRUE(full.Parse(&handler).ok());
+}
+
+TEST(FaultInjectionTest, SingleByteCorruptionSweep) {
+  const std::string doc = kCorpusDoc;
+  for (size_t at = 0; at < doc.size(); ++at) {
+    for (uint8_t mask : {uint8_t{0xFF}, uint8_t{0x01}, uint8_t{0x20}}) {
+      xml::FaultSpec spec;
+      spec.corrupt_at = at;
+      spec.corrupt_mask = mask;
+      xml::FaultInjectingSource source(doc, spec);
+      InvariantHandler handler;
+      source.Parse(&handler);  // ok-ness irrelevant; must not crash/hang
+    }
+  }
+}
+
+TEST(FaultInjectionTest, CorruptionMaskZeroLeavesDocumentIntact) {
+  xml::FaultSpec spec;
+  spec.corrupt_at = 5;
+  spec.corrupt_mask = 0;
+  xml::FaultInjectingSource source(kCorpusDoc, spec);
+  EXPECT_EQ(source.effective_document(), std::string_view(kCorpusDoc));
+  InvariantHandler handler;
+  EXPECT_TRUE(source.Parse(&handler).ok());
+}
+
+TEST(FaultInjectionTest, AdversarialChunkSchedulesAgreeWithOneShot) {
+  const std::string doc = kCorpusDoc;
+  xml::EventRecorder reference;
+  ASSERT_TRUE(xml::ParseString(doc, &reference).ok());
+
+  std::vector<std::vector<size_t>> schedules = {
+      {1},                     // byte at a time
+      {1, 2, 3, 5, 7, 11},     // coprime-ish cycle
+      {64, 1, 1, 1},           // big gulp then dribble
+      {0, 2},                  // zero entries clamp to 1
+  };
+  for (const std::vector<size_t>& schedule : schedules) {
+    xml::FaultSpec spec;
+    spec.chunk_sizes = schedule;
+    xml::FaultInjectingSource source(doc, spec);
+    xml::EventRecorder chunked;
+    ASSERT_TRUE(source.Parse(&chunked).ok());
+    EXPECT_EQ(chunked.events(), reference.events());
+  }
+}
+
+TEST(FaultInjectionTest, StreamingEvaluatorAbortAndReuse) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+
+  // Mismatched end tag mid-stream, after some matching structure exists.
+  xml::FaultSpec spec;
+  spec.chunk_bytes = 4;
+  xml::FaultInjectingSource bad("<a><b><c/></b><oops></a>", spec);
+  Status status = bad.Parse(&evaluator);
+  ASSERT_FALSE(status.ok());
+  evaluator.AbortDocument(status);
+  EXPECT_EQ(evaluator.status(), status);
+
+  // The same evaluator then handles a valid document correctly.
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &evaluator).ok());
+  EXPECT_TRUE(evaluator.status().ok());
+  EXPECT_TRUE(evaluator.Result().matched);
+}
+
+TEST(FaultInjectionTest, StreamingEvaluatorSurfacesLimitRejection) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+
+  xml::ParserOptions options;
+  options.limits.max_depth = 2;
+  xml::FaultInjectingSource deep("<a><b><c/></b></a>", xml::FaultSpec{});
+  Status status = deep.Parse(&evaluator, options);
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+  evaluator.AbortDocument(status);
+  EXPECT_EQ(evaluator.status().code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &evaluator).ok());
+  EXPECT_TRUE(evaluator.status().ok());
+  EXPECT_TRUE(evaluator.Result().matched);
+}
+
+// Mid-stream failure through the parallel fleet: the parse thread fails
+// after enough events to have shipped several batches; AbortDocument must
+// return (no deadlock), surface the cause, and leave the fleet reusable.
+void RunParallelAbort(int workers) {
+  StatusOr<core::Query> match = core::Query::Compile("//b/c");
+  StatusOr<core::Query> miss = core::Query::Compile("//zzz");
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(miss.ok());
+
+  core::ParallelFleetOptions options;
+  options.num_workers = workers;
+  options.max_batch_events = 2;  // many in-flight batches before the fault
+  options.ring_capacity = 2;
+  core::ParallelFleet fleet(options);
+  size_t q_match = fleet.AddQuery(*match);
+  size_t q_miss = fleet.AddQuery(*miss);
+
+  std::string bad = "<a>";
+  for (int i = 0; i < 200; ++i) bad += "<b><c/></b>";
+  bad += "<b></a>";  // mismatched end tag
+
+  xml::FaultSpec spec;
+  spec.chunk_bytes = 13;
+  xml::FaultInjectingSource source(bad, spec);
+  Status status = source.Parse(&fleet);
+  ASSERT_FALSE(status.ok());
+  fleet.AbortDocument(status);
+  EXPECT_EQ(fleet.status(), status);
+
+  // Truncation (clean EOF mid-document) is a Finish-time failure; the same
+  // fleet must absorb a second abort back to back.
+  xml::FaultSpec truncate;
+  truncate.truncate_at = bad.size() / 2;
+  xml::FaultInjectingSource cut(bad, truncate);
+  Status cut_status = cut.Parse(&fleet);
+  ASSERT_FALSE(cut_status.ok());
+  fleet.AbortDocument(cut_status);
+  EXPECT_FALSE(fleet.status().ok());
+
+  // The same fleet instance then processes valid documents correctly.
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &fleet).ok());
+  EXPECT_TRUE(fleet.status().ok());
+  EXPECT_TRUE(fleet.Matched(q_match));
+  EXPECT_FALSE(fleet.Matched(q_miss));
+
+  ASSERT_TRUE(xml::ParseString("<a><c/><b/></a>", &fleet).ok());
+  EXPECT_TRUE(fleet.status().ok());
+  EXPECT_FALSE(fleet.Matched(q_match));
+}
+
+TEST(FaultInjectionTest, ParallelFleetMalformedMidStream1Worker) {
+  RunParallelAbort(1);
+}
+TEST(FaultInjectionTest, ParallelFleetMalformedMidStream2Workers) {
+  RunParallelAbort(2);
+}
+TEST(FaultInjectionTest, ParallelFleetMalformedMidStream4Workers) {
+  RunParallelAbort(4);
+}
+
+TEST(FaultInjectionTest, ParallelFleetLimitRejectionMidStream) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c");
+  ASSERT_TRUE(query.ok());
+  core::ParallelFleetOptions options;
+  options.num_workers = 2;
+  options.max_batch_events = 2;
+  core::ParallelFleet fleet(options);
+  size_t q = fleet.AddQuery(*query);
+
+  std::string deep = "<a>";
+  for (int i = 0; i < 64; ++i) deep += "<b>";
+  xml::ParserOptions parser_options;
+  parser_options.limits.max_depth = 8;
+  xml::FaultInjectingSource source(deep, xml::FaultSpec{});
+  Status status = source.Parse(&fleet, parser_options);
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+  fleet.AbortDocument(status);
+  EXPECT_EQ(fleet.status().code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(xml::ParseString("<a><b><c/></b></a>", &fleet).ok());
+  EXPECT_TRUE(fleet.status().ok());
+  EXPECT_TRUE(fleet.Matched(q));
+}
+
+// Exhaustive chop against the full evaluator stack: no prefix may hang or
+// corrupt engine state, and the evaluator must stay usable throughout.
+TEST(FaultInjectionTest, ChopThroughStreamingEvaluator) {
+  StatusOr<core::Query> query = core::Query::Compile("//b/c | //root/d");
+  ASSERT_TRUE(query.ok());
+  core::StreamingEvaluator evaluator(*query);
+  const std::string doc = kCorpusDoc;
+  for (size_t cut = 0; cut < doc.size(); cut += 3) {
+    xml::FaultSpec spec;
+    spec.truncate_at = cut;
+    xml::FaultInjectingSource source(doc, spec);
+    Status status = source.Parse(&evaluator);
+    EXPECT_FALSE(status.ok());
+    evaluator.AbortDocument(status);
+    EXPECT_FALSE(evaluator.status().ok());
+  }
+  xml::FaultInjectingSource full(doc, xml::FaultSpec{});
+  ASSERT_TRUE(full.Parse(&evaluator).ok());
+  EXPECT_TRUE(evaluator.status().ok());
+  EXPECT_TRUE(evaluator.Result().matched);
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,55 @@
+// Corpus regression: replays every seed input under fuzz/corpus/ through
+// the shared fuzz-target bodies inside the normal test binary, so the
+// sanitizer jobs cover them on every CI run even though coverage-guided
+// fuzzing itself only runs in the dedicated clang job. A target body traps
+// on invariant violation, which gtest surfaces as a crash of this test.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "targets.h"
+
+#ifndef XAOS_FUZZ_CORPUS_DIR
+#error "XAOS_FUZZ_CORPUS_DIR must point at fuzz/corpus"
+#endif
+
+namespace xaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> LoadCorpus(const char* subdir) {
+  fs::path dir = fs::path(XAOS_FUZZ_CORPUS_DIR) / subdir;
+  std::vector<std::string> inputs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    inputs.emplace_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  }
+  return inputs;
+}
+
+void Replay(const char* subdir, int (*target)(const uint8_t*, size_t)) {
+  std::vector<std::string> inputs = LoadCorpus(subdir);
+  ASSERT_FALSE(inputs.empty()) << "no corpus seeds under " << subdir;
+  for (const std::string& input : inputs) {
+    EXPECT_EQ(target(reinterpret_cast<const uint8_t*>(input.data()),
+                     input.size()),
+              0);
+  }
+}
+
+TEST(FuzzCorpusTest, SaxSeeds) { Replay("sax", fuzz::RunSaxParserInput); }
+
+TEST(FuzzCorpusTest, XPathSeeds) { Replay("xpath", fuzz::RunXPathInput); }
+
+TEST(FuzzCorpusTest, DifferentialSeeds) {
+  Replay("diff", fuzz::RunDifferentialInput);
+}
+
+}  // namespace
+}  // namespace xaos

@@ -1,0 +1,199 @@
+// ParserLimits enforcement: every configurable bound must reject an
+// offending document with kResourceExhausted (not a crash, hang, or
+// unbounded allocation), chunking must not change the outcome, and the
+// new well-formedness rejections (']]>' in character data, raw control
+// characters) must hold across chunk boundaries too.
+
+#include <string>
+#include <string_view>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "xml/entities.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::xml {
+namespace {
+
+Status ParseWith(const std::string& doc, ParserOptions options,
+                 size_t chunk = 0) {
+  EventRecorder recorder;
+  if (chunk == 0) return ParseString(doc, &recorder, options);
+  SaxParser parser(&recorder, options);
+  std::string_view rest = doc;
+  Status status;
+  while (!rest.empty() && status.ok()) {
+    size_t n = std::min(chunk, rest.size());
+    status = parser.Feed(rest.substr(0, n));
+    rest.remove_prefix(n);
+  }
+  if (status.ok()) status = parser.Finish();
+  return status;
+}
+
+// Every limit check must hold byte-at-a-time too — the chunked re-run
+// catches holdback/compaction bugs around each guardrail.
+void ExpectExhausted(const std::string& doc, ParserOptions options) {
+  for (size_t chunk : {size_t{0}, size_t{1}, size_t{7}}) {
+    Status status = ParseWith(doc, options, chunk);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+        << "chunk=" << chunk << " status=" << status;
+  }
+}
+
+void ExpectParseError(const std::string& doc, ParserOptions options = {}) {
+  for (size_t chunk : {size_t{0}, size_t{1}, size_t{7}}) {
+    Status status = ParseWith(doc, options, chunk);
+    EXPECT_EQ(status.code(), StatusCode::kParseError)
+        << "chunk=" << chunk << " status=" << status;
+  }
+}
+
+TEST(ParserLimitsTest, MaxDepth) {
+  ParserOptions options;
+  options.limits.max_depth = 4;
+  std::string ok = "<a><b><c><d/></c></b></a>";
+  EXPECT_TRUE(ParseWith(ok, options).ok());
+  std::string deep = "<a><b><c><d><e/></d></c></b></a>";
+  ExpectExhausted(deep, options);
+}
+
+TEST(ParserLimitsTest, MaxAttributeCount) {
+  ParserOptions options;
+  options.limits.max_attribute_count = 3;
+  EXPECT_TRUE(ParseWith("<a x='1' y='2' z='3'/>", options).ok());
+  ExpectExhausted("<a x='1' y='2' z='3' w='4'/>", options);
+}
+
+TEST(ParserLimitsTest, MaxAttributeValueBytes) {
+  ParserOptions options;
+  options.limits.max_attribute_value_bytes = 8;
+  EXPECT_TRUE(ParseWith("<a v='12345678'/>", options).ok());
+  ExpectExhausted("<a v='123456789'/>", options);
+}
+
+TEST(ParserLimitsTest, MaxNameBytes) {
+  ParserOptions options;
+  options.limits.max_name_bytes = 6;
+  EXPECT_TRUE(ParseWith("<abcdef/>", options).ok());
+  ExpectExhausted("<abcdefg/>", options);
+  // Attribute and PI names are bounded too.
+  ExpectExhausted("<a abcdefg='v'/>", options);
+  ExpectExhausted("<a><?abcdefg data?></a>", options);
+  // End-tag names as well (mismatched-but-bounded comes first otherwise).
+  ExpectExhausted("<a>x</abcdefg>", options);
+}
+
+TEST(ParserLimitsTest, MaxTokenBytes) {
+  ParserOptions options;
+  options.limits.max_token_bytes = 32;
+  // A comment that never closes would otherwise buffer forever.
+  std::string doc = "<a><!-- " + std::string(100, 'c');
+  ExpectExhausted(doc, options);
+  // Same bound, but the token completes under it: fine.
+  EXPECT_TRUE(ParseWith("<a><!-- c --></a>", options).ok());
+}
+
+TEST(ParserLimitsTest, MaxTotalBytes) {
+  ParserOptions options;
+  options.limits.max_total_bytes = 17;
+  EXPECT_TRUE(ParseWith("<a>0123456789</a>", options).ok());  // 17 bytes
+  ExpectExhausted("<a>0123456789x</a>", options);             // 18 bytes
+}
+
+TEST(ParserLimitsTest, MaxEntityReferences) {
+  ParserOptions options;
+  options.limits.max_entity_references = 3;
+  EXPECT_TRUE(ParseWith("<a>&amp;&lt;&gt;</a>", options).ok());
+  ExpectExhausted("<a>&amp;&lt;&gt;&quot;</a>", options);
+  // Attribute-value references count against the same budget.
+  ExpectExhausted("<a v='&amp;&lt;'>&gt;&quot;</a>", options);
+}
+
+TEST(ParserLimitsTest, OverlongEntityReferenceFailsFast) {
+  // An '&' followed by more than kMaxReferenceBodyBytes name bytes can
+  // never be a legal reference; the parser must reject it rather than
+  // hold back the tail waiting for ';' forever.
+  std::string doc =
+      "<a>&" + std::string(kMaxReferenceBodyBytes + 1, 'e') + ";</a>";
+  ExpectParseError(doc);
+  // Same in an attribute value.
+  ExpectParseError("<a v='&" + std::string(kMaxReferenceBodyBytes + 1, 'e') +
+                   ";'/>");
+  // A reference exactly at the bound still works (numeric, for variety).
+  EXPECT_TRUE(ParseWith("<a>&#x41;</a>", ParserOptions{}).ok());
+}
+
+TEST(ParserLimitsTest, CdataCloseSequenceRejectedInCharacterData) {
+  // XML 1.0 section 2.4: ']]>' must not appear literally in content.
+  ExpectParseError("<a>]]></a>");
+  ExpectParseError("<a>text]]>more</a>");
+  // Escaped or inside CDATA is fine.
+  EXPECT_TRUE(ParseWith("<a>]]&gt;</a>", ParserOptions{}).ok());
+  EXPECT_TRUE(ParseWith("<a><![CDATA[]]]]><![CDATA[>]]></a>",
+                        ParserOptions{})
+                  .ok());
+  // Lone brackets are legal character data.
+  EXPECT_TRUE(ParseWith("<a>] ]] ]&gt;</a>", ParserOptions{}).ok());
+}
+
+TEST(ParserLimitsTest, ControlCharactersRejected) {
+  // NUL and C0 controls (except tab/LF/CR) are outside the XML Char
+  // production, in both character data and attribute values.
+  ExpectParseError(std::string("<a>x\0y</a>", 10));
+  ExpectParseError("<a>x\x01y</a>");
+  ExpectParseError("<a>x\x08y</a>");
+  ExpectParseError(std::string("<a v='x\0y'/>", 12));
+  ExpectParseError("<a v='x\x07y'/>");
+  // Tab, LF, CR are legal.
+  EXPECT_TRUE(ParseWith("<a>x\ty\nz\rw</a>", ParserOptions{}).ok());
+  EXPECT_TRUE(ParseWith("<a v='x\ty'/>", ParserOptions{}).ok());
+}
+
+TEST(ParserLimitsTest, LimitErrorsPoisonTheParser) {
+  ParserOptions options;
+  options.limits.max_depth = 1;
+  EventRecorder recorder;
+  SaxParser parser(&recorder, options);
+  Status status = parser.Feed("<a><b>");
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parser.Feed("</b></a>").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parser.Finish().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, ObsCountersTrackRejections) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::SetEnabled(true);
+  if (!obs::Enabled()) GTEST_SKIP() << "built with XAOS_OBS_ENABLED=0";
+  uint64_t parse_before =
+      registry.GetCounter("xaos_parse_errors_total")->Value();
+  uint64_t limit_before =
+      registry.GetCounter("xaos_limit_rejections_total")->Value();
+
+  ParserOptions options;
+  options.limits.max_depth = 1;
+  EXPECT_EQ(ParseWith("<a><b/></a>", options).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(ParseWith("<a>]]></a>", ParserOptions{}).ok());
+  obs::SetEnabled(false);
+
+  // A limit rejection counts as both a parse error and a limit rejection;
+  // the well-formedness error counts only as a parse error.
+  EXPECT_EQ(registry.GetCounter("xaos_parse_errors_total")->Value(),
+            parse_before + 2);
+  EXPECT_EQ(registry.GetCounter("xaos_limit_rejections_total")->Value(),
+            limit_before + 1);
+}
+
+TEST(ParserLimitsTest, DefaultsAcceptReasonableDocuments) {
+  // The defaults must not reject anything a sane producer emits.
+  std::string doc = "<root>";
+  for (int i = 0; i < 200; ++i) doc += "<item id='" + std::to_string(i) +
+                                       "'>&amp;value</item>";
+  doc += "</root>";
+  EXPECT_TRUE(ParseWith(doc, ParserOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace xaos::xml

@@ -238,7 +238,7 @@ TEST(SaxParserErrorTest, ErrorMessagesCarryPosition) {
 
 TEST(SaxParserErrorTest, MaxDepthEnforced) {
   ParserOptions options;
-  options.max_depth = 8;
+  options.limits.max_depth = 8;
   std::string doc;
   for (int i = 0; i < 9; ++i) doc += "<a>";
   for (int i = 0; i < 9; ++i) doc += "</a>";

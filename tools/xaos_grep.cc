@@ -24,10 +24,21 @@
 //                  registry (phase timings, parser/engine counters, peak
 //                  structure bytes) as JSON to FILE ("-" for stdout)
 //
+// Parser guardrails (see xml::ParserLimits; a file that exceeds a bound is
+// reported and skipped, exit code 2):
+//   --max-depth=N             element nesting depth
+//   --max-attrs=N             attributes per start tag
+//   --max-attr-value-bytes=N  decoded size of one attribute value
+//   --max-name-bytes=N        element/attribute/PI name length
+//   --max-token-bytes=N       bytes buffered for one incomplete token
+//   --max-entity-refs=N       references decoded per document (0 = off)
+//   --max-total-bytes=N       total document size (0 = off)
+//
 // --count, --match, --xml and --tuples are mutually exclusive output modes;
 // combining them is an error (exit 2).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -38,6 +49,7 @@
 namespace {
 
 struct Options {
+  xaos::xml::ParserLimits limits;
   bool count = false;
   bool match_only = false;
   bool capture = false;
@@ -57,9 +69,73 @@ int Usage() {
       stderr,
       "usage: xaos_grep [--count|--match|--xml|--tuples] [--stats[=json]] "
       "[--explain] [--trace|--trace-json] [--metrics-json=FILE] "
-      "'<xpath>' [file.xml ...]\n"
+      "[--max-depth=N] [--max-attrs=N] [--max-attr-value-bytes=N] "
+      "[--max-name-bytes=N] [--max-token-bytes=N] [--max-entity-refs=N] "
+      "[--max-total-bytes=N] '<xpath>' [file.xml ...]\n"
       "reads standard input when no file is given (or for '-')\n");
   return 2;
+}
+
+// Matches "--NAME=N"; on a match parses N into *value (returning false and
+// diagnosing a malformed number). *consumed says whether the flag matched.
+bool MatchLimitFlag(const std::string& arg, const char* name, uint64_t* value,
+                    bool* consumed) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return true;
+  *consumed = true;
+  const char* text = arg.c_str() + prefix.size();
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (*text == '\0' || (end != nullptr && *end != '\0')) {
+    std::fprintf(stderr, "%s: expects a non-negative integer\n", arg.c_str());
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+// Applies every --max-* flag to `limits`. Returns false (after diagnosing)
+// on a malformed value; *consumed says whether `arg` was a limits flag.
+bool MatchLimitsFlags(const std::string& arg, xaos::xml::ParserLimits* limits,
+                      bool* consumed) {
+  *consumed = false;
+  uint64_t depth = 0;
+  bool depth_consumed = false;
+  if (!MatchLimitFlag(arg, "max-depth", &depth, &depth_consumed)) return false;
+  if (depth_consumed) {
+    limits->max_depth = static_cast<int>(depth);
+    *consumed = true;
+    return true;
+  }
+  struct {
+    const char* name;
+    uint64_t* target;
+  } flags[] = {
+      {"max-entity-refs", &limits->max_entity_references},
+      {"max-total-bytes", &limits->max_total_bytes},
+  };
+  for (auto& flag : flags) {
+    if (!MatchLimitFlag(arg, flag.name, flag.target, consumed)) return false;
+    if (*consumed) return true;
+  }
+  struct {
+    const char* name;
+    size_t* target;
+  } size_flags[] = {
+      {"max-attrs", &limits->max_attribute_count},
+      {"max-attr-value-bytes", &limits->max_attribute_value_bytes},
+      {"max-name-bytes", &limits->max_name_bytes},
+      {"max-token-bytes", &limits->max_token_bytes},
+  };
+  for (auto& flag : size_flags) {
+    uint64_t value = 0;
+    if (!MatchLimitFlag(arg, flag.name, &value, consumed)) return false;
+    if (*consumed) {
+      *flag.target = static_cast<size_t>(value);
+      return true;
+    }
+  }
+  return true;
 }
 
 void PrintItem(const xaos::core::OutputItem& item, const Options& options) {
@@ -126,6 +202,9 @@ int main(int argc, char** argv) {
         return Usage();
       }
     } else if (arg.rfind("--", 0) == 0) {
+      bool consumed = false;
+      if (!MatchLimitsFlags(arg, &options.limits, &consumed)) return Usage();
+      if (consumed) continue;
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage();
     } else if (options.expression.empty()) {
@@ -175,6 +254,7 @@ int main(int argc, char** argv) {
   }
 
   xaos::xml::ParserOptions parser_options;
+  parser_options.limits = options.limits;
   if (collect_metrics) parser_options.phase_timers = &timers;
 
   if (options.trace) {
@@ -209,18 +289,24 @@ int main(int argc, char** argv) {
 
   bool multiple_files = options.files.size() > 1;
   bool any_match = false;
+  bool any_error = false;
   for (const std::string& path : options.files) {
     xaos::Status status =
         xaos::xml::ParseFile(path, &evaluator, 1 << 16, parser_options);
     if (!status.ok()) {
+      // Close out the abandoned document so the evaluator is clean for the
+      // remaining files; one bad input must not mask the others.
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
-      return 2;
+      evaluator.AbortDocument(status);
+      any_error = true;
+      continue;
     }
     if (!evaluator.status().ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    evaluator.status().ToString().c_str());
-      return 2;
+      any_error = true;
+      continue;
     }
 
     xaos::core::QueryResult result = evaluator.Result();
@@ -269,5 +355,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (any_error) return 2;
   return any_match ? 0 : 1;
 }
