@@ -10,6 +10,7 @@
 #include "gen/xmark_generator.h"
 #include "xml/sax_event.h"
 #include "xml/sax_parser.h"
+#include "xml/skip_scanner.h"
 
 namespace {
 
@@ -68,6 +69,32 @@ void BM_ParseChunked(benchmark::State& state) {
                           static_cast<int64_t>(doc.size()));
 }
 BENCHMARK(BM_ParseChunked)->Arg(4096)->Arg(65536);
+
+// Raw skip-scan throughput ceiling: every subtree below the root is
+// declared irrelevant, so the whole document body runs through the
+// SkipScanner's memchr race instead of the full tokenizer. The gap to
+// BM_ParseOneShot is the per-byte work projection removes.
+void BM_ParseSkipAll(benchmark::State& state) {
+  const std::string& doc = Document();
+  class SkipBelowRoot : public xaos::xml::ProjectionFilter {
+   public:
+    bool ShouldSkipSubtree(std::string_view, size_t open_depth) override {
+      return open_depth > 0;
+    }
+  };
+  SkipBelowRoot filter;
+  for (auto _ : state) {
+    CountingHandler handler;
+    xaos::xml::ParserOptions options;
+    options.projection_filter = &filter;
+    xaos::Status status = xaos::xml::ParseString(doc, &handler, options);
+    if (!status.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(handler.count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ParseSkipAll);
 
 void BM_BuildDom(benchmark::State& state) {
   const std::string& doc = Document();

@@ -45,7 +45,13 @@ int main(int argc, char** argv) {
   // --max-depth / --max-total-bytes tighten the parser guardrails a
   // production router would run with; a document that violates them (or is
   // plain malformed) is rejected, counted, and the stream continues.
+  // --no-projection disables document projection (on by default): with it
+  // on, the parser skip-scans subtrees no subscription can possibly match
+  // (query/projection.h). Results are identical either way; when every
+  // subscription is "//"-anchored the union degrades to keep-all and the
+  // filter simply never skips.
   int threads = 0;
+  bool no_projection = false;
   xaos::xml::ParserOptions parser_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -55,9 +61,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--max-total-bytes=", 18) == 0) {
       parser_options.limits.max_total_bytes =
           static_cast<uint64_t>(std::atoll(argv[i] + 18));
+    } else if (std::strcmp(argv[i], "--no-projection") == 0) {
+      no_projection = true;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--threads=N] [--max-depth=N] [--max-total-bytes=N]\n";
+                << " [--threads=N] [--max-depth=N] [--max-total-bytes=N]"
+                << " [--no-projection]\n";
       return 2;
     }
   }
@@ -66,7 +75,11 @@ int main(int argc, char** argv) {
       {"bob", "//item[price]/ancestor::order[customer]"},  // backward axis
       {"carol", "//order[@priority='high'] | //cancellation"},
       {"dave", "//customer[name/text()='Dave']/ancestor::order"},
+      {"erin", "/order/item/price"},  // rooted: projection-analyzable
   };
+  // Turn instrumentation on so the parser-side projection counters (in the
+  // default registry) are collected alongside the router's own metrics.
+  xaos::obs::SetEnabled(true);
   // Documents taking longer than this are logged; tiny so the demo actually
   // produces a slow-query line or two.
   constexpr uint64_t kSlowDocumentNs = 200 * 1000;
@@ -109,6 +122,17 @@ int main(int argc, char** argv) {
     fleet->Finalize();
     std::cout << "routing with " << fleet->worker_count()
               << " worker threads\n";
+  }
+  if (!no_projection) {
+    parser_options.projection_filter =
+        fleet ? fleet->projection_filter() : evaluator.projection_filter();
+    // With "//"-anchored subscriptions in the pool the union degrades to
+    // keep-all; the line below makes that visible.
+    std::cout << "projection: "
+              << (fleet ? fleet->projection_spec()
+                        : evaluator.projection_spec())
+                     .ToString()
+              << "\n";
   }
 
   const std::vector<std::string> documents = {
@@ -178,6 +202,15 @@ int main(int argc, char** argv) {
     registry.GetCounter("router_dispatch_engines_skipped_total")
         ->Increment(evaluator.engines_skipped());
     evaluator.ExportMetrics(&registry);
+  }
+
+  // The parser reports projection activity to the process-wide default
+  // registry; fold those counters into the router's dump.
+  for (const char* name : {"xaos_projection_subtrees_skipped_total",
+                           "xaos_projection_bytes_skipped_total",
+                           "xaos_projection_disabled_total"}) {
+    registry.GetCounter(name)->Increment(
+        xaos::obs::MetricsRegistry::Default().GetCounter(name)->Value());
   }
 
   std::cout << "\nmetrics:\n"

@@ -1,0 +1,8 @@
+// libFuzzer entry point: "<xpath>\n<xml>" inputs checked projection-on
+// vs projection-off for identical verdicts and items.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunProjectionDifferentialInput(data, size);
+}

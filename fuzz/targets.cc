@@ -141,4 +141,57 @@ int RunDifferentialInput(const uint8_t* data, size_t size) {
   return 0;
 }
 
+int RunProjectionDifferentialInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 14)) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  size_t newline = input.find('\n');
+  if (newline == std::string_view::npos) return 0;
+  std::string expression(input.substr(0, newline));
+  std::string document(input.substr(newline + 1));
+
+  StatusOr<core::Query> query = core::Query::Compile(expression,
+                                                     /*max_paths=*/4);
+  if (!query.ok()) return 0;
+
+  // Baseline: no projection. Only a successful baseline constrains the
+  // projected runs (projection checks less well-formedness inside skips).
+  xml::ParserOptions options = FuzzParserOptions();
+  core::StreamingEvaluator baseline_eval(*query);
+  if (!xml::ParseString(document, &baseline_eval, options).ok()) return 0;
+  if (!baseline_eval.status().ok()) return 0;
+  core::QueryResult baseline_result = baseline_eval.Result();
+  std::vector<baseline::CanonicalItem> expected =
+      baseline::CanonicalFromResult(baseline_result);
+
+  // Projected, one-shot and chunked: must accept and agree exactly.
+  for (int chunked = 0; chunked < 2; ++chunked) {
+    core::StreamingEvaluator evaluator(*query);
+    xml::ParserOptions projected = options;
+    projected.projection_filter = evaluator.projection_filter();
+    Status status;
+    if (chunked == 0) {
+      status = xml::ParseString(document, &evaluator, projected);
+    } else {
+      xml::SaxParser parser(&evaluator, projected);
+      std::string_view rest(document);
+      static constexpr size_t kSchedule[] = {1, 3, 7, 2, 16, 64, 5};
+      for (size_t step = size; !rest.empty() && status.ok(); ++step) {
+        size_t n =
+            kSchedule[step % (sizeof(kSchedule) / sizeof(kSchedule[0]))];
+        if (n > rest.size()) n = rest.size();
+        status = parser.Feed(rest.substr(0, n));
+        rest.remove_prefix(n);
+      }
+      if (status.ok()) status = parser.Finish();
+    }
+    if (!status.ok() || !evaluator.status().ok()) __builtin_trap();
+    core::QueryResult result = evaluator.Result();
+    if (result.matched != baseline_result.matched) __builtin_trap();
+    if (!(baseline::CanonicalFromResult(result) == expected)) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
+
 }  // namespace xaos::fuzz

@@ -32,6 +32,14 @@ int RunXPathInput(const uint8_t* data, size_t size);
 // oracle on the DOM; any disagreement traps.
 int RunDifferentialInput(const uint8_t* data, size_t size);
 
+// Projection differential. Same input layout as RunDifferentialInput.
+// Whenever the unprojected parse+evaluation succeeds, re-running with the
+// query's projection filter installed — one-shot and through an adversarial
+// chunk schedule — must succeed with the identical verdict and items.
+// (Projection may accept documents the baseline rejects, never the
+// converse; see xml/skip_scanner.h.)
+int RunProjectionDifferentialInput(const uint8_t* data, size_t size);
+
 }  // namespace xaos::fuzz
 
 #endif  // XAOS_FUZZ_TARGETS_H_

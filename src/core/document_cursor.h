@@ -68,6 +68,14 @@ class DocumentCursor {
   // Advances past one text run (each run gets its own id).
   void Characters() { text_id_ = next_id_++; }
 
+  // Advances past a skipped subtree (document projection): `node_ids` ids
+  // and `elements` start-elements the subtree would have consumed, so ids
+  // and ordinals downstream stay identical to a full parse.
+  void SkipSubtree(uint64_t node_ids, uint64_t elements) {
+    next_id_ += static_cast<ElementId>(node_ids);
+    elements_total_ += elements;
+  }
+
   // The innermost open element (or the virtual root).
   const Node& top() const { return spine_.back(); }
   // Depth of the spine including the virtual root (== top().level + 1).

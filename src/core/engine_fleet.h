@@ -51,6 +51,13 @@ class EngineFleet {
   void Characters(std::string_view text);
   void EndDocument();
 
+  // A projection skip (xml/skip_scanner.h) replaced a subtree's events:
+  // advance the shared cursor so downstream ids match a full parse. No
+  // engine is notified — a skipped subtree is irrelevant to all of them.
+  void SkipSubtree(const xml::SkipReport& report) {
+    cursor_.SkipSubtree(report.node_ids, report.elements);
+  }
+
   // Abandons the current document mid-stream (the producer failed): resets
   // the per-document dispatch state so the next StartDocument starts clean
   // instead of tripping the balance checks. Engine per-document state is

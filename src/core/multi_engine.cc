@@ -104,10 +104,15 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
         obs::MetricsRegistry::Default().GetHistogram("xaos_engine_event_ns"));
     sample_events_ = true;
   }
+  gate_.SetSpec(options.capture_output_subtrees
+                    ? query::ProjectionSpec::KeepAll(
+                          "subtree capture needs every event")
+                    : query::ProjectionSpec::Analyze(*trees_));
 }
 
 void StreamingEvaluator::StartDocument() {
   abort_status_ = Status::Ok();
+  gate_.Reset();
   fleet_.StartDocument();
 }
 
@@ -116,6 +121,7 @@ void StreamingEvaluator::EndDocument() { fleet_.EndDocument(); }
 void StreamingEvaluator::AbortDocument(const Status& cause) {
   abort_status_ =
       cause.ok() ? InternalError("document aborted without a cause") : cause;
+  gate_.Reset();
   fleet_.AbortDocument();
 }
 
@@ -130,6 +136,10 @@ void StreamingEvaluator::EndElement(std::string_view name) {
 
 void StreamingEvaluator::Characters(std::string_view text) {
   fleet_.Characters(text);
+}
+
+void StreamingEvaluator::SkippedSubtree(const xml::SkipReport& report) {
+  fleet_.SkipSubtree(report);
 }
 
 bool StreamingEvaluator::MatchConfirmed() const {
@@ -180,6 +190,7 @@ size_t MultiQueryEvaluator::AddQuery(const Query& query) {
 
 void MultiQueryEvaluator::StartDocument() {
   abort_status_ = Status::Ok();
+  gate_.Reset();
   fleet_.StartDocument();
 }
 
@@ -188,6 +199,7 @@ void MultiQueryEvaluator::EndDocument() { fleet_.EndDocument(); }
 void MultiQueryEvaluator::AbortDocument(const Status& cause) {
   abort_status_ =
       cause.ok() ? InternalError("document aborted without a cause") : cause;
+  gate_.Reset();
   fleet_.AbortDocument();
 }
 
@@ -202,6 +214,28 @@ void MultiQueryEvaluator::EndElement(std::string_view name) {
 
 void MultiQueryEvaluator::Characters(std::string_view text) {
   fleet_.Characters(text);
+}
+
+void MultiQueryEvaluator::SkippedSubtree(const xml::SkipReport& report) {
+  fleet_.SkipSubtree(report);
+}
+
+xml::ProjectionFilter* MultiQueryEvaluator::projection_filter() {
+  if (gate_built_for_ != queries_.size()) {
+    gate_built_for_ = queries_.size();
+    if (options_.capture_output_subtrees) {
+      gate_.SetSpec(
+          query::ProjectionSpec::KeepAll("subtree capture needs every event"));
+    } else {
+      query::ProjectionSpec spec;
+      for (const QuerySlot& slot : queries_) {
+        spec.UnionWith(query::ProjectionSpec::Analyze(*slot.trees));
+        if (spec.keep_all) break;
+      }
+      gate_.SetSpec(std::move(spec));
+    }
+  }
+  return gate_.spec().keep_all ? nullptr : &gate_;
 }
 
 Status MultiQueryEvaluator::status() const {

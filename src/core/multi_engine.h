@@ -17,6 +17,7 @@
 #include "core/xaos_engine.h"
 #include "dom/document.h"
 #include "obs/timer.h"
+#include "query/projection.h"
 #include "query/xtree.h"
 #include "util/statusor.h"
 #include "xml/sax_event.h"
@@ -64,6 +65,18 @@ class StreamingEvaluator : public xml::ContentHandler {
                     xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+  void SkippedSubtree(const xml::SkipReport& report) override;
+
+  // Document-projection filter derived from the query's x-dags at
+  // construction, for installation into xml::ParserOptions. The returned
+  // pointer stays valid for the evaluator's lifetime; its per-document
+  // state resets through StartDocument/AbortDocument. Returns nullptr when
+  // analysis degraded to keep-all — no subtree could ever be skipped, so
+  // callers install no filter and the parser pays zero per-tag overhead.
+  xml::ProjectionFilter* projection_filter() {
+    return gate_.spec().keep_all ? nullptr : &gate_;
+  }
+  const query::ProjectionSpec& projection_spec() const { return gate_.spec(); }
 
   // Abandons the current document after a mid-stream producer failure
   // (parse error, limit rejection, I/O error). `cause` is what status()
@@ -107,6 +120,7 @@ class StreamingEvaluator : public xml::ContentHandler {
   std::shared_ptr<const std::vector<query::XTree>> trees_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
+  query::ProjectionGate gate_;
   Status abort_status_;  // non-OK while the last document was abandoned
   // Per-event cost sampling into the default registry's
   // `xaos_engine_event_ns` histogram; armed at construction when obs is
@@ -135,6 +149,15 @@ class MultiQueryEvaluator : public xml::ContentHandler {
                     xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+  void SkippedSubtree(const xml::SkipReport& report) override;
+
+  // Document-projection filter covering the union of all subscriptions
+  // added so far (rebuilt lazily when queries were added since the last
+  // call). Install via xml::ParserOptions::projection_filter; valid for the
+  // evaluator's lifetime. Returns nullptr when the union degraded to
+  // keep-all, so callers skip the per-tag filter overhead entirely.
+  xml::ProjectionFilter* projection_filter();
+  const query::ProjectionSpec& projection_spec() const { return gate_.spec(); }
 
   // Abandons the current document after a mid-stream producer failure; see
   // StreamingEvaluator::AbortDocument. The evaluator stays reusable.
@@ -178,6 +201,8 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   std::vector<QuerySlot> queries_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
+  query::ProjectionGate gate_;
+  size_t gate_built_for_ = 0;  // query count the gate's spec unions over
   Status abort_status_;  // non-OK while the last document was abandoned
   bool sample_events_ = false;
   obs::EventCostSampler sampler_{nullptr};

@@ -159,12 +159,14 @@ void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
 void ParallelFleet::StartDocument() {
   Finalize();
   document_status_ = Status::Ok();
+  gate_.Reset();
   batcher_.StartDocument();
 }
 
 void ParallelFleet::AbortDocument(const Status& cause) {
   document_status_ =
       cause.ok() ? InternalError("document aborted without a cause") : cause;
+  gate_.Reset();
   if (!finalized_ || workers_.empty()) return;  // nothing is running yet
   ++documents_aborted_;
   batcher_.AbortDocument();
@@ -191,6 +193,31 @@ void ParallelFleet::EndElement(std::string_view name) {
 
 void ParallelFleet::Characters(std::string_view text) {
   batcher_.Characters(text);
+}
+
+void ParallelFleet::SkippedSubtree(const xml::SkipReport& report) {
+  // Ship the skip through the batch stream in event order: each shard's
+  // replay advances its own DocumentCursor by the same amount.
+  batcher_.SkippedSubtree(report);
+}
+
+xml::ProjectionFilter* ParallelFleet::projection_filter() {
+  Finalize();  // the query set is fixed once a filter is handed out
+  if (!gate_built_) {
+    gate_built_ = true;
+    if (options_.engine_options.capture_output_subtrees) {
+      gate_.SetSpec(
+          query::ProjectionSpec::KeepAll("subtree capture needs every event"));
+    } else {
+      query::ProjectionSpec spec;
+      for (const Query& query : queries_) {
+        spec.UnionWith(query::ProjectionSpec::Analyze(query.trees()));
+        if (spec.keep_all) break;
+      }
+      gate_.SetSpec(std::move(spec));
+    }
+  }
+  return gate_.spec().keep_all ? nullptr : &gate_;
 }
 
 void ParallelFleet::EndDocument() {

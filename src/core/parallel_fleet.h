@@ -96,6 +96,17 @@ class ParallelFleet : public xml::ContentHandler,
                     xml::AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+  void SkippedSubtree(const xml::SkipReport& report) override;
+
+  // Document-projection filter covering the union of all registered
+  // subscriptions. Finalizes the fleet (no queries can be added after this
+  // call). Install via xml::ParserOptions::projection_filter: the producer
+  // forwards each skip into the batch stream, so every shard's cursor
+  // advances identically and per-query results stay byte-identical.
+  // Returns nullptr when the union degraded to keep-all, so callers skip
+  // the per-tag filter overhead entirely.
+  xml::ProjectionFilter* projection_filter();
+  const query::ProjectionSpec& projection_spec() const { return gate_.spec(); }
 
   // Abandons the current document after a mid-stream producer failure:
   // publishes an abort marker behind the events already shipped, wakes
@@ -175,6 +186,11 @@ class ParallelFleet : public xml::ContentHandler,
 
   std::deque<Worker> workers_;  // deque: Workers are immovable
   xml::EventBatcher batcher_;
+
+  // Producer-side projection gate (built once by projection_filter(); its
+  // per-document state is only touched by the producer thread).
+  query::ProjectionGate gate_;
+  bool gate_built_ = false;
 
   // Batch pool. `all_batches_` owns; `free_batches_` holds the recyclable
   // ones (guarded by pool_mu_: producer acquires, last consumer returns).

@@ -37,6 +37,7 @@
 #include "obs/memory.h"                     // IWYU pragma: export
 #include "obs/metrics.h"                    // IWYU pragma: export
 #include "obs/timer.h"                      // IWYU pragma: export
+#include "query/projection.h"               // IWYU pragma: export
 #include "query/reroot.h"                   // IWYU pragma: export
 #include "query/xtree_builder.h"            // IWYU pragma: export
 #include "util/pool_arena.h"                // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "xml/event_batch.h"
 
+#include <cstring>
+
 namespace xaos::xml {
 
 void EventBatch::AddStartElement(const QName& name, AttributeSpan attributes) {
@@ -38,6 +40,17 @@ void EventBatch::AddCharacters(std::string_view text) {
   events_.push_back(event);
 }
 
+void EventBatch::AddSkipSubtree(const SkipReport& report) {
+  BatchedEvent event;
+  event.kind = BatchedEvent::Kind::kSkipSubtree;
+  // SkipReport is a trivially-copyable POD; ship it through the text arena
+  // as raw bytes so the record format stays fixed-size.
+  event.text_offset = AppendText(std::string_view(
+      reinterpret_cast<const char*>(&report), sizeof(report)));
+  event.text_size = static_cast<uint32_t>(sizeof(report));
+  events_.push_back(event);
+}
+
 void EventBatch::Replay(ContentHandler* handler,
                         std::vector<AttributeView>* attr_scratch) const {
   for (const BatchedEvent& event : events_) {
@@ -68,6 +81,13 @@ void EventBatch::Replay(ContentHandler* handler,
       case BatchedEvent::Kind::kCharacters:
         handler->Characters(Slice(event.text_offset, event.text_size));
         break;
+      case BatchedEvent::Kind::kSkipSubtree: {
+        SkipReport report;
+        std::memcpy(&report, text_.data() + event.text_offset,
+                    sizeof(report));
+        handler->SkippedSubtree(report);
+        break;
+      }
     }
   }
 }
@@ -94,6 +114,11 @@ void EventBatcher::EndElement(std::string_view name) {
 
 void EventBatcher::Characters(std::string_view text) {
   Current()->AddCharacters(text);
+  PublishIfFull();
+}
+
+void EventBatcher::SkippedSubtree(const SkipReport& report) {
+  Current()->AddSkipSubtree(report);
   PublishIfFull();
 }
 

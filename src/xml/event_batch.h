@@ -36,6 +36,9 @@ struct BatchedEvent {
     kStartElement,
     kEndElement,
     kCharacters,
+    // A projection skip (xml/skip_scanner.h): the text slice holds the
+    // raw SkipReport bytes; Replay re-emits SkippedSubtree().
+    kSkipSubtree,
   };
 
   Kind kind = Kind::kStartDocument;
@@ -85,6 +88,7 @@ class EventBatch {
   void AddStartElement(const QName& name, AttributeSpan attributes);
   void AddEndElement(std::string_view name);
   void AddCharacters(std::string_view text);
+  void AddSkipSubtree(const SkipReport& report);
 
   // --- replay side (any number of concurrent consumers) ---
   // Re-emits the captured events into `handler` in order. `attr_scratch` is
@@ -142,6 +146,7 @@ class EventBatcher : public ContentHandler {
   void StartElement(const QName& name, AttributeSpan attributes) override;
   void EndElement(std::string_view name) override;
   void Characters(std::string_view text) override;
+  void SkippedSubtree(const SkipReport& report) override;
 
   // Abandons the in-progress document: the current batch (acquired if none
   // is open) is marked as aborting and published, so every consumer sees

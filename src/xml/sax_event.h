@@ -51,6 +51,17 @@ struct AttributeView {
 
 using AttributeSpan = std::span<const AttributeView>;
 
+// Summary of a subtree the parser skipped under document projection
+// (xml/skip_scanner.h). The subtree produced no Start/End/Characters
+// events; consumers that assign dense node ids advance their counters by
+// `node_ids` so ids downstream of the skip are identical to a full parse.
+struct SkipReport {
+  uint64_t elements = 0;  // element count, including the skipped root
+  uint64_t node_ids = 0;  // ids the subtree would have consumed
+                          // (elements + attributes + reported text runs)
+  uint64_t bytes = 0;     // raw document bytes covered by the skip
+};
+
 // An owning attribute, for materialized events and DOM storage.
 struct Attribute {
   std::string name;
@@ -92,6 +103,12 @@ class ContentHandler {
   // for one contiguous run unless the producer coalesces (SaxParser does
   // when ParserOptions::coalesce_text is set).
   virtual void Characters(std::string_view text) { (void)text; }
+
+  // Invoked in place of the event stream of a subtree the producer skipped
+  // under document projection. Only emitted when a ProjectionFilter is
+  // installed (xml/skip_scanner.h); handlers that track dense node ids
+  // advance them by `report.node_ids`. Default: ignore.
+  virtual void SkippedSubtree(const SkipReport& report) { (void)report; }
 
   virtual void Comment(std::string_view text) { (void)text; }
   virtual void ProcessingInstruction(std::string_view target,

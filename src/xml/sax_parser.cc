@@ -41,6 +41,9 @@ class MatchTimingHandler : public ContentHandler {
                              std::string_view data) override {
     Timed([&] { inner_->ProcessingInstruction(target, data); });
   }
+  void SkippedSubtree(const SkipReport& report) override {
+    Timed([&] { inner_->SkippedSubtree(report); });
+  }
 
  private:
   template <typename Fn>
@@ -62,6 +65,19 @@ SaxParser::SaxParser(ContentHandler* handler, ParserOptions options)
     timing_wrapper_ =
         std::make_unique<MatchTimingHandler>(handler, options_.phase_timers);
     handler_ = timing_wrapper_.get();
+  }
+  projection_filter_ = options_.projection_filter;
+  if (projection_filter_ != nullptr &&
+      (!options_.coalesce_text || options_.report_comments ||
+       options_.report_processing_instructions)) {
+    // Skipping cannot reproduce these event streams exactly (see
+    // ParserOptions::projection_filter); fall back to a full parse.
+    projection_filter_ = nullptr;
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Default()
+          .GetCounter("xaos_projection_disabled_total")
+          ->Increment();
+    }
   }
 }
 
@@ -189,6 +205,10 @@ Status SaxParser::Finish() {
     handler_->StartDocument();
   }
   finished_ = true;
+  if (skip_active_) {
+    Fail("unexpected end of document inside a skipped subtree");
+    return error_;
+  }
   if (pos_ < buffer_.size()) {
     // Leftover input that Pump() could not complete. Either it is trailing
     // text (legal only if whitespace at top level) or an unterminated token.
@@ -296,12 +316,47 @@ Status SaxParser::AppendText(std::string_view raw, bool decode) {
 
 SaxParser::Progress SaxParser::Pump() {
   while (pos_ < buffer_.size()) {
-    Progress p =
-        (buffer_[pos_] == '<') ? ParseMarkup() : ParseText();
+    Progress p = skip_active_          ? PumpSkip()
+                 : (buffer_[pos_] == '<') ? ParseMarkup()
+                                          : ParseText();
     if (p != Progress::kOk) {
       return p == Progress::kNeedMore ? Progress::kOk : p;
     }
   }
+  return Progress::kOk;
+}
+
+SaxParser::Progress SaxParser::PumpSkip() {
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  size_t consumed = 0;
+  SkipScanner::State state = skip_scanner_.Scan(rest, &consumed);
+  // Consume before reporting an error so line/column point at the
+  // offending construct, as they do in normal parse mode.
+  if (consumed > 0) Consume(consumed);
+  switch (state) {
+    case SkipScanner::State::kScanning:
+      return Progress::kNeedMore;
+    case SkipScanner::State::kDone:
+      skip_active_ = false;
+      return DeliverSkip(skip_scanner_.report());
+    case SkipScanner::State::kError:
+      return skip_scanner_.limit_error()
+                 ? FailLimit(skip_scanner_.error_message())
+                 : Fail(skip_scanner_.error_message());
+  }
+  return Progress::kError;  // unreachable
+}
+
+SaxParser::Progress SaxParser::DeliverSkip(const SkipReport& report) {
+  if (open_elements_.empty()) seen_root_ = true;
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("xaos_projection_subtrees_skipped_total")
+        ->Increment();
+    registry.GetCounter("xaos_projection_bytes_skipped_total")
+        ->Increment(report.bytes);
+  }
+  handler_->SkippedSubtree(report);
   return Progress::kOk;
 }
 
@@ -438,6 +493,25 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
   if (static_cast<int>(open_elements_.size()) >= limits.max_depth) {
     return FailLimit("maximum element depth of " +
                      std::to_string(limits.max_depth) + " exceeded");
+  }
+
+  if (projection_filter_ != nullptr &&
+      projection_filter_->ShouldSkipSubtree(name, open_elements_.size())) {
+    // The whole subtree is irrelevant: account for the start tag, then let
+    // the skip scanner race to the matching end tag. The element is never
+    // pushed onto open_elements_ and emits no events.
+    SkipReport initial;
+    initial.elements = 1;
+    initial.node_ids = 1 + SkipScanner::CountQuotedValues(
+                               body.substr(name_len));
+    initial.bytes = tag_end + 1;
+    EmitPendingText();
+    Consume(tag_end + 1);
+    if (self_closing) return DeliverSkip(initial);
+    skip_scanner_.Begin(initial, open_elements_.size(), limits.max_depth,
+                        options_.report_whitespace_text);
+    skip_active_ = true;
+    return Progress::kOk;
   }
 
   util::SymbolTable& symbols = util::SymbolTable::Global();

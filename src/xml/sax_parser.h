@@ -26,6 +26,7 @@
 
 #include "util/status.h"
 #include "xml/sax_event.h"
+#include "xml/skip_scanner.h"
 
 namespace xaos::obs {
 class PhaseTimers;
@@ -77,6 +78,15 @@ struct ParserOptions {
   // pass into the paper's parse vs. match phases. Costs two clock reads per
   // delivered event; leave null (the default) for zero overhead.
   obs::PhaseTimers* phase_timers = nullptr;
+  // Optional document projection (xml/skip_scanner.h): when set, each start
+  // tag is offered to the filter, and a subtree it proves irrelevant is
+  // skipped by a raw scanner — no attribute parsing, entity decoding or
+  // events; the handler receives one SkippedSubtree() instead. Ignored
+  // (with xaos_projection_disabled_total incremented) when combined with
+  // options it cannot preserve exactly: coalesce_text off (node-id
+  // assignment would become chunk-dependent) or reported comments/PIs
+  // (their events would be lost inside skips). Must outlive the parser.
+  ProjectionFilter* projection_filter = nullptr;
 };
 
 // Incremental push parser. Typical use:
@@ -127,6 +137,10 @@ class SaxParser {
   Progress ParseCData();
   Progress ParsePi();
   Progress ParseDoctype();
+  Progress PumpSkip();                  // advance an active subtree skip
+  // Completes a skip: updates projection counters, marks the root seen when
+  // the skipped subtree was the document element, and notifies the handler.
+  Progress DeliverSkip(const SkipReport& report);
 
   // Scans for the '>' ending a start tag, honoring quoted attribute values.
   // On success sets *end to the index of '>' and *self_closing.
@@ -182,6 +196,12 @@ class SaxParser {
   std::vector<AttributeView> attributes_;
   // Deque: slot strings must not move while attributes_ views into them.
   std::deque<std::string> attr_decode_slots_;
+
+  // Document projection. Null unless options_.projection_filter is set and
+  // compatible with the event options (see ParserOptions).
+  ProjectionFilter* projection_filter_ = nullptr;
+  SkipScanner skip_scanner_;
+  bool skip_active_ = false;  // Pump routes input to skip_scanner_
 };
 
 // Convenience: parses a complete in-memory document.

@@ -1,0 +1,275 @@
+#include "xml/skip_scanner.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/string_util.h"
+#include "xml/entities.h"
+
+namespace xaos::xml {
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+
+bool IsXmlWs(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+// Whether a reference body (the text between '&' and ';') decodes to XML
+// whitespace. Named references (&amp; &lt; &gt; &apos; &quot;) never do;
+// numeric references do iff the code point is tab/LF/CR/space. Anything
+// the decoder would reject is classified non-whitespace — the full parser
+// rejects such documents, so the answer is never compared.
+bool ReferenceIsWhitespace(std::string_view body) {
+  if (body.size() < 2 || body[0] != '#') return false;
+  uint32_t value = 0;
+  size_t i = 1;
+  if (body[1] == 'x' || body[1] == 'X') {
+    for (i = 2; i < body.size(); ++i) {
+      char c = body[i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      if (value > 0x10FFFF) return false;
+      value = value * 16 + digit;
+    }
+    if (i == 2) return false;
+  } else {
+    for (; i < body.size(); ++i) {
+      char c = body[i];
+      if (c < '0' || c > '9') return false;
+      if (value > 0x10FFFF) return false;
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+  }
+  return value == 0x20 || value == 0x9 || value == 0xA || value == 0xD;
+}
+
+// Bytes that end the fast forward scan inside a start tag: the tag
+// terminator, a quote opening an attribute value, or a stray '<'.
+constexpr std::array<bool, 256> MakeTagSignificant() {
+  std::array<bool, 256> table{};
+  table[static_cast<unsigned char>('>')] = true;
+  table[static_cast<unsigned char>('"')] = true;
+  table[static_cast<unsigned char>('\'')] = true;
+  table[static_cast<unsigned char>('<')] = true;
+  return table;
+}
+constexpr std::array<bool, 256> kTagSignificant = MakeTagSignificant();
+
+}  // namespace
+
+void SkipScanner::Begin(const SkipReport& initial, size_t base_open_depth,
+                        int max_depth, bool count_whitespace_runs) {
+  report_ = initial;
+  base_open_depth_ = base_open_depth;
+  max_depth_ = max_depth;
+  depth_ = 1;
+  count_ws_runs_ = count_whitespace_runs;
+  run_has_content_ = false;
+  run_non_ws_ = false;
+  limit_error_ = false;
+  error_message_.clear();
+}
+
+uint64_t SkipScanner::CountQuotedValues(std::string_view tag_body) {
+  uint64_t count = 0;
+  size_t i = 0;
+  while (i < tag_body.size()) {
+    const char* base = tag_body.data() + i;
+    size_t avail = tag_body.size() - i;
+    const char* q1 = static_cast<const char*>(std::memchr(base, '"', avail));
+    const char* q2 = static_cast<const char*>(std::memchr(base, '\'', avail));
+    const char* quote = (q1 != nullptr && (q2 == nullptr || q1 < q2)) ? q1 : q2;
+    if (quote == nullptr) break;
+    const char* end = tag_body.data() + tag_body.size();
+    const char* close = static_cast<const char*>(std::memchr(
+        quote + 1, *quote, static_cast<size_t>(end - (quote + 1))));
+    if (close == nullptr) break;  // unterminated value: full parser rejects
+    ++count;
+    i = static_cast<size_t>(close + 1 - tag_body.data());
+  }
+  return count;
+}
+
+// Decides whether a still-undecided run stays all-whitespace. Only called
+// until the first non-whitespace byte settles the classification.
+void SkipScanner::ClassifyText(std::string_view run) {
+  size_t i = 0;
+  while (i < run.size()) {
+    char c = run[i];
+    if (IsXmlWs(c)) {
+      ++i;
+      continue;
+    }
+    if (c != '&') {
+      run_non_ws_ = true;
+      return;
+    }
+    size_t semi = run.find(';', i + 1);
+    if (semi == kNpos || semi - i - 1 > kMaxReferenceBodyBytes) {
+      run_non_ws_ = true;  // malformed/overlong: full parser rejects
+      return;
+    }
+    if (!ReferenceIsWhitespace(run.substr(i + 1, semi - i - 1))) {
+      run_non_ws_ = true;
+      return;
+    }
+    i = semi + 1;
+  }
+}
+
+void SkipScanner::ProcessCData(std::string_view content) {
+  if (content.empty()) return;
+  run_has_content_ = true;
+  if (count_ws_runs_ || run_non_ws_) return;
+  if (!IsAllXmlWhitespace(content)) run_non_ws_ = true;
+}
+
+SkipScanner::State SkipScanner::Error(std::string message, size_t at,
+                                      size_t* consumed) {
+  error_message_ = std::move(message);
+  *consumed = at;
+  report_.bytes += at;
+  return State::kError;
+}
+
+SkipScanner::State SkipScanner::LimitError(std::string message, size_t at,
+                                           size_t* consumed) {
+  limit_error_ = true;
+  return Error(std::move(message), at, consumed);
+}
+
+SkipScanner::State SkipScanner::Scan(std::string_view input,
+                                     size_t* consumed) {
+  size_t i = 0;
+  State result = State::kScanning;
+  while (i < input.size()) {
+    if (input[i] != '<') {
+      // Character data until the next markup. Only its whitespace-ness
+      // matters, so a trailing incomplete reference is held back exactly
+      // like the full parser holds it (its decoded value could be either).
+      const char* from = input.data() + i;
+      size_t avail = input.size() - i;
+      const char* lt = static_cast<const char*>(std::memchr(from, '<', avail));
+      size_t run = (lt == nullptr) ? avail : static_cast<size_t>(lt - from);
+      std::string_view text(from, run);
+      if (lt == nullptr) {
+        size_t amp = text.rfind('&');
+        if (amp != kNpos && text.find(';', amp) == kNpos &&
+            text.size() - amp <= kMaxReferenceBodyBytes + 1) {
+          text = text.substr(0, amp);
+        }
+      }
+      ProcessText(text);
+      i += text.size();
+      if (lt == nullptr) break;
+      continue;
+    }
+    std::string_view rest = input.substr(i);
+    if (rest.size() < 2) break;
+    if (rest[1] == '/') {
+      size_t gt = rest.find('>', 2);
+      if (gt == kNpos) break;
+      FlushRun();
+      i += gt + 1;
+      if (--depth_ == 0) {
+        result = State::kDone;
+        break;
+      }
+      continue;
+    }
+    if (rest[1] == '?') {
+      size_t end = rest.find("?>", 2);
+      if (end == kNpos) break;
+      i += end + 2;
+      continue;
+    }
+    if (rest[1] == '!') {
+      // Inside an element only comments and CDATA sections are legal, so
+      // anything else errors once enough bytes arrive to classify it.
+      if (rest.size() < 9 &&
+          (StartsWith(std::string_view("<!--").substr(0, rest.size()), rest) ||
+           StartsWith(std::string_view("<![CDATA[").substr(0, rest.size()),
+                      rest))) {
+        break;
+      }
+      if (StartsWith(rest, "<!--")) {
+        size_t end = rest.find("-->", 4);
+        if (end == kNpos) break;
+        i += end + 3;
+        continue;
+      }
+      if (StartsWith(rest, "<![CDATA[")) {
+        size_t end = rest.find("]]>", 9);
+        if (end == kNpos) break;
+        ProcessCData(rest.substr(9, end - 9));
+        i += end + 3;
+        continue;
+      }
+      return Error("unsupported markup declaration", i, consumed);
+    }
+    // Start tag: one forward pass finds the quote-aware '>' and counts the
+    // quoted attribute values as it goes (the full parser's
+    // FindStartTagEnd + CountQuotedValues, fused — this loop runs for
+    // every skipped element, so the body is a table-driven byte scan with
+    // memchr only for jumping over quoted values).
+    const char* p = rest.data() + 1;
+    const char* rest_end = rest.data() + rest.size();
+    uint64_t quoted_values = 0;
+    size_t tag_end = kNpos;
+    bool self_closing = false;
+    bool need_more = false;
+    for (;;) {
+      while (p < rest_end &&
+             !kTagSignificant[static_cast<unsigned char>(*p)]) {
+        ++p;
+      }
+      if (p == rest_end) {
+        need_more = true;
+        break;
+      }
+      char c = *p;
+      if (c == '>') {
+        tag_end = static_cast<size_t>(p - rest.data());
+        self_closing = tag_end >= 2 && rest[tag_end - 1] == '/';
+        break;
+      }
+      if (c == '<') return Error("'<' inside tag", i, consumed);
+      const char* close = static_cast<const char*>(std::memchr(
+          p + 1, c, static_cast<size_t>(rest_end - (p + 1))));
+      if (close == nullptr) {
+        need_more = true;
+        break;
+      }
+      ++quoted_values;
+      p = close + 1;
+    }
+    if (need_more) break;
+    FlushRun();
+    report_.elements += 1;
+    report_.node_ids += 1 + quoted_values;
+    if (!self_closing) {
+      if (base_open_depth_ + depth_ >= static_cast<uint64_t>(max_depth_)) {
+        return LimitError("maximum element depth of " +
+                              std::to_string(max_depth_) + " exceeded",
+                          i, consumed);
+      }
+      ++depth_;
+    }
+    i += tag_end + 1;
+  }
+  *consumed = i;
+  report_.bytes += i;
+  return result;
+}
+
+}  // namespace xaos::xml

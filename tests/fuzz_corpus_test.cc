@@ -51,5 +51,9 @@ TEST(FuzzCorpusTest, DifferentialSeeds) {
   Replay("diff", fuzz::RunDifferentialInput);
 }
 
+TEST(FuzzCorpusTest, ProjectionSeeds) {
+  Replay("projection", fuzz::RunProjectionDifferentialInput);
+}
+
 }  // namespace
 }  // namespace xaos

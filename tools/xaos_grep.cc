@@ -23,6 +23,11 @@
 //                  enable instrumentation and write the full metrics
 //                  registry (phase timings, parser/engine counters, peak
 //                  structure bytes) as JSON to FILE ("-" for stdout)
+//   --no-projection
+//                  disable document projection. By default the parser
+//                  skip-scans subtrees the query provably cannot touch
+//                  (query/projection.h); results are identical either way,
+//                  so this is a debugging/benchmarking switch
 //
 // Parser guardrails (see xml::ParserLimits; a file that exceeds a bound is
 // reported and skipped, exit code 2):
@@ -57,6 +62,7 @@ struct Options {
   bool stats = false;
   bool stats_json = false;
   bool explain = false;
+  bool no_projection = false;
   bool trace = false;
   bool trace_json = false;
   std::string metrics_json_path;
@@ -69,6 +75,7 @@ int Usage() {
       stderr,
       "usage: xaos_grep [--count|--match|--xml|--tuples] [--stats[=json]] "
       "[--explain] [--trace|--trace-json] [--metrics-json=FILE] "
+      "[--no-projection] "
       "[--max-depth=N] [--max-attrs=N] [--max-attr-value-bytes=N] "
       "[--max-name-bytes=N] [--max-token-bytes=N] [--max-entity-refs=N] "
       "[--max-total-bytes=N] '<xpath>' [file.xml ...]\n"
@@ -190,6 +197,8 @@ int main(int argc, char** argv) {
       options.stats_json = true;
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--no-projection") {
+      options.no_projection = true;
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--trace-json") {
@@ -250,6 +259,10 @@ int main(int argc, char** argv) {
       std::printf("x-tree: %s\n", tree.ToString().c_str());
       std::printf("x-dag:  %s\n", xaos::query::XDag(tree).ToString().c_str());
     }
+    std::printf("projection: %s\n",
+                xaos::query::ProjectionSpec::Analyze(query->trees())
+                    .ToString()
+                    .c_str());
     return 0;
   }
 
@@ -286,6 +299,9 @@ int main(int argc, char** argv) {
   engine_options.capture_output_subtrees = options.capture;
   engine_options.stop_after_confirmed_match = options.match_only;
   xaos::core::StreamingEvaluator evaluator(*query, engine_options);
+  if (!options.no_projection) {
+    parser_options.projection_filter = evaluator.projection_filter();
+  }
 
   bool multiple_files = options.files.size() > 1;
   bool any_match = false;
