@@ -1,11 +1,18 @@
 // Microbenchmarks for the streaming XML parser substrate (supporting
 // infrastructure; no paper counterpart): throughput in MB/s, chunked
 // feeding overhead, DOM construction cost.
+//
+// `--json-out=DIR` (handled before google-benchmark sees the argv) writes a
+// BENCH_micro_parser.json in the shared BenchReporter schema, so the
+// regression gate can compare these rows like the table benches'.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "dom/dom_builder.h"
 #include "gen/xmark_generator.h"
 #include "xml/sax_event.h"
@@ -109,6 +116,69 @@ void BM_BuildDom(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildDom);
 
+// Console output plus a captured row per benchmark for the JSON report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double seconds_per_iteration = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.seconds_per_iteration =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json-out before google-benchmark's flag parser rejects it.
+  std::string json_out;
+  std::vector<char*> remaining;
+  remaining.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      remaining.push_back(argv[i]);
+    }
+  }
+  int remaining_argc = static_cast<int>(remaining.size());
+  benchmark::Initialize(&remaining_argc, remaining.data());
+  if (benchmark::ReportUnrecognizedArguments(remaining_argc,
+                                             remaining.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    // Every benchmark above processes the same document once per iteration,
+    // so megabytes/iteration is uniform and throughput_mb_per_s derives
+    // from the per-iteration time.
+    const double megabytes = static_cast<double>(Document().size()) / (1 << 20);
+    xaos::bench::BenchReporter out("micro_parser");
+    out.SetParam("scale", 0.02);
+    out.SetParam("document_mb", megabytes);
+    for (const CapturingReporter::Row& row : reporter.rows) {
+      xaos::bench::Series series;
+      series.mean = row.seconds_per_iteration;
+      series.min = row.seconds_per_iteration;
+      series.max = row.seconds_per_iteration;
+      out.AddResult(row.name, series, megabytes);
+    }
+    if (!out.WriteJson(json_out)) return 1;
+  }
+  return 0;
+}

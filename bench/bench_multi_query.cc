@@ -9,6 +9,7 @@
 // Both modes must deliver identical per-query verdicts; any divergence is a
 // correctness bug and fails the run.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -172,6 +173,49 @@ int main(int argc, char** argv) {
       }
     }
 
+    // One instrumented pass over the same pool: per-subscription match
+    // latency and time-to-first-match (each matched subscription contributes
+    // one sample), reduced to exact percentiles across subscriptions. Runs
+    // outside the timed reps so instrumentation cannot perturb the
+    // throughput rows; the regression gate watches the p99 columns.
+    obs::SetEnabled(true);
+    obs::MetricsRegistry latency_registry;
+    core::EngineOptions obs_options;
+    obs_options.metrics_registry = &latency_registry;
+    core::MultiQueryEvaluator instrumented(obs_options);
+    for (const core::Query& query : queries) instrumented.AddQuery(query);
+    if (!xml::ParseString(doc, &instrumented).ok()) std::abort();
+    obs::SetEnabled(false);
+    std::vector<double> latencies;
+    std::vector<double> ttfms;
+    for (int q = 0; q < subs; ++q) {
+      std::string selector = "{subscription=\"" +
+                             instrumented.query_label(static_cast<size_t>(q)) +
+                             "\"}";
+      obs::Histogram* latency = latency_registry.GetHistogram(
+          "xaos_sub_match_latency_ns" + selector);
+      // One document pass: count is 0 (no match) or 1, so Sum() is the
+      // sample itself — exact, no bucket rounding.
+      if (latency->Count() > 0) {
+        latencies.push_back(static_cast<double>(latency->Sum()));
+      }
+      obs::Histogram* first_match =
+          latency_registry.GetHistogram("xaos_sub_first_match_ns" + selector);
+      if (first_match->Count() > 0) {
+        ttfms.push_back(static_cast<double>(first_match->Sum()));
+      }
+    }
+    auto percentile = [](std::vector<double>* samples, double q) {
+      if (samples->empty()) return 0.0;
+      std::sort(samples->begin(), samples->end());
+      double rank = q * static_cast<double>(samples->size() - 1);
+      return (*samples)[static_cast<size_t>(rank + 0.5)];
+    };
+    const double latency_p50 = percentile(&latencies, 0.50);
+    const double latency_p99 = percentile(&latencies, 0.99);
+    const double ttfm_p50 = percentile(&ttfms, 0.50);
+    const double ttfm_p99 = percentile(&ttfms, 0.99);
+
     bench::Series naive = bench::Summarize(naive_times);
     bench::Series indexed = bench::Summarize(indexed_times);
     double speedup = indexed.mean > 0 ? naive.mean / indexed.mean : 0.0;
@@ -196,6 +240,14 @@ int main(int argc, char** argv) {
     reporter.AddResultMetric("engines_skipped_per_doc",
                              static_cast<double>(skipped_per_doc));
     reporter.AddResultMetric("speedup_vs_naive", speedup);
+    reporter.AddResultMetric("match_latency_p50_ns", latency_p50);
+    reporter.AddResultMetric("match_latency_p99_ns", latency_p99);
+    reporter.AddResultMetric("ttfm_p50_ns", ttfm_p50);
+    reporter.AddResultMetric("ttfm_p99_ns", ttfm_p99);
+    std::printf("  latency across %zu matched subs: p50 %.0f us, "
+                "p99 %.0f us (first match p99 %.0f us)\n",
+                latencies.size(), latency_p50 / 1e3, latency_p99 / 1e3,
+                ttfm_p99 / 1e3);
 
     // Sharded parallel fleet.
     if (threads > 0) {

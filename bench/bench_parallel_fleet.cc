@@ -170,6 +170,20 @@ int main(int argc, char** argv) {
         }
       }
 
+      // Producer/worker stall accounting, cumulative across the reps above
+      // (the fleet is fresh per configuration). Publish stalls are the
+      // producer blocked on a full ring; park time is a worker idle on an
+      // empty one — together they say which side of the pipe is the
+      // bottleneck at this worker count.
+      const double reps = static_cast<double>(repetitions);
+      const double stall_ns_per_doc =
+          static_cast<double>(fleet.publish_stall_ns()) / reps;
+      std::vector<core::ParallelShardStats> shard_stats = fleet.ShardStats();
+      double park_ns_per_doc = 0;
+      for (const core::ParallelShardStats& s : shard_stats) {
+        park_ns_per_doc += static_cast<double>(s.park_wait_ns) / reps;
+      }
+
       bench::Series par = bench::Summarize(par_times);
       if (workers == 1) one_worker_mean = par.mean;
       double speedup_vs_seq = par.mean > 0 ? seq.mean / par.mean : 0.0;
@@ -192,6 +206,25 @@ int main(int argc, char** argv) {
                                static_cast<double>(stalls_per_doc));
       reporter.AddResultMetric("speedup_vs_sequential", speedup_vs_seq);
       reporter.AddResultMetric("speedup_vs_one_worker", speedup_vs_one);
+      reporter.AddResultMetric("publish_stall_ns_per_doc", stall_ns_per_doc);
+      reporter.AddResultMetric("park_wait_ns_per_doc", park_ns_per_doc);
+      for (size_t s = 0; s < shard_stats.size(); ++s) {
+        std::printf("  worker %zu: publish stall %8.3f ms/doc, "
+                    "park %8.3f ms/doc (%llu parks)\n",
+                    s,
+                    static_cast<double>(shard_stats[s].publish_stall_ns) /
+                        reps / 1e6,
+                    static_cast<double>(shard_stats[s].park_wait_ns) / reps /
+                        1e6,
+                    static_cast<unsigned long long>(shard_stats[s].parks));
+        std::string prefix = "shard" + std::to_string(s);
+        reporter.AddResultMetric(
+            prefix + "_publish_stall_ns_per_doc",
+            static_cast<double>(shard_stats[s].publish_stall_ns) / reps);
+        reporter.AddResultMetric(
+            prefix + "_park_wait_ns_per_doc",
+            static_cast<double>(shard_stats[s].park_wait_ns) / reps);
+      }
     }
   }
 

@@ -11,11 +11,16 @@
 //
 // The router is also instrumented the way a production filter would be:
 // each subscription gets a labelled delivery counter
-// (`router_deliveries_total{subscription="alice"}`), per-document
+// (`router_deliveries_total{subscription="alice"}`) and per-subscription
+// match-latency / time-to-first-match histograms
+// (`xaos_sub_match_latency_ns{subscription="alice"}`), per-document
 // evaluation time is tracked and documents exceeding a slow threshold are
 // logged to stderr, and the metrics registry is dumped in Prometheus
 // exposition format at the end of the run (including the dispatch-skip
-// statistics the evaluator exposes).
+// statistics the evaluator exposes). --flight-trace=FILE additionally arms
+// the flight recorder and writes a Chrome trace-event JSON of the run —
+// with --threads=N the trace shows each batch's dispatch on the parse
+// track flowing into the per-worker replay spans.
 
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   // filter simply never skips.
   int threads = 0;
   bool no_projection = false;
+  std::string flight_trace_path;
   xaos::xml::ParserOptions parser_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -63,10 +69,12 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(argv[i] + 18));
     } else if (std::strcmp(argv[i], "--no-projection") == 0) {
       no_projection = true;
+    } else if (std::strncmp(argv[i], "--flight-trace=", 15) == 0) {
+      flight_trace_path = argv[i] + 15;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--threads=N] [--max-depth=N] [--max-total-bytes=N]"
-                << " [--no-projection]\n";
+                << " [--no-projection] [--flight-trace=FILE]\n";
       return 2;
     }
   }
@@ -80,6 +88,10 @@ int main(int argc, char** argv) {
   // Turn instrumentation on so the parser-side projection counters (in the
   // default registry) are collected alongside the router's own metrics.
   xaos::obs::SetEnabled(true);
+  if (!flight_trace_path.empty()) {
+    xaos::obs::flight::Arm();
+    xaos::obs::flight::SetCurrentThreadName("main");
+  }
   // Documents taking longer than this are logged; tiny so the demo actually
   // produces a slow-query line or two.
   constexpr uint64_t kSlowDocumentNs = 200 * 1000;
@@ -92,11 +104,17 @@ int main(int argc, char** argv) {
   xaos::obs::Histogram* document_ns =
       registry.GetHistogram("router_document_ns");
 
-  xaos::core::MultiQueryEvaluator evaluator;
+  // Route the evaluators' per-subscription latency series and high-water
+  // gauges into the router's own registry instead of the process default,
+  // so the final dump shows them next to the delivery counters.
+  xaos::core::EngineOptions engine_options;
+  engine_options.metrics_registry = &registry;
+  xaos::core::MultiQueryEvaluator evaluator(engine_options);
   std::unique_ptr<xaos::core::ParallelFleet> fleet;
   if (threads > 0) {
     xaos::core::ParallelFleetOptions options;
-    options.num_workers = static_cast<size_t>(threads);
+    options.num_workers = threads;
+    options.engine_options = engine_options;
     fleet = std::make_unique<xaos::core::ParallelFleet>(options);
   }
   std::vector<Subscription> subscriptions;
@@ -109,8 +127,10 @@ int main(int argc, char** argv) {
     Subscription sub;
     sub.name = name;
     sub.expression = expression;
+    // The subscription name labels the latency series
+    // (`xaos_sub_match_latency_ns{subscription="<name>"}`).
     sub.query_index =
-        fleet ? fleet->AddQuery(*query) : evaluator.AddQuery(*query);
+        fleet ? fleet->AddQuery(*query, name) : evaluator.AddQuery(*query, name);
     sub.deliveries = registry.GetCounter("router_deliveries_total{subscription=\"" +
                                          name + "\"}");
     subscriptions.push_back(std::move(sub));
@@ -215,5 +235,17 @@ int main(int argc, char** argv) {
 
   std::cout << "\nmetrics:\n"
             << xaos::obs::ToPrometheusText(registry);
+
+  if (!flight_trace_path.empty()) {
+    // The last EndDocument/AbortDocument latch left every worker parked, so
+    // the rings are quiescent here.
+    xaos::obs::flight::Disarm();
+    xaos::Status status = xaos::obs::flight::WriteChromeTrace(flight_trace_path);
+    if (!status.ok()) {
+      std::cerr << "flight trace: " << status << "\n";
+      return 2;
+    }
+    std::cerr << "flight trace written to " << flight_trace_path << "\n";
+  }
   return 0;
 }

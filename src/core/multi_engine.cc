@@ -5,11 +5,47 @@
 #include <utility>
 
 #include "dom/dom_replayer.h"
+#include "obs/flight.h"
+#include "obs/json.h"
 #include "query/xtree_builder.h"
 #include "xml/sax_parser.h"
 
 namespace xaos::core {
 namespace {
+
+// Shared end-of-document observability: folds candidate/arena high-water
+// marks into `registry` (null = metrics off) and emits the flight
+// recorder's document span plus a counter sample at its boundary.
+void RecordDocumentBoundary(obs::MetricsRegistry* registry,
+                            const EngineStats& stats, uint64_t doc,
+                            int shard, uint64_t begin_ns, uint64_t end_ns,
+                            size_t engine_count) {
+  if (registry != nullptr) {
+    registry->GetGauge("xaos_buffered_candidates_peak")
+        ->SetMax(static_cast<int64_t>(stats.structures_live_peak));
+    registry->GetGauge("xaos_arena_bytes_peak")
+        ->SetMax(static_cast<int64_t>(stats.structure_memory.peak_bytes));
+  }
+  if (obs::flight::Active()) {
+    obs::flight::Span span;
+    span.kind = obs::flight::SpanKind::kDocument;
+    span.begin_ns = begin_ns != 0 ? begin_ns : end_ns;
+    span.end_ns = end_ns;
+    span.doc = doc;
+    span.shard = shard;
+    span.value = static_cast<int64_t>(engine_count);
+    obs::flight::Emit(span);
+    obs::flight::Span sample;
+    sample.kind = obs::flight::SpanKind::kCounter;
+    sample.begin_ns = end_ns;
+    sample.end_ns = end_ns;
+    sample.doc = doc;
+    sample.shard = shard;
+    sample.value = static_cast<int64_t>(stats.structures_live_peak);
+    sample.value2 = static_cast<int64_t>(stats.structure_memory.peak_bytes);
+    obs::flight::Emit(sample);
+  }
+}
 
 // Unions the results of the engines in [begin, end): document order,
 // deduplicated by node id (disjuncts of one query can select the same node;
@@ -93,7 +129,10 @@ Query Query::FromTrees(std::vector<query::XTree> trees,
 
 StreamingEvaluator::StreamingEvaluator(const Query& query,
                                        EngineOptions options)
-    : trees_(query.trees_) {
+    : trees_(query.trees_),
+      registry_(options.metrics_registry != nullptr
+                    ? options.metrics_registry
+                    : &obs::MetricsRegistry::Default()) {
   engines_.reserve(trees_->size());
   for (const query::XTree& tree : *trees_) {
     engines_.push_back(std::make_unique<XaosEngine>(&tree, options));
@@ -113,10 +152,21 @@ StreamingEvaluator::StreamingEvaluator(const Query& query,
 void StreamingEvaluator::StartDocument() {
   abort_status_ = Status::Ok();
   gate_.Reset();
+  if (obs::Enabled() || obs::flight::Active()) {
+    ++doc_ordinal_;
+    doc_begin_ns_ = obs::NowNs();
+  }
   fleet_.StartDocument();
 }
 
-void StreamingEvaluator::EndDocument() { fleet_.EndDocument(); }
+void StreamingEvaluator::EndDocument() {
+  fleet_.EndDocument();
+  if (obs::Enabled() || obs::flight::Active()) {
+    RecordDocumentBoundary(obs::Enabled() ? registry_ : nullptr,
+                           AggregateStats(), doc_ordinal_, /*shard=*/-1,
+                           doc_begin_ns_, obs::NowNs(), engines_.size());
+  }
+}
 
 void StreamingEvaluator::AbortDocument(const Status& cause) {
   abort_status_ =
@@ -175,10 +225,13 @@ MultiQueryEvaluator::MultiQueryEvaluator(EngineOptions options)
   }
 }
 
-size_t MultiQueryEvaluator::AddQuery(const Query& query) {
+size_t MultiQueryEvaluator::AddQuery(const Query& query,
+                                     std::string_view label) {
   QuerySlot slot;
   slot.trees = query.trees_;
   slot.begin = engines_.size();
+  slot.label = label.empty() ? "q" + std::to_string(queries_.size())
+                             : std::string(label);
   for (const query::XTree& tree : *slot.trees) {
     engines_.push_back(std::make_unique<XaosEngine>(&tree, options_));
     fleet_.AddEngine(engines_.back().get());
@@ -191,10 +244,60 @@ size_t MultiQueryEvaluator::AddQuery(const Query& query) {
 void MultiQueryEvaluator::StartDocument() {
   abort_status_ = Status::Ok();
   gate_.Reset();
+  if (obs::Enabled() || obs::flight::Active()) {
+    ++doc_ordinal_;
+    doc_begin_ns_ = obs::NowNs();
+  }
   fleet_.StartDocument();
 }
 
-void MultiQueryEvaluator::EndDocument() { fleet_.EndDocument(); }
+void MultiQueryEvaluator::EndDocument() {
+  fleet_.EndDocument();
+  if (obs::Enabled() || obs::flight::Active()) FinishDocumentObservability();
+}
+
+obs::MetricsRegistry& MultiQueryEvaluator::metrics_registry() const {
+  return options_.metrics_registry != nullptr
+             ? *options_.metrics_registry
+             : obs::MetricsRegistry::Default();
+}
+
+void MultiQueryEvaluator::FinishDocumentObservability() {
+  const uint64_t end_ns = obs::NowNs();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = metrics_registry();
+    for (QuerySlot& slot : queries_) {
+      // Earliest confirmation across the query's disjunct engines; a query
+      // matched if any healthy engine matched.
+      uint64_t confirm = 0;
+      bool matched = false;
+      for (size_t i = slot.begin; i < slot.end; ++i) {
+        const XaosEngine& engine = *engines_[i];
+        if (!engine.status().ok() || !engine.result().matched) continue;
+        matched = true;
+        uint64_t c = engine.match_confirm_ns();
+        if (c != 0 && (confirm == 0 || c < confirm)) confirm = c;
+      }
+      if (!matched) continue;
+      if (slot.match_latency == nullptr) {
+        std::string labels =
+            "{subscription=\"" + obs::JsonEscape(slot.label) + "\"}";
+        slot.match_latency =
+            registry.GetHistogram("xaos_sub_match_latency_ns" + labels);
+        slot.first_match =
+            registry.GetHistogram("xaos_sub_first_match_ns" + labels);
+      }
+      uint64_t latency = end_ns > doc_begin_ns_ ? end_ns - doc_begin_ns_ : 0;
+      slot.match_latency->Record(latency);
+      slot.first_match->Record(confirm > doc_begin_ns_
+                                   ? confirm - doc_begin_ns_
+                                   : latency);
+    }
+  }
+  RecordDocumentBoundary(obs::Enabled() ? &metrics_registry() : nullptr,
+                         AggregateStats(), doc_ordinal_, flight_shard_,
+                         doc_begin_ns_, end_ns, engines_.size());
+}
 
 void MultiQueryEvaluator::AbortDocument(const Status& cause) {
   abort_status_ =

@@ -121,12 +121,15 @@ class StreamingEvaluator : public xml::ContentHandler {
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
   query::ProjectionGate gate_;
+  obs::MetricsRegistry* registry_ = nullptr;  // EngineOptions::metrics_registry
   Status abort_status_;  // non-OK while the last document was abandoned
   // Per-event cost sampling into the default registry's
   // `xaos_engine_event_ns` histogram; armed at construction when obs is
   // enabled, otherwise a single dead branch per event.
   bool sample_events_ = false;
   obs::EventCostSampler sampler_{nullptr};
+  uint64_t doc_ordinal_ = 0;   // documents started (flight attribution)
+  uint64_t doc_begin_ns_ = 0;  // StartDocument timestamp when observing
 };
 
 // Evaluates many compiled queries ("subscriptions") over one event stream
@@ -140,8 +143,16 @@ class MultiQueryEvaluator : public xml::ContentHandler {
 
   // Registers a subscription and returns its index (stable; used to read
   // per-query results). All queries must be added before StartDocument.
-  size_t AddQuery(const Query& query);
+  // `label` names the subscription in exported latency series
+  // (`xaos_sub_match_latency_ns{subscription="<label>"}`); empty derives
+  // "q<index>".
+  size_t AddQuery(const Query& query, std::string_view label = {});
   size_t query_count() const { return queries_.size(); }
+  const std::string& query_label(size_t q) const { return queries_[q].label; }
+
+  // Shard index stamped on this evaluator's flight-recorder spans (set by
+  // ParallelFleet; -1 = not sharded).
+  void set_flight_shard(int shard) { flight_shard_ = shard; }
 
   void StartDocument() override;
   void EndDocument() override;
@@ -184,7 +195,19 @@ class MultiQueryEvaluator : public xml::ContentHandler {
     std::shared_ptr<const std::vector<query::XTree>> trees;
     size_t begin = 0;
     size_t end = 0;
+    std::string label;
+    // Per-subscription latency series, resolved lazily on first matching
+    // document (pointers are stable for the registry's lifetime).
+    obs::Histogram* match_latency = nullptr;
+    obs::Histogram* first_match = nullptr;
   };
+
+  // The registry latency/high-water series report into.
+  obs::MetricsRegistry& metrics_registry() const;
+  // Once per document with obs enabled: O(queries + engines) fold of match
+  // latency, time-to-first-match and buffered-candidate/arena high-water
+  // marks, plus the flight recorder's document span.
+  void FinishDocumentObservability();
 
   template <typename Fn>
   void TimedDispatch(Fn&& fn) {
@@ -206,6 +229,9 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   Status abort_status_;  // non-OK while the last document was abandoned
   bool sample_events_ = false;
   obs::EventCostSampler sampler_{nullptr};
+  uint64_t doc_ordinal_ = 0;   // documents started (flight attribution)
+  uint64_t doc_begin_ns_ = 0;  // StartDocument timestamp when observing
+  int flight_shard_ = -1;
 };
 
 // One-shot convenience: parse `xml_text` and evaluate `xpath` over it in a

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace xaos::core {
 namespace {
@@ -52,9 +55,13 @@ ParallelFleet::~ParallelFleet() {
   }
 }
 
-size_t ParallelFleet::AddQuery(const Query& query) {
+size_t ParallelFleet::AddQuery(const Query& query, std::string_view label) {
   XAOS_CHECK(!finalized_) << "AddQuery after the first StartDocument";
   queries_.push_back(query);
+  // Default labels use the fleet-wide index: shard-local defaults would
+  // collide across shards in the shared metrics registry.
+  labels_.push_back(label.empty() ? "q" + std::to_string(queries_.size() - 1)
+                                  : std::string(label));
   assignments_.push_back(Assignment{});
   return queries_.size() - 1;
 }
@@ -68,8 +75,10 @@ void ParallelFleet::Finalize() {
 
   for (size_t i = 0; i < worker_count; ++i) {
     Worker& worker = workers_.emplace_back(options_.ring_capacity);
+    worker.index = static_cast<int>(i);
     worker.evaluator =
         std::make_unique<MultiQueryEvaluator>(options_.engine_options);
+    worker.evaluator->set_flight_shard(worker.index);
   }
 
   // Greedy longest-processing-time assignment: heaviest queries first, each
@@ -93,7 +102,8 @@ void ParallelFleet::Finalize() {
     }
     Worker& shard = workers_[lightest];
     assignments_[q].shard = lightest;
-    assignments_[q].local_index = shard.evaluator->AddQuery(queries_[q]);
+    assignments_[q].local_index =
+        shard.evaluator->AddQuery(queries_[q], labels_[q]);
     shard.stats.cost_estimate += costs[q];
     shard.stats.query_count += 1;
   }
@@ -133,19 +143,42 @@ void ParallelFleet::PublishBatch(xml::EventBatch* batch) {
   pooled->remaining.store(static_cast<uint32_t>(workers_.size()),
                           std::memory_order_relaxed);
   ++batches_published_;
+  // The sequence travels with the batch so each worker's replay span can
+  // reference the dispatch span that produced it (cross-thread linkage).
+  pooled->batch.set_sequence(batches_published_);
+  obs::flight::ScopedSpan dispatch_span(obs::flight::SpanKind::kDispatch);
+  if (dispatch_span.active()) {
+    dispatch_span.span()->batch = batches_published_;
+    dispatch_span.span()->doc = documents_ + documents_aborted_ + 1;
+    dispatch_span.span()->value =
+        static_cast<int64_t>(pooled->batch.event_count());
+  }
   for (Worker& worker : workers_) {
     PushBlocking(&worker, pooled);
   }
 }
 
 void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
-  bool stalled = false;
-  while (!worker->ring.TryPush(batch)) {
-    if (!stalled) {
-      stalled = true;
-      ++publish_stalls_;
+  if (!worker->ring.TryPush(batch)) {
+    ++publish_stalls_;
+    // Clock reads live on the stall path only; an uncontended publish
+    // never touches the clock.
+    const uint64_t stall_begin_ns = obs::NowNs();
+    do {
+      std::this_thread::yield();
+    } while (!worker->ring.TryPush(batch));
+    const uint64_t stall_ns = obs::NowNs() - stall_begin_ns;
+    publish_stall_ns_ += stall_ns;
+    worker->stats.publish_stall_ns += stall_ns;
+    if (obs::flight::Active()) {
+      obs::flight::Span span;
+      span.kind = obs::flight::SpanKind::kPublishStall;
+      span.begin_ns = stall_begin_ns;
+      span.end_ns = stall_begin_ns + stall_ns;
+      span.batch = batch->batch.sequence();
+      span.shard = worker->index;
+      obs::flight::Emit(span);
     }
-    std::this_thread::yield();
   }
   // Wake the consumer if it parked on an empty ring. The seq_cst fence
   // pairing (push above, parked store in PopBlocking) plus the consumer's
@@ -158,6 +191,7 @@ void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
 
 void ParallelFleet::StartDocument() {
   Finalize();
+  if (obs::flight::Active()) obs::flight::SetCurrentThreadName("parse");
   document_status_ = Status::Ok();
   gate_.Reset();
   batcher_.StartDocument();
@@ -239,13 +273,37 @@ void ParallelFleet::EndDocument() {
 
 ParallelFleet::PooledBatch* ParallelFleet::PopBlocking(Worker* worker) {
   PooledBatch* batch = nullptr;
+  // First-park timestamp; zero while the spin loop has not yet starved. The
+  // clock is only read once the worker is already idle, so the hot pop path
+  // stays clock-free. The resulting park span runs from the first park to
+  // the next successful pop (includes inter-document idle; see
+  // ParallelShardStats::park_wait_ns).
+  uint64_t park_begin_ns = 0;
+  auto account_park = [&] {
+    if (park_begin_ns == 0) return;
+    const uint64_t now = obs::NowNs();
+    worker->stats.park_wait_ns += now - park_begin_ns;
+    worker->stats.parks += 1;
+    if (obs::flight::Active()) {
+      obs::flight::Span span;
+      span.kind = obs::flight::SpanKind::kParkWait;
+      span.begin_ns = park_begin_ns;
+      span.end_ns = now;
+      span.shard = worker->index;
+      obs::flight::Emit(span);
+    }
+  };
   for (;;) {
     // Spin briefly: under load the producer refills the ring well within
     // this window and the worker never touches the mutex.
     for (int spin = 0; spin < 2048; ++spin) {
-      if (worker->ring.TryPop(&batch)) return batch;
+      if (worker->ring.TryPop(&batch)) {
+        account_park();
+        return batch;
+      }
       if (stop_.load(std::memory_order_relaxed)) {
-        // Drain-then-exit: only quit on a confirmed-empty ring.
+        // Drain-then-exit: only quit on a confirmed-empty ring. Shutdown
+        // parking is not accounted — it is teardown, not starvation.
         if (!worker->ring.TryPop(&batch)) return nullptr;
         return batch;
       }
@@ -253,8 +311,10 @@ ParallelFleet::PooledBatch* ParallelFleet::PopBlocking(Worker* worker) {
     }
     std::unique_lock<std::mutex> lock(worker->park_mu);
     worker->parked.store(true, std::memory_order_seq_cst);
+    if (park_begin_ns == 0) park_begin_ns = obs::NowNs();
     if (worker->ring.TryPop(&batch)) {
       worker->parked.store(false, std::memory_order_seq_cst);
+      account_park();
       return batch;
     }
     // Bounded wait: a lost wakeup only costs one timeout period.
@@ -279,13 +339,31 @@ void ParallelFleet::WorkerLoop(Worker* worker) {
     // and acknowledge through the same latch a document end uses.
     bool aborts_document = batch->batch.aborts_document();
     if (!aborts_document) {
-      batch->batch.Replay(worker->evaluator.get(), &worker->attr_scratch);
+      {
+        obs::flight::ScopedSpan replay_span(obs::flight::SpanKind::kReplay);
+        if (replay_span.active()) {
+          if (!worker->flight_named) {
+            // Named lazily on the worker's own thread (SetCurrentThreadName
+            // is a no-op before the recorder is armed).
+            worker->flight_named = true;
+            obs::flight::SetCurrentThreadName(
+                "worker/" + std::to_string(worker->index));
+          }
+          replay_span.span()->batch = batch->batch.sequence();
+          replay_span.span()->shard = worker->index;
+          replay_span.span()->doc = worker->docs_completed + 1;
+          replay_span.span()->value =
+              static_cast<int64_t>(batch->batch.event_count());
+        }
+        batch->batch.Replay(worker->evaluator.get(), &worker->attr_scratch);
+      }
       worker->stats.batches_consumed += 1;
       worker->stats.events_processed += batch->batch.event_count();
     }
     bool ends_document = batch->batch.ends_document();
     ReleaseBatch(batch);
     if (ends_document || aborts_document) {
+      ++worker->docs_completed;
       std::lock_guard<std::mutex> lock(doc_mu_);
       ++workers_done_;
       doc_cv_.notify_all();
@@ -364,6 +442,8 @@ void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
       ->Set(static_cast<int64_t>(batches_published_));
   registry->GetGauge("xaos_parallel_publish_stalls")
       ->Set(static_cast<int64_t>(publish_stalls_));
+  registry->GetGauge("xaos_parallel_publish_stall_ns")
+      ->Set(static_cast<int64_t>(publish_stall_ns_));
   registry->GetGauge("xaos_parallel_workers")
       ->Set(static_cast<int64_t>(workers_.size()));
   registry->GetGauge("xaos_parallel_documents_aborted")
@@ -379,6 +459,14 @@ void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
         ->Set(static_cast<int64_t>(stats.events_processed));
     registry->GetGauge("xaos_parallel_shard_cost_estimate" + label)
         ->Set(static_cast<int64_t>(stats.cost_estimate));
+    registry->GetGauge("xaos_parallel_shard_publish_stall_ns" + label)
+        ->Set(static_cast<int64_t>(stats.publish_stall_ns));
+    // park_wait_ns/parks are written by the worker thread; EndDocument's
+    // doc latch ordered those writes before this read.
+    registry->GetGauge("xaos_parallel_shard_park_wait_ns" + label)
+        ->Set(static_cast<int64_t>(stats.park_wait_ns));
+    registry->GetGauge("xaos_parallel_shard_parks" + label)
+        ->Set(static_cast<int64_t>(stats.parks));
   }
 }
 

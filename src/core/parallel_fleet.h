@@ -36,6 +36,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -66,6 +68,14 @@ struct ParallelShardStats {
   uint64_t cost_estimate = 0;     // sharding heuristic's load estimate
   uint64_t batches_consumed = 0;
   uint64_t events_processed = 0;
+  // Producer time spent stalled on this shard's full ring (the
+  // back-pressure the PR-3 writeup named as the bottleneck), and the
+  // shard's own parked time while waiting for a batch. Park time spans
+  // from the first park to the next successful pop, so it includes idle
+  // gaps between documents, not just mid-document starvation.
+  uint64_t publish_stall_ns = 0;  // written by the producer thread
+  uint64_t park_wait_ns = 0;      // written by the worker thread
+  uint64_t parks = 0;             // park episodes (worker thread)
 };
 
 class ParallelFleet : public xml::ContentHandler,
@@ -78,8 +88,11 @@ class ParallelFleet : public xml::ContentHandler,
   ParallelFleet& operator=(const ParallelFleet&) = delete;
 
   // Registers a subscription; returns its index. All queries must be added
-  // before the first StartDocument.
-  size_t AddQuery(const Query& query);
+  // before the first StartDocument. `label` names the subscription in
+  // exported latency series (see MultiQueryEvaluator::AddQuery); empty
+  // derives "q<index>" from the fleet-wide index so labels stay unique
+  // across shards.
+  size_t AddQuery(const Query& query, std::string_view label = {});
   size_t query_count() const { return assignments_.size(); }
 
   // Builds the shards and spawns the workers. Called lazily by the first
@@ -133,6 +146,9 @@ class ParallelFleet : public xml::ContentHandler,
   uint64_t batches_published() const { return batches_published_; }
   // Times the producer found a worker ring full and had to wait.
   uint64_t publish_stalls() const { return publish_stalls_; }
+  // Total producer time spent in those stalls, across all shards. Timed on
+  // the stall path only, so the uncontended publish stays clock-free.
+  uint64_t publish_stall_ns() const { return publish_stall_ns_; }
   std::vector<ParallelShardStats> ShardStats() const;
   // Folds fleet-level and per-shard counters into `registry`
   // (xaos_parallel_* metric family).
@@ -153,6 +169,10 @@ class ParallelFleet : public xml::ContentHandler,
     std::unique_ptr<MultiQueryEvaluator> evaluator;
     std::vector<xml::AttributeView> attr_scratch;
     ParallelShardStats stats;
+    int index = -1;  // shard number, for span attribution
+    // Worker-thread-only flight bookkeeping.
+    uint64_t docs_completed = 0;
+    bool flight_named = false;
 
     // Parking for an empty ring (see WorkerLoop). `parked` is the
     // producer's hint that a notify is needed after a push.
@@ -178,6 +198,7 @@ class ParallelFleet : public xml::ContentHandler,
 
   // Queries registered before finalization, then assigned to shards.
   std::vector<Query> queries_;
+  std::vector<std::string> labels_;  // subscription labels, same indexing
   struct Assignment {
     size_t shard = 0;
     size_t local_index = 0;  // query index within the shard's evaluator
@@ -213,6 +234,7 @@ class ParallelFleet : public xml::ContentHandler,
 
   uint64_t batches_published_ = 0;  // producer thread only
   uint64_t publish_stalls_ = 0;     // producer thread only
+  uint64_t publish_stall_ns_ = 0;   // producer thread only
   uint64_t documents_ = 0;          // producer thread only
   uint64_t documents_aborted_ = 0;  // producer thread only
 };

@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/timer.h"
+
 namespace xaos::core {
 
 using query::DocNodeKind;
@@ -150,6 +152,7 @@ void XaosEngine::ResetDocumentState() {
   live_root_ = nullptr;
   done_ = false;
   early_match_ = false;
+  confirm_ns_ = 0;
   inert_ = false;
   error_ = Status::Ok();
   stats_ = EngineStats{};
@@ -670,6 +673,7 @@ void XaosEngine::ProcessEnd() {
   if (!early_match_ && live_root_ != nullptr && !live_root_->dead() &&
       live_root_->AllSlotsConfirmed()) {
     early_match_ = true;
+    if (obs::Enabled()) confirm_ns_ = obs::NowNs();
     if (options_.stop_after_confirmed_match) inert_ = true;
   }
 
@@ -869,6 +873,10 @@ void XaosEngine::EndDocument() {
   stats_.arena_bytes_allocated = arena_.bytes_allocated() - arena_baseline_;
   BuildResult(root_structure_);
   done_ = true;
+  // A match that was never confirmed early becomes certain here.
+  if (result_.matched && confirm_ns_ == 0 && obs::Enabled()) {
+    confirm_ns_ = obs::NowNs();
+  }
 }
 
 void XaosEngine::BuildResult(const MatchingPtr& root_structure) {

@@ -81,6 +81,12 @@ struct EngineOptions {
   // where only the boolean answer is needed and documents can be routed
   // without reading them to the end (paper Section 5.1's eager emission).
   bool stop_after_confirmed_match = false;
+
+  // Registry the evaluators report per-subscription latency and high-water
+  // instrumentation into when obs::Enabled(); nullptr selects
+  // obs::MetricsRegistry::Default(). Lets embedders (pubsub_router,
+  // parallel-fleet shards) keep those series in their own registry.
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 // Result of tuple enumeration (multiple output nodes, Section 5.3).
@@ -173,6 +179,12 @@ class XaosEngine : public xml::ContentHandler {
   bool match_confirmed() const {
     return early_match_ || (done_ && result_.matched);
   }
+  // obs::NowNs() timestamp of the moment the match became guaranteed (or,
+  // failing early confirmation, of EndDocument for a matching document).
+  // 0 when unmatched or when obs was disabled. Recorded only at the rare
+  // confirmation transition, so it adds no per-event cost; evaluators turn
+  // it into the per-subscription time-to-first-match histogram.
+  uint64_t match_confirm_ns() const { return confirm_ns_; }
   // The computed result. Valid after EndDocument.
   const QueryResult& result() const { return result_; }
 
@@ -357,6 +369,7 @@ class XaosEngine : public xml::ContentHandler {
   uint64_t arena_baseline_ = 0;
   bool done_ = false;
   bool early_match_ = false;
+  uint64_t confirm_ns_ = 0;  // see match_confirm_ns()
   bool inert_ = false;  // stop_after_confirmed_match triggered
   Status error_;
   EngineStats stats_;

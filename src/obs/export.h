@@ -5,6 +5,7 @@
 #define XAOS_OBS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "util/status.h"
@@ -15,16 +16,33 @@ namespace xaos::obs {
 //   {"counters": {"name": 1, ...},
 //    "gauges": {"name": 2, ...},
 //    "histograms": {"name": {"count": n, "sum": s, "max": m,
+//                            "p50": q, "p90": q, "p99": q,
 //                            "buckets": [{"le": bound, "count": c}, ...]}}}
 // Keys are sorted; output is deterministic for a given snapshot.
 std::string ToJson(const MetricsSnapshot& snapshot);
 std::string ToJson(const MetricsRegistry& registry);
 
-// Prometheus text exposition format, with `# TYPE` lines. Histograms
-// expose cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
-// Inline labels in metric names (`name{key="v"}`) are passed through.
+// Prometheus text exposition format. Every family gets `# HELP` and
+// `# TYPE` lines, emitted once even when the family has several labelled
+// series. Histograms expose cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`, and additionally derived `<name>_p50` / `_p90` /
+// `_p99` gauge families with the estimated quantiles. Inline labels in
+// metric names (`name{key="v"}`) are passed through.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 std::string ToPrometheusText(const MetricsRegistry& registry);
+
+// Help text for a metric family base name; a generic fallback for names
+// without a registered description (exposition format requires HELP to be
+// present, not meaningful).
+std::string_view MetricHelpText(std::string_view base);
+
+// Structural conformance check for the exposition format emitted by
+// ToPrometheusText: every sample preceded by its family's HELP and TYPE
+// (exactly one each, HELP first), sample names consistent with the declared
+// family (allowing _bucket/_sum/_count for histograms), well-formed label
+// syntax and numeric values. On failure returns false and, when `error` is
+// non-null, stores a diagnostic naming the offending line.
+bool PrometheusTextValid(std::string_view text, std::string* error = nullptr);
 
 // Writes ToJson(registry) to `path` ("-" for stdout).
 Status WriteMetricsJson(const MetricsRegistry& registry,

@@ -29,6 +29,36 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return GetOrCreate(histograms_, name, mu_);
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q = 0 maps to the first sample.
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cumulative = 0;
+  uint64_t previous_bound = 0;
+  for (const auto& [bound, bucket_count] : buckets) {
+    // Inclusive lower edge of this bucket: one past the previous bucket's
+    // upper bound (bucket 0 of the log2 histogram holds only the value 0).
+    double lower = cumulative == 0 && bound == 0
+                       ? 0.0
+                       : static_cast<double>(previous_bound) + 1.0;
+    if (bound == 0) lower = 0.0;
+    if (target <= static_cast<double>(cumulative + bucket_count)) {
+      double into = target - static_cast<double>(cumulative);
+      double fraction = into / static_cast<double>(bucket_count);
+      double upper = static_cast<double>(bound);
+      double value = lower + fraction * (upper - lower);
+      double max_d = static_cast<double>(max);
+      return value > max_d ? max_d : value;
+    }
+    cumulative += bucket_count;
+    previous_bound = bound;
+  }
+  return static_cast<double>(max);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;

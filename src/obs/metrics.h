@@ -147,6 +147,12 @@ struct HistogramSnapshot {
   // Non-empty buckets only, as (inclusive upper bound, count) pairs in
   // ascending bound order.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  // Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  // log2 bucket holding the target rank — exact to within one bucket's
+  // width, which is all a power-of-two histogram can promise. Returns 0 for
+  // an empty histogram; the result is clamped to `max`.
+  double Quantile(double q) const;
 };
 
 // Full registry contents, ordered by name (exports are deterministic).

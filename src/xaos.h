@@ -33,6 +33,7 @@
 #include "gen/random_workload.h"            // IWYU pragma: export
 #include "gen/xmark_generator.h"            // IWYU pragma: export
 #include "obs/export.h"                     // IWYU pragma: export
+#include "obs/flight.h"                     // IWYU pragma: export
 #include "obs/json.h"                       // IWYU pragma: export
 #include "obs/memory.h"                     // IWYU pragma: export
 #include "obs/metrics.h"                    // IWYU pragma: export

@@ -64,7 +64,14 @@ class EventBatch {
     attributes_.clear();
     text_.clear();
     aborts_document_ = false;
+    sequence_ = 0;
   }
+
+  // Publish-order stamp set by the producer (1-based; 0 = unstamped). The
+  // flight recorder uses it to link a producer's dispatch span to the
+  // replay spans each consumer emits for the same batch.
+  void set_sequence(uint64_t sequence) { sequence_ = sequence; }
+  uint64_t sequence() const { return sequence_; }
 
   bool empty() const { return events_.empty(); }
   size_t event_count() const { return events_.size(); }
@@ -119,6 +126,7 @@ class EventBatch {
   std::vector<BatchedAttribute> attributes_;
   std::string text_;  // arena owning every byte the records reference
   bool aborts_document_ = false;
+  uint64_t sequence_ = 0;
 };
 
 // ContentHandler that captures the stream into batches and hands each full

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "util/string_util.h"
@@ -161,6 +162,10 @@ Status SaxParser::Feed(std::string_view chunk) {
   if (timers != nullptr) {
     start = obs::NowNs();
     match_before = timers->Ns(obs::Phase::kMatch);
+  }
+  obs::flight::ScopedSpan feed_span(obs::flight::SpanKind::kParse);
+  if (feed_span.active()) {
+    feed_span.span()->value = static_cast<int64_t>(chunk.size());
   }
   bytes_fed_ += chunk.size();
   const ParserLimits& limits = options_.limits;
@@ -356,6 +361,17 @@ SaxParser::Progress SaxParser::DeliverSkip(const SkipReport& report) {
     registry.GetCounter("xaos_projection_bytes_skipped_total")
         ->Increment(report.bytes);
   }
+  if (obs::flight::Active()) {
+    obs::flight::Span span;
+    span.kind = obs::flight::SpanKind::kSkipScan;
+    span.end_ns = obs::NowNs();
+    // A self-closing skip never armed the scanner; render it as a point.
+    span.begin_ns = skip_begin_ns_ != 0 ? skip_begin_ns_ : span.end_ns;
+    span.value = static_cast<int64_t>(report.bytes);
+    span.value2 = static_cast<int64_t>(report.elements);
+    obs::flight::Emit(span);
+  }
+  skip_begin_ns_ = 0;
   handler_->SkippedSubtree(report);
   return Progress::kOk;
 }
@@ -511,6 +527,7 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
     skip_scanner_.Begin(initial, open_elements_.size(), limits.max_depth,
                         options_.report_whitespace_text);
     skip_active_ = true;
+    if (obs::flight::Active()) skip_begin_ns_ = obs::NowNs();
     return Progress::kOk;
   }
 

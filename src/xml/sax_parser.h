@@ -202,6 +202,7 @@ class SaxParser {
   ProjectionFilter* projection_filter_ = nullptr;
   SkipScanner skip_scanner_;
   bool skip_active_ = false;  // Pump routes input to skip_scanner_
+  uint64_t skip_begin_ns_ = 0;  // flight-recorder skip-span start
 };
 
 // Convenience: parses a complete in-memory document.

@@ -1,0 +1,265 @@
+// Flight recorder: ring overwrite semantics, disarmed-mode guarantees,
+// cross-thread batch linkage through the parallel fleet (the TSan job runs
+// this), the Chrome trace-event exporter, and the per-subscription latency
+// series the evaluators feed.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/multi_engine.h"
+#include "core/parallel_fleet.h"
+#include "gtest/gtest.h"
+#include "obs/flight.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "xml/sax_parser.h"
+
+namespace xaos::obs::flight {
+namespace {
+
+// The exporter operates on hand-built traces, so it works (and is tested)
+// even in a -DXAOS_OBS_ENABLED=0 build where recording is compiled out.
+TEST(ChromeTraceTest, ExportsSpansFlowsAndCounters) {
+  ThreadTrace producer;
+  producer.track = 1;
+  producer.name = "parse";
+  Span dispatch;
+  dispatch.kind = SpanKind::kDispatch;
+  dispatch.begin_ns = 1000;
+  dispatch.end_ns = 2000;
+  dispatch.batch = 7;
+  dispatch.doc = 1;
+  dispatch.value = 128;
+  producer.spans.push_back(dispatch);
+
+  ThreadTrace worker;
+  worker.track = 2;
+  worker.name = "worker/0";
+  Span replay;
+  replay.kind = SpanKind::kReplay;
+  replay.begin_ns = 2500;
+  replay.end_ns = 4000;
+  replay.batch = 7;
+  replay.shard = 0;
+  replay.value = 128;
+  worker.spans.push_back(replay);
+  Span counter;
+  counter.kind = SpanKind::kCounter;
+  counter.begin_ns = 4000;
+  counter.end_ns = 4000;
+  counter.shard = 0;
+  counter.value = 5;     // buffered candidates
+  counter.value2 = 640;  // arena bytes
+  worker.spans.push_back(counter);
+
+  std::string json = ToChromeTraceJson({producer, worker});
+  EXPECT_TRUE(JsonValid(json)) << json;
+  // Complete events for both spans on distinct tracks.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"replay\""), std::string::npos);
+  // Thread-name metadata.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker/0\""), std::string::npos);
+  // Flow arrow from the dispatch span to the replay span (same batch).
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Counter samples.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("buffered_candidates"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTracesStillValidJson) {
+  std::string json = ToChromeTraceJson({});
+  EXPECT_TRUE(JsonValid(json)) << json;
+}
+
+#if XAOS_OBS_ENABLED
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  Arm(/*ring_capacity=*/4);
+  SetCurrentThreadName("ring-overwrite-test");
+  for (int i = 0; i < 10; ++i) {
+    Span span;
+    span.kind = SpanKind::kParse;
+    span.begin_ns = static_cast<uint64_t>(i + 1);
+    span.end_ns = static_cast<uint64_t>(i + 1);
+    span.value = i;
+    Emit(span);
+  }
+  Disarm();
+
+  std::vector<ThreadTrace> traces = Collect();
+  const ThreadTrace* mine = nullptr;
+  for (const ThreadTrace& trace : traces) {
+    if (trace.name == "ring-overwrite-test") mine = &trace;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->spans.size(), 4u);
+  EXPECT_EQ(mine->dropped, 6u);
+  // Newest window, oldest first: values 6, 7, 8, 9.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(mine->spans[i].value, static_cast<int64_t>(6 + i));
+  }
+  Reset();
+}
+
+TEST(FlightRecorderTest, DisarmedEmitCreatesNoRing) {
+  ASSERT_FALSE(Active());
+  size_t rings_before = ring_count();
+  // A brand-new thread emitting while disarmed must not allocate a ring
+  // (that is the "zero cost when disabled" contract for threads that never
+  // record).
+  std::thread t([] {
+    Span span;
+    span.kind = SpanKind::kReplay;
+    Emit(span);
+    SetCurrentThreadName("never-recorded");
+  });
+  t.join();
+  EXPECT_EQ(ring_count(), rings_before);
+}
+
+TEST(FlightRecorderTest, ScopedSpanInactiveWhenDisarmed) {
+  ASSERT_FALSE(Active());
+  ScopedSpan span(SpanKind::kParse);
+  EXPECT_FALSE(span.active());
+}
+
+// The acceptance scenario: a parallel-fleet document run records dispatch
+// spans on the producer track and replay spans on every worker track, tied
+// together by batch sequence. Runs under TSan in CI — the collection point
+// (after EndDocument's latch) must be race-free.
+TEST(FlightRecorderTest, CrossThreadBatchLinkage) {
+  core::ParallelFleetOptions options;
+  options.num_workers = 2;
+  options.max_batch_events = 8;  // force several batches per document
+  core::ParallelFleet fleet(options);
+  auto q1 = core::Query::Compile("//a/b");
+  auto q2 = core::Query::Compile("//c");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  fleet.AddQuery(*q1, "sub-a");
+  fleet.AddQuery(*q2, "sub-c");
+
+  Arm();
+  std::string doc = "<r>";
+  for (int i = 0; i < 32; ++i) doc += "<a><b>x</b></a><c/>";
+  doc += "</r>";
+  ASSERT_TRUE(xml::ParseString(doc, &fleet).ok());
+  // EndDocument returned: the doc latch ordered every worker's ring writes
+  // before this point, so collection is quiescent.
+  Disarm();
+  std::vector<ThreadTrace> traces = Collect();
+  Reset();
+
+  ASSERT_GT(fleet.batches_published(), 1u);
+
+  uint64_t producer_track = 0;
+  std::vector<uint64_t> dispatch_seqs;
+  std::vector<std::vector<uint64_t>> replay_seqs(2);
+  std::vector<uint64_t> replay_tracks;
+  for (const ThreadTrace& trace : traces) {
+    for (const Span& span : trace.spans) {
+      if (span.kind == SpanKind::kDispatch) {
+        producer_track = trace.track;
+        dispatch_seqs.push_back(span.batch);
+      } else if (span.kind == SpanKind::kReplay) {
+        ASSERT_GE(span.shard, 0);
+        ASSERT_LT(span.shard, 2);
+        replay_seqs[static_cast<size_t>(span.shard)].push_back(span.batch);
+        replay_tracks.push_back(trace.track);
+      }
+    }
+  }
+
+  ASSERT_EQ(dispatch_seqs.size(), fleet.batches_published());
+  // Every batch the producer dispatched was replayed by both workers, with
+  // the same sequence stamp — the linkage the flow arrows are built from.
+  for (int shard = 0; shard < 2; ++shard) {
+    EXPECT_EQ(replay_seqs[static_cast<size_t>(shard)], dispatch_seqs)
+        << "shard " << shard;
+  }
+  // Replay spans live on worker tracks, not the producer's.
+  for (uint64_t track : replay_tracks) EXPECT_NE(track, producer_track);
+
+  // The full trace renders to loadable Chrome trace JSON.
+  std::string json = ToChromeTraceJson(traces);
+  EXPECT_TRUE(JsonValid(json));
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WriteChromeTraceRoundTrip) {
+  Arm();
+  SetCurrentThreadName("round-trip");
+  {
+    ScopedSpan span(SpanKind::kParse);
+    ASSERT_TRUE(span.active());
+    span.span()->value = 42;
+  }
+  Disarm();
+
+  std::string path = testing::TempDir() + "/flight_round_trip.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  Reset();
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(obs::JsonValid(contents)) << contents;
+  EXPECT_NE(contents.find("\"round-trip\""), std::string::npos);
+  EXPECT_NE(contents.find("\"parse\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WriteChromeTraceReportsUnwritablePath) {
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST(SubscriptionLatencyTest, MatchedSubscriptionsRecordLatencySeries) {
+  SetEnabled(true);
+  MetricsRegistry registry;
+  core::EngineOptions options;
+  options.metrics_registry = &registry;
+  core::MultiQueryEvaluator evaluator(options);
+  auto hit = core::Query::Compile("//a/b");
+  auto miss = core::Query::Compile("//nope");
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(miss.ok());
+  evaluator.AddQuery(*hit, "alice");
+  evaluator.AddQuery(*miss);  // default label "q1"
+  ASSERT_TRUE(xml::ParseString("<r><a><b>x</b></a></r>", &evaluator).ok());
+  SetEnabled(false);
+
+  EXPECT_TRUE(evaluator.Matched(0));
+  EXPECT_FALSE(evaluator.Matched(1));
+  Histogram* latency = registry.GetHistogram(
+      "xaos_sub_match_latency_ns{subscription=\"alice\"}");
+  EXPECT_EQ(latency->Count(), 1u);
+  Histogram* first = registry.GetHistogram(
+      "xaos_sub_first_match_ns{subscription=\"alice\"}");
+  EXPECT_EQ(first->Count(), 1u);
+  // Time-to-first-match never exceeds end-of-document latency.
+  EXPECT_LE(first->Sum(), latency->Sum());
+  // The unmatched subscription contributes no samples.
+  Histogram* unmatched = registry.GetHistogram(
+      "xaos_sub_match_latency_ns{subscription=\"q1\"}");
+  EXPECT_EQ(unmatched->Count(), 0u);
+}
+
+#endif  // XAOS_OBS_ENABLED
+
+}  // namespace
+}  // namespace xaos::obs::flight

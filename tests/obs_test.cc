@@ -102,6 +102,7 @@ TEST(ExportTest, JsonGolden) {
             "{\"counters\": {\"events_total\": 3}, "
             "\"gauges\": {\"live\": -2}, "
             "\"histograms\": {\"ns\": {\"count\": 1, \"sum\": 5, \"max\": 5, "
+            "\"p50\": 5, \"p90\": 5, \"p99\": 5, "
             "\"buckets\": [{\"le\": 7, \"count\": 1}]}}}");
   EXPECT_TRUE(JsonValid(ToJson(registry)));
 }
@@ -113,11 +114,96 @@ TEST(ExportTest, PrometheusGolden) {
   registry.GetGauge("g")->Set(7);
   std::string text = ToPrometheusText(registry);
   EXPECT_EQ(text,
+            "# HELP a_total xaos metric (no specific help registered).\n"
             "# TYPE a_total counter\n"
             "a_total{k=\"v\"} 1\n"
             "a_total{k=\"w\"} 2\n"
+            "# HELP g xaos metric (no specific help registered).\n"
             "# TYPE g gauge\n"
             "g 7\n");
+}
+
+TEST(ExportTest, LabelledHistogramFamilyGetsOneHeaderAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat_ns{sub=\"a\"}")->Record(8);
+  registry.GetHistogram("lat_ns{sub=\"b\"}")->Record(100);
+  std::string text = ToPrometheusText(registry);
+  // One HELP/TYPE pair for the histogram family despite two labelled
+  // members, and one gauge family per derived quantile.
+  auto count_of = [&](const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# TYPE lat_ns histogram"), 1u);
+  EXPECT_EQ(count_of("# HELP lat_ns "), 1u);
+  EXPECT_EQ(count_of("# TYPE lat_ns_p50 gauge"), 1u);
+  EXPECT_EQ(count_of("# TYPE lat_ns_p99 gauge"), 1u);
+  EXPECT_NE(text.find("lat_ns_p99{sub=\"a\"} "), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_p99{sub=\"b\"} "), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusConformance) {
+  MetricsRegistry registry;
+  registry.GetCounter("xaos_parser_bytes_total")->Increment(10);
+  registry.GetCounter("router_deliveries_total{subscription=\"alice\"}")
+      ->Increment(1);
+  registry.GetGauge("xaos_parallel_workers")->Set(4);
+  registry.GetHistogram("xaos_sub_match_latency_ns{subscription=\"alice\"}")
+      ->Record(1000);
+  registry.GetHistogram("xaos_sub_match_latency_ns{subscription=\"bob\"}")
+      ->Record(2000);
+  registry.GetHistogram("plain_ns")->Record(5);
+  std::string text = ToPrometheusText(registry);
+  std::string error;
+  EXPECT_TRUE(PrometheusTextValid(text, &error)) << error;
+}
+
+TEST(ExportTest, PrometheusValidatorRejectsMalformedText) {
+  std::string error;
+  // Sample without HELP/TYPE.
+  EXPECT_FALSE(PrometheusTextValid("x_total 1\n", &error));
+  // TYPE before HELP.
+  EXPECT_FALSE(PrometheusTextValid(
+      "# TYPE x_total counter\n# HELP x_total h\nx_total 1\n", &error));
+  // Duplicate TYPE for one family.
+  EXPECT_FALSE(PrometheusTextValid(
+      "# HELP x h\n# TYPE x gauge\n# TYPE x gauge\nx 1\n", &error));
+  // Sample name outside the declared family.
+  EXPECT_FALSE(PrometheusTextValid(
+      "# HELP x h\n# TYPE x gauge\ny 1\n", &error));
+  // Non-numeric value and broken labels.
+  EXPECT_FALSE(PrometheusTextValid(
+      "# HELP x h\n# TYPE x gauge\nx one\n", &error));
+  EXPECT_FALSE(PrometheusTextValid(
+      "# HELP x h\n# TYPE x gauge\nx{k=\"v} 1\n", &error));
+  // Well-formed minimal exposition passes.
+  EXPECT_TRUE(PrometheusTextValid(
+      "# HELP x h\n# TYPE x counter\nx{k=\"v\"} 1\nx{k=\"w\"} 2\n", &error))
+      << error;
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot h;
+  h.count = 0;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  // 100 samples of value 1 plus 100 samples of value 1000.
+  h.count = 200;
+  h.sum = 100 * 1 + 100 * 1000;
+  h.max = 1000;
+  h.buckets = {{1, 100}, {1023, 100}};
+  EXPECT_LE(h.Quantile(0.25), 1.0);
+  double p50 = h.Quantile(0.50);
+  EXPECT_LE(p50, 1.0);  // the 100th sample is still a 1
+  double p99 = h.Quantile(0.99);
+  EXPECT_GT(p99, 500.0);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+  // Monotone in q.
+  EXPECT_LE(h.Quantile(0.50), h.Quantile(0.90));
+  EXPECT_LE(h.Quantile(0.90), h.Quantile(0.99));
 }
 
 TEST(ExportTest, PrometheusHistogramIsCumulative) {

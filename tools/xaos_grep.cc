@@ -23,6 +23,11 @@
 //                  enable instrumentation and write the full metrics
 //                  registry (phase timings, parser/engine counters, peak
 //                  structure bytes) as JSON to FILE ("-" for stdout)
+//   --flight-trace=FILE
+//                  arm the flight recorder and write the run's span trace
+//                  as Chrome trace-event JSON to FILE ("-" for stdout);
+//                  load it in Perfetto or chrome://tracing. Implies
+//                  instrumentation (like --metrics-json)
 //   --no-projection
 //                  disable document projection. By default the parser
 //                  skip-scans subtrees the query provably cannot touch
@@ -66,6 +71,7 @@ struct Options {
   bool trace = false;
   bool trace_json = false;
   std::string metrics_json_path;
+  std::string flight_trace_path;
   std::string expression;
   std::vector<std::string> files;
 };
@@ -75,7 +81,7 @@ int Usage() {
       stderr,
       "usage: xaos_grep [--count|--match|--xml|--tuples] [--stats[=json]] "
       "[--explain] [--trace|--trace-json] [--metrics-json=FILE] "
-      "[--no-projection] "
+      "[--flight-trace=FILE] [--no-projection] "
       "[--max-depth=N] [--max-attrs=N] [--max-attr-value-bytes=N] "
       "[--max-name-bytes=N] [--max-token-bytes=N] [--max-entity-refs=N] "
       "[--max-total-bytes=N] '<xpath>' [file.xml ...]\n"
@@ -210,6 +216,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--metrics-json needs a file path\n");
         return Usage();
       }
+    } else if (arg.rfind("--flight-trace=", 0) == 0) {
+      options.flight_trace_path = arg.substr(std::strlen("--flight-trace="));
+      if (options.flight_trace_path.empty()) {
+        std::fprintf(stderr, "--flight-trace needs a file path\n");
+        return Usage();
+      }
     } else if (arg.rfind("--", 0) == 0) {
       bool consumed = false;
       if (!MatchLimitsFlags(arg, &options.limits, &consumed)) return Usage();
@@ -237,9 +249,14 @@ int main(int argc, char** argv) {
 
   // Instrumentation must be on before compilation so the query-compile
   // phase and the parser/engine counters reach the default registry.
-  bool collect_metrics = !options.metrics_json_path.empty();
+  bool collect_metrics =
+      !options.metrics_json_path.empty() || !options.flight_trace_path.empty();
   xaos::obs::PhaseTimers timers;
   if (collect_metrics) xaos::obs::SetEnabled(true);
+  if (!options.flight_trace_path.empty()) {
+    xaos::obs::flight::Arm();
+    xaos::obs::flight::SetCurrentThreadName("main");
+  }
 
   uint64_t compile_start = collect_metrics ? xaos::obs::NowNs() : 0;
   xaos::StatusOr<xaos::core::Query> query =
@@ -359,7 +376,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (collect_metrics) {
+  if (collect_metrics && !options.metrics_json_path.empty()) {
     xaos::obs::MetricsRegistry& registry =
         xaos::obs::MetricsRegistry::Default();
     timers.ExportTo(&registry);
@@ -368,6 +385,16 @@ int main(int argc, char** argv) {
         xaos::obs::WriteMetricsJson(registry, options.metrics_json_path);
     if (!status.ok()) {
       std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!options.flight_trace_path.empty()) {
+    // All parsing happened on this thread, so the rings are quiescent here.
+    xaos::obs::flight::Disarm();
+    xaos::Status status =
+        xaos::obs::flight::WriteChromeTrace(options.flight_trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "flight trace: %s\n", status.ToString().c_str());
       return 2;
     }
   }
