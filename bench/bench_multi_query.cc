@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_random_workload.h"
 #include "bench_util.h"
 #include "xaos.h"
 
@@ -89,6 +90,12 @@ int main(int argc, char** argv) {
   // pool sharded across N ParallelFleet workers, verdict-checked against
   // the naive baseline like the indexed mode. 0 disables.
   int threads = flags.GetInt("threads", 0);
+  // --zipf-max-subs=N adds zipf-indexed/zipf-shared rows for subscription
+  // counts {1000, 10000, 100000} up to N: a Zipf-popularity template pool
+  // run through the per-engine indexed path vs the shared-prefix automaton
+  // (plus zipf-parallel with --threads, and a fallback-parity row over a
+  // non-shareable pool). 0 (default) skips them — they dominate runtime.
+  int zipf_max_subs = flags.GetInt("zipf-max-subs", 0);
   std::string json_out = flags.GetString("json-out", "");
   flags.FailOnUnknown();
 
@@ -97,6 +104,7 @@ int main(int argc, char** argv) {
   reporter.SetParam("repetitions", repetitions);
   reporter.SetParam("max-subs", max_subs);
   reporter.SetParam("threads", threads);
+  reporter.SetParam("zipf-max-subs", zipf_max_subs);
 
   gen::XMarkOptions doc_options;
   doc_options.scale = scale;
@@ -146,8 +154,12 @@ int main(int argc, char** argv) {
       naive_count += m ? 1 : 0;
     }
 
-    // Label-indexed dispatch.
-    core::MultiQueryEvaluator multi;
+    // Label-indexed dispatch. The shared-prefix backend is forced off so
+    // these rows keep measuring the per-engine path the committed baselines
+    // were recorded against; the shared backend gets its own zipf-* rows.
+    core::EngineOptions indexed_options;
+    indexed_options.enable_shared_index = false;
+    core::MultiQueryEvaluator multi(indexed_options);
     for (const core::Query& query : queries) multi.AddQuery(query);
     std::vector<double> indexed_times;
     uint64_t skipped_before = 0;
@@ -182,6 +194,7 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry latency_registry;
     core::EngineOptions obs_options;
     obs_options.metrics_registry = &latency_registry;
+    obs_options.enable_shared_index = false;
     core::MultiQueryEvaluator instrumented(obs_options);
     for (const core::Query& query : queries) instrumented.AddQuery(query);
     if (!xml::ParseString(doc, &instrumented).ok()) std::abort();
@@ -253,6 +266,7 @@ int main(int argc, char** argv) {
     if (threads > 0) {
       core::ParallelFleetOptions options;
       options.num_workers = static_cast<size_t>(threads);
+      options.engine_options.enable_shared_index = false;  // baseline row
       core::ParallelFleet fleet(options);
       for (const core::Query& query : queries) fleet.AddQuery(query);
       std::vector<double> parallel_times;
@@ -290,6 +304,182 @@ int main(int argc, char** argv) {
                                static_cast<double>(parallel_count));
       reporter.AddResultMetric("speedup_vs_naive", parallel_speedup);
     }
+  }
+
+  // --- Zipf-popularity scaling: shared-prefix automaton vs per-engine ------
+  // The naive fan-out is hopeless at these sizes; the per-engine indexed
+  // evaluator (shared backend off) is the oracle and the comparison bar.
+  for (int subs : {1000, 10000, 100000}) {
+    if (subs > zipf_max_subs) break;
+    bench::ZipfPoolOptions pool_options;
+    pool_options.subs = subs;
+    std::vector<std::string> expressions =
+        bench::MakeZipfSubscriptionPool(pool_options);
+    std::vector<core::Query> queries;
+    for (const std::string& expression : expressions) {
+      StatusOr<core::Query> query = core::Query::Compile(expression);
+      if (!query.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(*query));
+    }
+
+    core::EngineOptions engine_only;
+    engine_only.enable_shared_index = false;
+    core::MultiQueryEvaluator indexed(engine_only);
+    for (const core::Query& query : queries) indexed.AddQuery(query);
+    std::vector<double> indexed_times;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      indexed_times.push_back(bench::TimeSeconds([&] {
+        if (!xml::ParseString(doc, &indexed).ok()) std::abort();
+      }));
+    }
+
+    core::MultiQueryEvaluator shared;  // enable_shared_index defaults on
+    for (const core::Query& query : queries) shared.AddQuery(query);
+    std::vector<double> shared_times;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      shared_times.push_back(bench::TimeSeconds([&] {
+        if (!xml::ParseString(doc, &shared).ok()) std::abort();
+      }));
+    }
+
+    uint64_t matched = 0;
+    for (int q = 0; q < subs; ++q) {
+      bool m = shared.Matched(static_cast<size_t>(q));
+      matched += m ? 1 : 0;
+      if (m != indexed.Matched(static_cast<size_t>(q))) {
+        std::fprintf(stderr,
+                     "VERDICT MISMATCH at %d zipf subscriptions, query %d "
+                     "(%s): indexed=%d shared=%d\n",
+                     subs, q, expressions[static_cast<size_t>(q)].c_str(),
+                     indexed.Matched(static_cast<size_t>(q)) ? 1 : 0,
+                     m ? 1 : 0);
+        return 1;
+      }
+    }
+
+    bench::Series indexed_series = bench::Summarize(indexed_times);
+    bench::Series shared_series = bench::Summarize(shared_times);
+    double speedup = shared_series.mean > 0
+                         ? indexed_series.mean / shared_series.mean
+                         : 0.0;
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "zipf-indexed/subs=%d", subs);
+    std::printf("%-20s %-10.4f %-10.2f %-10llu %-14s %-10s\n", label,
+                indexed_series.mean, megabytes / indexed_series.mean,
+                static_cast<unsigned long long>(matched), "-", "-");
+    reporter.AddResult(label, indexed_series, megabytes);
+    reporter.AddResultMetric("subscriptions", subs);
+    reporter.AddResultMetric("matched", static_cast<double>(matched));
+
+    std::snprintf(label, sizeof(label), "zipf-shared/subs=%d", subs);
+    std::printf("%-20s %-10.4f %-10.2f %-10llu %-14s %-10.2f\n", label,
+                shared_series.mean, megabytes / shared_series.mean,
+                static_cast<unsigned long long>(matched), "-", speedup);
+    reporter.AddResult(label, shared_series, megabytes);
+    reporter.AddResultMetric("subscriptions", subs);
+    reporter.AddResultMetric("matched", static_cast<double>(matched));
+    reporter.AddResultMetric("speedup_vs_indexed", speedup);
+    reporter.AddResultMetric("shared_subscriptions",
+                             static_cast<double>(
+                                 shared.shared_subscription_count()));
+    reporter.AddResultMetric("alias_subscriptions",
+                             static_cast<double>(shared.alias_count()));
+    reporter.AddResultMetric("shared_states",
+                             static_cast<double>(shared.shared_state_count()));
+    std::printf("  zipf pool: %zu shared subs (%zu aliases) -> %zu automaton "
+                "states, %.2fx over per-engine indexed\n",
+                shared.shared_subscription_count(), shared.alias_count(),
+                shared.shared_state_count(), speedup);
+
+    if (threads > 0) {
+      core::ParallelFleetOptions options;
+      options.num_workers = threads;
+      core::ParallelFleet fleet(options);
+      for (const core::Query& query : queries) fleet.AddQuery(query);
+      std::vector<double> parallel_times;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        parallel_times.push_back(bench::TimeSeconds([&] {
+          if (!xml::ParseString(doc, &fleet).ok()) std::abort();
+        }));
+      }
+      for (int q = 0; q < subs; ++q) {
+        if (fleet.Matched(static_cast<size_t>(q)) !=
+            indexed.Matched(static_cast<size_t>(q))) {
+          std::fprintf(stderr,
+                       "VERDICT MISMATCH at %d zipf subscriptions, query %d "
+                       "(%s): indexed vs parallel\n",
+                       subs, q, expressions[static_cast<size_t>(q)].c_str());
+          return 1;
+        }
+      }
+      bench::Series parallel_series = bench::Summarize(parallel_times);
+      std::snprintf(label, sizeof(label), "zipf-parallel/subs=%d", subs);
+      std::printf("%-20s %-10.4f %-10.2f %-10llu %-14s %-10.2f\n", label,
+                  parallel_series.mean, megabytes / parallel_series.mean,
+                  static_cast<unsigned long long>(matched), "-",
+                  parallel_series.mean > 0
+                      ? indexed_series.mean / parallel_series.mean
+                      : 0.0);
+      reporter.AddResult(label, parallel_series, megabytes);
+      reporter.AddResultMetric("subscriptions", subs);
+      reporter.AddResultMetric("workers", threads);
+    }
+  }
+
+  // Fallback parity: a pool the merger cannot share (every chain carries a
+  // predicate) must not pay for the shared backend being enabled — both
+  // evaluators route everything to per-engine matching.
+  if (zipf_max_subs >= 1000) {
+    const int subs = 1000;
+    bench::ZipfPoolOptions pool_options;
+    pool_options.subs = subs;
+    std::vector<std::string> expressions =
+        bench::MakeZipfSubscriptionPool(pool_options);
+    std::vector<core::Query> queries;
+    for (std::string& expression : expressions) {
+      expression += "[zzqpred]";  // existential child predicate: unshareable
+      StatusOr<core::Query> query = core::Query::Compile(expression);
+      if (!query.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(*query));
+    }
+    core::EngineOptions engine_only;
+    engine_only.enable_shared_index = false;
+    core::MultiQueryEvaluator off(engine_only);
+    core::MultiQueryEvaluator on;  // shared enabled, nothing shareable
+    for (const core::Query& query : queries) {
+      off.AddQuery(query);
+      on.AddQuery(query);
+    }
+    std::vector<double> off_times, on_times;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      off_times.push_back(bench::TimeSeconds([&] {
+        if (!xml::ParseString(doc, &off).ok()) std::abort();
+      }));
+      on_times.push_back(bench::TimeSeconds([&] {
+        if (!xml::ParseString(doc, &on).ok()) std::abort();
+      }));
+    }
+    bench::Series off_series = bench::Summarize(off_times);
+    bench::Series on_series = bench::Summarize(on_times);
+    double parity = on_series.mean > 0 ? off_series.mean / on_series.mean : 0.0;
+    char label[64];
+    std::snprintf(label, sizeof(label), "zipf-fallback/subs=%d", subs);
+    std::printf("%-20s %-10.4f %-10.2f %-10s %-14s %-10.2f\n", label,
+                on_series.mean, megabytes / on_series.mean, "-", "-", parity);
+    reporter.AddResult(label, on_series, megabytes);
+    reporter.AddResultMetric("subscriptions", subs);
+    reporter.AddResultMetric("parity_vs_shared_off", parity);
+    std::printf("  fallback pool parity (shared-off time / shared-on time): "
+                "%.3f\n", parity);
   }
 
   if (!json_out.empty() && !reporter.WriteJson(json_out)) return 1;

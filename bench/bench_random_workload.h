@@ -5,7 +5,10 @@
 #ifndef XAOS_BENCH_BENCH_RANDOM_WORKLOAD_H_
 #define XAOS_BENCH_BENCH_RANDOM_WORKLOAD_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,88 @@
 #include "xaos.h"
 
 namespace xaos::bench {
+
+// --- Zipf-popularity subscription pools (bench_multi_query) -----------------
+//
+// Real pub/sub workloads repeat a small set of popular queries with a long
+// tail of rare ones. The pool draws `subs` expressions from a deterministic
+// template universe of `distinct` linear forward chains over the XMark
+// vocabulary (plus never-matching synthetic leaves under real prefixes, so
+// shared prefixes still collide across matching and dead subscriptions),
+// with template rank r sampled proportionally to 1/(r+1)^exponent.
+
+struct ZipfPoolOptions {
+  int subs = 1000;
+  // Distinct templates; 0 derives clamp(subs/5, 64, 4000).
+  int distinct = 0;
+  double exponent = 1.0;
+  uint64_t seed = 42;
+};
+
+inline std::vector<std::string> MakeZipfTemplates(int distinct) {
+  static const char* const kPrefixes[] = {
+      "/site/regions",        "/site/people",       "/site/open_auctions",
+      "/site/closed_auctions", "/site/categories",  "/site/catgraph",
+      "//item",               "//person",           "//open_auction",
+      "//closed_auction",     "//category",         "//annotation",
+  };
+  static const char* const kSteps[] = {
+      "name",     "description", "text",     "emailaddress", "incategory",
+      "quantity", "location",    "payment",  "shipping",     "mailbox",
+      "bidder",   "personref",   "seller",   "price",        "itemref",
+      "edge",     "watch",       "address",  "city",         "country",
+      "date",     "author",      "current",  "parlist",      "listitem",
+  };
+  constexpr int kNumPrefixes =
+      static_cast<int>(sizeof(kPrefixes) / sizeof(kPrefixes[0]));
+  constexpr int kNumSteps = static_cast<int>(sizeof(kSteps) / sizeof(kSteps[0]));
+  std::vector<std::string> templates;
+  templates.reserve(static_cast<size_t>(distinct));
+  for (int i = 0; i < distinct; ++i) {
+    std::string expr = kPrefixes[i % kNumPrefixes];
+    if (i % 4 == 3) {
+      // Dead leaf under a live prefix: never matches, but its prefix states
+      // merge with the matching subscriptions'.
+      expr += "/zzq" + std::to_string(i / 4);
+    } else {
+      expr += (i % 3 == 0) ? "//" : "/";
+      expr += kSteps[(i * 7) % kNumSteps];
+      if (i % 5 == 0) {
+        expr += "/";
+        expr += kSteps[(i * 11 + 3) % kNumSteps];
+      }
+    }
+    templates.push_back(std::move(expr));
+  }
+  return templates;
+}
+
+inline std::vector<std::string> MakeZipfSubscriptionPool(
+    const ZipfPoolOptions& options) {
+  int distinct = options.distinct;
+  if (distinct <= 0) {
+    distinct = std::clamp(options.subs / 5, 64, 4000);
+  }
+  std::vector<std::string> templates = MakeZipfTemplates(distinct);
+  // Zipf CDF over template ranks.
+  std::vector<double> cdf(templates.size());
+  double total = 0;
+  for (size_t r = 0; r < templates.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), options.exponent);
+    cdf[r] = total;
+  }
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, total);
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(options.subs));
+  for (int i = 0; i < options.subs; ++i) {
+    size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uniform(rng)) - cdf.begin());
+    if (rank >= templates.size()) rank = templates.size() - 1;
+    pool.push_back(templates[rank]);
+  }
+  return pool;
+}
 
 struct RunTimes {
   // Overall wall time including parsing (Figure 6).

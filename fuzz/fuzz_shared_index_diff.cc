@@ -1,0 +1,9 @@
+// libFuzzer entry point: "<xpath>;<xpath>;...\n<xml>" multi-query pools
+// checked shared-index backend vs per-engine backend for identical
+// verdicts, confirmations and items.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunSharedIndexDiffInput(data, size);
+}

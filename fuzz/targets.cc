@@ -194,4 +194,56 @@ int RunProjectionDifferentialInput(const uint8_t* data, size_t size) {
   return 0;
 }
 
+int RunSharedIndexDiffInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 14)) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  size_t newline = input.find('\n');
+  if (newline == std::string_view::npos) return 0;
+  std::string_view query_list = input.substr(0, newline);
+  std::string document(input.substr(newline + 1));
+
+  std::vector<core::Query> queries;
+  while (!query_list.empty() && queries.size() < 16) {
+    size_t semi = query_list.find(';');
+    std::string_view expression = query_list.substr(0, semi);
+    query_list.remove_prefix(
+        semi == std::string_view::npos ? query_list.size() : semi + 1);
+    if (expression.empty()) continue;
+    StatusOr<core::Query> query =
+        core::Query::Compile(expression, /*max_paths=*/4);
+    if (!query.ok()) continue;  // keep fuzzing the pool shape
+    queries.push_back(std::move(*query));
+  }
+  if (queries.empty()) return 0;
+
+  core::MultiQueryEvaluator shared;  // enable_shared_index defaults on
+  core::EngineOptions oracle_options;
+  oracle_options.enable_shared_index = false;
+  core::MultiQueryEvaluator oracle(oracle_options);
+  for (const core::Query& query : queries) {
+    shared.AddQuery(query);
+    oracle.AddQuery(query);
+  }
+
+  xml::ParserOptions options = FuzzParserOptions();
+  Status shared_parse = xml::ParseString(document, &shared, options);
+  Status oracle_parse = xml::ParseString(document, &oracle, options);
+  if (shared_parse.ok() != oracle_parse.ok()) __builtin_trap();
+  if (!shared_parse.ok()) return 0;
+  if (shared.status().ok() != oracle.status().ok()) __builtin_trap();
+  if (!shared.status().ok()) return 0;
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (shared.Matched(q) != oracle.Matched(q)) __builtin_trap();
+    if (shared.MatchConfirmed(q) != oracle.MatchConfirmed(q)) {
+      __builtin_trap();
+    }
+    if (!(baseline::CanonicalFromResult(shared.Result(q)) ==
+          baseline::CanonicalFromResult(oracle.Result(q)))) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
+
 }  // namespace xaos::fuzz

@@ -40,6 +40,13 @@ int RunDifferentialInput(const uint8_t* data, size_t size);
 // converse; see xml/skip_scanner.h.)
 int RunProjectionDifferentialInput(const uint8_t* data, size_t size);
 
+// Shared-index differential. Input layout:
+// "<xpath>;<xpath>;...\n<xml document>" — a multi-query pool evaluated
+// through the shared-prefix automaton backend and through the per-engine
+// path (EngineOptions::enable_shared_index off). Any divergence in per-query
+// verdicts, mid-stream confirmations or result items traps.
+int RunSharedIndexDiffInput(const uint8_t* data, size_t size);
+
 }  // namespace xaos::fuzz
 
 #endif  // XAOS_FUZZ_TARGETS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/shared_index.h"
 #include "obs/metrics.h"
 
 namespace xaos::core {
@@ -82,12 +83,16 @@ void EngineFleet::StartDocument() {
   cursor_.Reset();
   depth_ = 0;
   engines_skipped_document_ = 0;
+  if (matcher_ != nullptr) matcher_->StartDocument();
   for (XaosEngine* engine : engines_) engine->StartDocument();
 }
 
 void EngineFleet::StartElement(const xml::QName& name,
                                xml::AttributeSpan attributes) {
   cursor_.StartElement(attributes.size());
+  if (matcher_ != nullptr) {
+    matcher_->StartElement(name.symbol, name.text, cursor_.top());
+  }
 
   if (++stamp_ == 0) {
     // Stamp wrap: invalidate all marks and restart.
@@ -120,6 +125,7 @@ void EngineFleet::EndElement(std::string_view name) {
   for (int idx : delivered_stack_[depth_]) {
     engines_[static_cast<size_t>(idx)]->EndElement(name);
   }
+  if (matcher_ != nullptr) matcher_->EndElement();
   cursor_.EndElement();
 }
 
@@ -133,6 +139,7 @@ void EngineFleet::Characters(std::string_view text) {
 void EngineFleet::AbortDocument() {
   depth_ = 0;
   cursor_.Reset();
+  if (matcher_ != nullptr) matcher_->AbortDocument();
   if (obs::Enabled()) {
     obs::MetricsRegistry::Default()
         .GetCounter("xaos_dispatch_engines_skipped_total")
@@ -142,6 +149,7 @@ void EngineFleet::AbortDocument() {
 }
 
 void EngineFleet::EndDocument() {
+  if (matcher_ != nullptr) matcher_->EndDocument();
   for (XaosEngine* engine : engines_) {
     engine->EndDocument();
     // The engine only counted the elements it was shown; fold the filtered

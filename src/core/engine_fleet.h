@@ -28,6 +28,8 @@
 
 namespace xaos::core {
 
+class SharedMatcher;
+
 class EngineFleet {
  public:
   EngineFleet() = default;
@@ -37,6 +39,12 @@ class EngineFleet {
   // Registers an engine (not owned; must outlive the fleet's use). All
   // engines must be added before the first StartDocument.
   void AddEngine(XaosEngine* engine);
+
+  // Attaches the shared-prefix subscription matcher (core/shared_index.h;
+  // not owned, may be null). The matcher is its own index: it receives
+  // every element event, after the shared cursor advanced, alongside the
+  // label-filtered engine deliveries. Attach before StartDocument.
+  void AttachSharedMatcher(SharedMatcher* matcher) { matcher_ = matcher; }
 
   // Classifies engines and builds the symbol index. Called lazily by
   // StartDocument; call explicitly after the last AddEngine if you want the
@@ -81,6 +89,7 @@ class EngineFleet {
   void AddSymbolTargets(util::Symbol symbol, std::string_view name);
 
   std::vector<XaosEngine*> engines_;
+  SharedMatcher* matcher_ = nullptr;
   bool finalized_ = false;
 
   DocumentCursor cursor_;

@@ -217,7 +217,13 @@ void StreamingEvaluator::ExportMetrics(obs::MetricsRegistry* registry) const {
 }
 
 MultiQueryEvaluator::MultiQueryEvaluator(EngineOptions options)
-    : options_(options) {
+    : options_(options),
+      // Subtree capture and live-structure limits are per-engine semantics
+      // the merged automaton does not reproduce; such pools stay on the
+      // per-engine path wholesale.
+      shared_enabled_(options.enable_shared_index &&
+                      !options.capture_output_subtrees &&
+                      options.max_live_structures == 0) {
   if (obs::Enabled()) {
     sampler_ = obs::EventCostSampler(
         obs::MetricsRegistry::Default().GetHistogram("xaos_engine_event_ns"));
@@ -230,8 +236,37 @@ size_t MultiQueryEvaluator::AddQuery(const Query& query,
   QuerySlot slot;
   slot.trees = query.trees_;
   slot.begin = engines_.size();
+  slot.end = slot.begin;
   slot.label = label.empty() ? "q" + std::to_string(queries_.size())
                              : std::string(label);
+
+  // Byte-identical repeat of an earlier expression: alias its verdicts, add
+  // no matching state. Compositions without an expression (FromTrees) can
+  // have distinct trees behind an empty string, so they never alias.
+  if (!query.expression().empty()) {
+    auto [it, inserted] =
+        by_expression_.try_emplace(query.expression(), queries_.size());
+    if (!inserted) {
+      slot.backend = QuerySlot::Backend::kAlias;
+      slot.alias_of = it->second;
+      ++alias_subscriptions_;
+      const QuerySlot& canonical = queries_[slot.alias_of];
+      if (canonical.backend == QuerySlot::Backend::kShared) {
+        ++shared_subscriptions_;
+      }
+      queries_.push_back(std::move(slot));
+      return queries_.size() - 1;
+    }
+  }
+
+  if (shared_enabled_ && SharedIndexBuilder::Shareable(*slot.trees)) {
+    slot.backend = QuerySlot::Backend::kShared;
+    slot.shared_id = shared_builder_.AddSubscription(*slot.trees);
+    ++shared_subscriptions_;
+    queries_.push_back(std::move(slot));
+    return queries_.size() - 1;
+  }
+
   for (const query::XTree& tree : *slot.trees) {
     engines_.push_back(std::make_unique<XaosEngine>(&tree, options_));
     fleet_.AddEngine(engines_.back().get());
@@ -241,6 +276,15 @@ size_t MultiQueryEvaluator::AddQuery(const Query& query,
   return queries_.size() - 1;
 }
 
+void MultiQueryEvaluator::EnsureSharedIndex() {
+  if (shared_built_for_ == shared_builder_.subscription_count()) return;
+  shared_built_for_ = shared_builder_.subscription_count();
+  shared_index_ = shared_builder_.Build();
+  shared_matcher_ = std::make_unique<SharedMatcher>(
+      shared_index_.get(), options_.stop_after_confirmed_match);
+  fleet_.AttachSharedMatcher(shared_matcher_.get());
+}
+
 void MultiQueryEvaluator::StartDocument() {
   abort_status_ = Status::Ok();
   gate_.Reset();
@@ -248,6 +292,7 @@ void MultiQueryEvaluator::StartDocument() {
     ++doc_ordinal_;
     doc_begin_ns_ = obs::NowNs();
   }
+  EnsureSharedIndex();
   fleet_.StartDocument();
 }
 
@@ -262,11 +307,18 @@ obs::MetricsRegistry& MultiQueryEvaluator::metrics_registry() const {
              : obs::MetricsRegistry::Default();
 }
 
-void MultiQueryEvaluator::FinishDocumentObservability() {
-  const uint64_t end_ns = obs::NowNs();
-  if (obs::Enabled()) {
-    obs::MetricsRegistry& registry = metrics_registry();
-    for (QuerySlot& slot : queries_) {
+bool MultiQueryEvaluator::SlotMatched(size_t q, uint64_t* confirm_ns) const {
+  const QuerySlot& slot = queries_[q];
+  switch (slot.backend) {
+    case QuerySlot::Backend::kAlias:
+      return SlotMatched(slot.alias_of, confirm_ns);
+    case QuerySlot::Backend::kShared:
+      if (shared_matcher_ == nullptr || !shared_matcher_->Matched(slot.shared_id)) {
+        return false;
+      }
+      *confirm_ns = shared_matcher_->confirm_ns(slot.shared_id);
+      return true;
+    case QuerySlot::Backend::kEngine: {
       // Earliest confirmation across the query's disjunct engines; a query
       // matched if any healthy engine matched.
       uint64_t confirm = 0;
@@ -278,6 +330,48 @@ void MultiQueryEvaluator::FinishDocumentObservability() {
         uint64_t c = engine.match_confirm_ns();
         if (c != 0 && (confirm == 0 || c < confirm)) confirm = c;
       }
+      *confirm_ns = confirm;
+      return matched;
+    }
+  }
+  return false;
+}
+
+void MultiQueryEvaluator::ExportSharedMetrics(
+    obs::MetricsRegistry* registry) const {
+  if (shared_index_ == nullptr) return;
+  registry->GetGauge("xaos_shared_states_total")
+      ->Set(static_cast<int64_t>(shared_index_->state_count()));
+  registry->GetGauge("xaos_shared_subscriptions_total")
+      ->Set(static_cast<int64_t>(shared_subscriptions_));
+  // Per-mille of per-subscription chain nodes that survived as distinct
+  // states (gauges are integral): 1000 = nothing shared.
+  registry->GetGauge("xaos_shared_state_ratio_permille")
+      ->Set(shared_index_->SharingRatioPermille());
+  if (shared_matcher_ != nullptr) {
+    // Engine deliveries a per-subscription fan-out would have performed
+    // minus the automaton states actually touched, cumulative.
+    const uint64_t fanout = shared_matcher_->elements_total() *
+                            shared_index_->subscription_count();
+    const uint64_t touched = shared_matcher_->states_entered_total();
+    const uint64_t saved = fanout > touched ? fanout - touched : 0;
+    if (saved > dispatch_saved_exported_) {
+      registry->GetCounter("xaos_shared_dispatch_saved_total")
+          ->Increment(saved - dispatch_saved_exported_);
+      dispatch_saved_exported_ = saved;
+    }
+  }
+}
+
+void MultiQueryEvaluator::FinishDocumentObservability() {
+  const uint64_t end_ns = obs::NowNs();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = metrics_registry();
+    ExportSharedMetrics(&registry);
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      QuerySlot& slot = queries_[q];
+      uint64_t confirm = 0;
+      bool matched = SlotMatched(q, &confirm);
       if (!matched) continue;
       if (slot.match_latency == nullptr) {
         std::string labels =
@@ -331,9 +425,15 @@ xml::ProjectionFilter* MultiQueryEvaluator::projection_filter() {
           query::ProjectionSpec::KeepAll("subtree capture needs every event"));
     } else {
       query::ProjectionSpec spec;
+      // One trie walk covers every shared subscription; aliases need no
+      // projection of their own (their canonical slot contributes it).
+      if (shared_builder_.subscription_count() > 0) {
+        spec.UnionWith(shared_builder_.AnalyzeProjection());
+      }
       for (const QuerySlot& slot : queries_) {
-        spec.UnionWith(query::ProjectionSpec::Analyze(*slot.trees));
         if (spec.keep_all) break;
+        if (slot.backend != QuerySlot::Backend::kEngine) continue;
+        spec.UnionWith(query::ProjectionSpec::Analyze(*slot.trees));
       }
       gate_.SetSpec(std::move(spec));
     }
@@ -348,23 +448,50 @@ Status MultiQueryEvaluator::status() const {
 
 bool MultiQueryEvaluator::Matched(size_t q) const {
   const QuerySlot& slot = queries_[q];
-  for (size_t i = slot.begin; i < slot.end; ++i) {
-    if (engines_[i]->result().matched) return true;
+  switch (slot.backend) {
+    case QuerySlot::Backend::kAlias:
+      return Matched(slot.alias_of);
+    case QuerySlot::Backend::kShared:
+      return shared_matcher_ != nullptr &&
+             shared_matcher_->Matched(slot.shared_id);
+    case QuerySlot::Backend::kEngine:
+      for (size_t i = slot.begin; i < slot.end; ++i) {
+        if (engines_[i]->result().matched) return true;
+      }
+      return false;
   }
   return false;
 }
 
 bool MultiQueryEvaluator::MatchConfirmed(size_t q) const {
   const QuerySlot& slot = queries_[q];
-  for (size_t i = slot.begin; i < slot.end; ++i) {
-    if (engines_[i]->match_confirmed()) return true;
+  switch (slot.backend) {
+    case QuerySlot::Backend::kAlias:
+      return MatchConfirmed(slot.alias_of);
+    case QuerySlot::Backend::kShared:
+      return shared_matcher_ != nullptr &&
+             shared_matcher_->MatchConfirmed(slot.shared_id);
+    case QuerySlot::Backend::kEngine:
+      for (size_t i = slot.begin; i < slot.end; ++i) {
+        if (engines_[i]->match_confirmed()) return true;
+      }
+      return false;
   }
   return false;
 }
 
 QueryResult MultiQueryEvaluator::Result(size_t q) const {
   const QuerySlot& slot = queries_[q];
-  return MergeResults(engines_, slot.begin, slot.end);
+  switch (slot.backend) {
+    case QuerySlot::Backend::kAlias:
+      return Result(slot.alias_of);
+    case QuerySlot::Backend::kShared:
+      return shared_matcher_ != nullptr ? shared_matcher_->Result(slot.shared_id)
+                                        : QueryResult{};
+    case QuerySlot::Backend::kEngine:
+      return MergeResults(engines_, slot.begin, slot.end);
+  }
+  return QueryResult{};
 }
 
 EngineStats MultiQueryEvaluator::AggregateStats() const {
@@ -373,6 +500,7 @@ EngineStats MultiQueryEvaluator::AggregateStats() const {
 
 void MultiQueryEvaluator::ExportMetrics(obs::MetricsRegistry* registry) const {
   AggregateStats().ToMetrics(registry);
+  ExportSharedMetrics(registry);
 }
 
 StatusOr<QueryResult> EvaluateStreaming(std::string_view xpath,

@@ -10,10 +10,12 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine_fleet.h"
 #include "core/result.h"
+#include "core/shared_index.h"
 #include "core/xaos_engine.h"
 #include "dom/document.h"
 #include "obs/timer.h"
@@ -133,10 +135,18 @@ class StreamingEvaluator : public xml::ContentHandler {
 };
 
 // Evaluates many compiled queries ("subscriptions") over one event stream
-// in a single pass — the publish/subscribe configuration. All engines share
-// one EngineFleet, so per-event cost is proportional to the engines whose
-// labels occur on the event, not to the subscription count; results are
-// byte-identical to running one StreamingEvaluator per query.
+// in a single pass — the publish/subscribe configuration. Three backends,
+// chosen per subscription at AddQuery, all byte-identical to running one
+// StreamingEvaluator per query:
+//
+//   * shared:  queries whose x-dags are linear forward chains merge into
+//     one hash-consed automaton (core/shared_index.h) — per-event cost
+//     scales with distinct query structure, not subscription count;
+//   * engine:  everything else runs one XaosEngine per disjunct behind the
+//     label-indexed EngineFleet (also the differential oracle for the
+//     shared backend, selected by EngineOptions::enable_shared_index);
+//   * alias:   a byte-identical repeat of an earlier expression adds no
+//     matching state at all — verdicts fan out from the first copy.
 class MultiQueryEvaluator : public xml::ContentHandler {
  public:
   explicit MultiQueryEvaluator(EngineOptions options = {});
@@ -189,12 +199,29 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   uint64_t engines_skipped() const { return fleet_.engines_skipped(); }
   size_t engine_count() const { return engines_.size(); }
 
+  // --- shared-backend introspection (tests, benches, obs) ---
+  // Subscriptions routed through the shared automaton (aliases of shared
+  // subscriptions included).
+  size_t shared_subscription_count() const { return shared_subscriptions_; }
+  // Subscriptions that are byte-identical repeats of an earlier expression.
+  size_t alias_count() const { return alias_subscriptions_; }
+  // Merged-automaton states, including its root state (0 until the index
+  // is built by the first StartDocument).
+  size_t shared_state_count() const {
+    return shared_index_ != nullptr ? shared_index_->state_count() : 0;
+  }
+
  private:
-  // Engines of query q occupy [begin, end) of engines_.
   struct QuerySlot {
+    // Which matching structure answers for this subscription.
+    enum class Backend : uint8_t { kEngine, kShared, kAlias };
+
     std::shared_ptr<const std::vector<query::XTree>> trees;
-    size_t begin = 0;
+    Backend backend = Backend::kEngine;
+    size_t begin = 0;        // kEngine: engines occupy [begin, end)
     size_t end = 0;
+    uint32_t shared_id = 0;  // kShared: subscription id in the shared index
+    size_t alias_of = 0;     // kAlias: canonical slot index
     std::string label;
     // Per-subscription latency series, resolved lazily on first matching
     // document (pointers are stable for the registry's lifetime).
@@ -208,6 +235,15 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   // latency, time-to-first-match and buffered-candidate/arena high-water
   // marks, plus the flight recorder's document span.
   void FinishDocumentObservability();
+  // Whether slot `q` matched this document and when the match was first
+  // confirmed (0 = unknown), resolving aliases and backends.
+  bool SlotMatched(size_t q, uint64_t* confirm_ns) const;
+  // (Re)builds the shared index + matcher when subscriptions were added
+  // since the last build; attaches the matcher to the fleet.
+  void EnsureSharedIndex();
+  // Folds shared-index gauges and the dispatch-work-saved counter into
+  // `registry`.
+  void ExportSharedMetrics(obs::MetricsRegistry* registry) const;
 
   template <typename Fn>
   void TimedDispatch(Fn&& fn) {
@@ -224,6 +260,19 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   std::vector<QuerySlot> queries_;
   std::vector<std::unique_ptr<XaosEngine>> engines_;
   EngineFleet fleet_;
+  // Shared-prefix backend: the builder accumulates shareable subscriptions
+  // at AddQuery; the index/matcher are (re)built lazily at StartDocument.
+  bool shared_enabled_ = false;
+  SharedIndexBuilder shared_builder_;
+  std::unique_ptr<SharedIndex> shared_index_;
+  std::unique_ptr<SharedMatcher> shared_matcher_;
+  size_t shared_built_for_ = 0;  // builder sub count the index covers
+  size_t shared_subscriptions_ = 0;
+  size_t alias_subscriptions_ = 0;
+  // expression -> canonical slot index, for byte-identical dedupe.
+  std::unordered_map<std::string, size_t> by_expression_;
+  // Last exported cumulative dispatch-saved value (counter delta base).
+  mutable uint64_t dispatch_saved_exported_ = 0;
   query::ProjectionGate gate_;
   size_t gate_built_for_ = 0;  // query count the gate's spec unions over
   Status abort_status_;  // non-OK while the last document was abandoned

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <unordered_set>
 
+#include "core/shared_index.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -82,29 +84,61 @@ void ParallelFleet::Finalize() {
   }
 
   // Greedy longest-processing-time assignment: heaviest queries first, each
-  // onto the currently lightest shard.
+  // onto the shard where it finishes cheapest. For queries the shard
+  // evaluators route to the shared automaton, "cheapest" is the *marginal*
+  // cost against the shard's already-planned trie — a duplicate expression
+  // is an alias (one unit), a shareable chain costs one unit per state the
+  // shard does not already hold — so structurally similar subscriptions
+  // gravitate to the same shard instead of scattering their prefixes.
+  const EngineOptions& eo = options_.engine_options;
+  const bool shared_enabled = eo.enable_shared_index &&
+                              !eo.capture_output_subtrees &&
+                              eo.max_live_structures == 0;
+  std::vector<SharedIndexBuilder> planners(workers_.size());
+  std::vector<std::unordered_set<std::string>> planned_expressions(
+      workers_.size());
   std::vector<size_t> order(queries_.size());
   std::vector<uint64_t> costs(queries_.size());
+  std::vector<bool> shareable(queries_.size());
   for (size_t q = 0; q < queries_.size(); ++q) {
     order[q] = q;
     costs[q] = EstimateQueryCost(queries_[q]);
+    shareable[q] =
+        shared_enabled && SharedIndexBuilder::Shareable(queries_[q].trees());
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return costs[a] > costs[b];
   });
+  auto marginal_cost = [&](size_t q, size_t s) -> uint64_t {
+    const std::string& expr = queries_[q].expression();
+    if (!expr.empty() && planned_expressions[s].count(expr) > 0) return 1;
+    if (shareable[q]) {
+      return 1 + static_cast<uint64_t>(
+                     planners[s].MarginalStates(queries_[q].trees()));
+    }
+    return costs[q];
+  };
   for (size_t q : order) {
-    size_t lightest = 0;
+    size_t best = 0;
+    uint64_t best_total =
+        workers_[0].stats.cost_estimate + marginal_cost(q, 0);
     for (size_t s = 1; s < workers_.size(); ++s) {
-      if (workers_[s].stats.cost_estimate <
-          workers_[lightest].stats.cost_estimate) {
-        lightest = s;
+      uint64_t total = workers_[s].stats.cost_estimate + marginal_cost(q, s);
+      if (total < best_total) {
+        best = s;
+        best_total = total;
       }
     }
-    Worker& shard = workers_[lightest];
-    assignments_[q].shard = lightest;
+    Worker& shard = workers_[best];
+    assignments_[q].shard = best;
     assignments_[q].local_index =
         shard.evaluator->AddQuery(queries_[q], labels_[q]);
-    shard.stats.cost_estimate += costs[q];
+    const std::string& expr = queries_[q].expression();
+    bool duplicate = !expr.empty() && !planned_expressions[best].insert(expr).second;
+    if (shareable[q] && !duplicate) {
+      planners[best].AddSubscription(queries_[q].trees());
+    }
+    shard.stats.cost_estimate = best_total;
     shard.stats.query_count += 1;
   }
   for (Worker& worker : workers_) {
@@ -467,6 +501,11 @@ void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
         ->Set(static_cast<int64_t>(stats.park_wait_ns));
     registry->GetGauge("xaos_parallel_shard_parks" + label)
         ->Set(static_cast<int64_t>(stats.parks));
+    registry->GetGauge("xaos_parallel_shard_shared_subscriptions" + label)
+        ->Set(static_cast<int64_t>(
+            workers_[s].evaluator->shared_subscription_count()));
+    registry->GetGauge("xaos_parallel_shard_shared_states" + label)
+        ->Set(static_cast<int64_t>(workers_[s].evaluator->shared_state_count()));
   }
 }
 

@@ -1,0 +1,400 @@
+#include "core/shared_index.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "util/check.h"
+#include "xpath/ast.h"
+
+namespace xaos::core {
+namespace {
+
+using Kind = query::NodeTestSpec::Kind;
+
+util::Symbol SymbolFor(const query::NodeTestSpec& test) {
+  if (test.name_symbol != util::kInvalidSymbol) return test.name_symbol;
+  return util::SymbolTable::Global().Intern(test.name);
+}
+
+void AddSeed(std::vector<util::Symbol>* seeds, util::Symbol s) {
+  if (std::find(seeds->begin(), seeds->end(), s) == seeds->end()) {
+    seeds->push_back(s);
+  }
+}
+
+}  // namespace
+
+// --- SharedIndexBuilder -----------------------------------------------------
+
+SharedIndexBuilder::SharedIndexBuilder() {
+  states_.emplace_back();  // the root state, level 0
+}
+
+bool SharedIndexBuilder::ShareableTree(const query::XTree& tree) {
+  if (tree.size() < 2) return false;
+  const query::XNode& root = tree.node(query::kRootXNode);
+  if (root.test.kind != Kind::kRoot || root.is_output) return false;
+  // Walk the single-child spine; it must cover the whole tree.
+  int visited = 1;
+  query::XNodeId cur = query::kRootXNode;
+  while (!tree.node(cur).children.empty()) {
+    if (tree.node(cur).children.size() != 1) return false;  // predicate branch
+    cur = tree.node(cur).children[0];
+    ++visited;
+    const query::XNode& node = tree.node(cur);
+    if (node.incoming_axis != xpath::Axis::kChild &&
+        node.incoming_axis != xpath::Axis::kDescendant) {
+      return false;  // backward, sibling, self or attribute axis
+    }
+    if (node.test.kind != Kind::kElement && node.test.kind != Kind::kAnyElement) {
+      return false;  // attribute / text / root test mid-chain
+    }
+    if (node.test.value.has_value()) return false;
+    const bool leaf = node.children.empty();
+    if (node.is_output != leaf) return false;  // output exactly at the leaf
+  }
+  return visited == tree.size();
+}
+
+bool SharedIndexBuilder::Shareable(const std::vector<query::XTree>& trees) {
+  if (trees.empty()) return false;
+  for (const query::XTree& tree : trees) {
+    if (!ShareableTree(tree)) return false;
+  }
+  return true;
+}
+
+uint64_t SharedIndexBuilder::EdgeKey(int32_t parent, EdgeKind kind,
+                                     util::Symbol symbol) {
+  // parent (31 bits) | kind (2 bits) | symbol (31 bits). Symbols are dense
+  // interned ids; wildcard kinds pass 0.
+  uint32_t s = kind == kChildNamed || kind == kDescNamed
+                   ? static_cast<uint32_t>(symbol)
+                   : 0u;
+  return (static_cast<uint64_t>(static_cast<uint32_t>(parent)) << 33) |
+         (static_cast<uint64_t>(kind) << 31) | static_cast<uint64_t>(s);
+}
+
+int32_t SharedIndexBuilder::Lookup(int32_t parent, EdgeKind kind,
+                                   util::Symbol symbol) const {
+  auto it = edges_.find(EdgeKey(parent, kind, symbol));
+  return it == edges_.end() ? -1 : it->second;
+}
+
+int32_t SharedIndexBuilder::Intern(int32_t parent, EdgeKind kind,
+                                   util::Symbol symbol) {
+  auto [it, inserted] = edges_.try_emplace(EdgeKey(parent, kind, symbol), 0);
+  if (!inserted) return it->second;
+  int32_t id = static_cast<int32_t>(states_.size());
+  it->second = id;
+  State& parent_state = states_[static_cast<size_t>(parent)];
+  parent_state.out.push_back(Edge{kind, symbol, id});
+  const bool desc = kind == kDescNamed || kind == kDescWild;
+  if (desc) {
+    parent_state.has_desc_out = true;
+    // A fixed-level source of a descendant step keeps its whole subtree
+    // (projection portal); from the root state that is the entire document.
+    if (parent == SharedIndex::kRootState) {
+      root_portal_ = true;
+    } else if (parent_state.level >= 0) {
+      parent_state.portal = true;
+    }
+  }
+  const int parent_level = parent_state.level;
+  State state;
+  state.level = desc || parent_level < 0 ? kFloatingLevel : parent_level + 1;
+  state.symbol = symbol;
+  state.wildcard = kind == kChildWild || kind == kDescWild;
+  state.desc_in = desc;
+  states_.push_back(std::move(state));
+  return id;
+}
+
+size_t SharedIndexBuilder::MarginalStates(
+    const std::vector<query::XTree>& trees) const {
+  // Dry-run insertion. States a previous chain of the same probe would have
+  // created are approximated as still-missing suffixes: once a chain leaves
+  // the existing trie, every remaining step is new.
+  size_t missing = 0;
+  for (const query::XTree& tree : trees) {
+    XAOS_CHECK(ShareableTree(tree));
+    int32_t cur = SharedIndex::kRootState;
+    query::XNodeId id = query::kRootXNode;
+    while (!tree.node(id).children.empty()) {
+      id = tree.node(id).children[0];
+      const query::XNode& node = tree.node(id);
+      const bool wild = node.test.kind == Kind::kAnyElement;
+      const bool desc = node.incoming_axis == xpath::Axis::kDescendant;
+      EdgeKind kind = desc ? (wild ? kDescWild : kDescNamed)
+                           : (wild ? kChildWild : kChildNamed);
+      util::Symbol s = wild ? util::kInvalidSymbol : SymbolFor(node.test);
+      int32_t next = cur < 0 ? -1 : Lookup(cur, kind, s);
+      if (next < 0) {
+        ++missing;
+        cur = -1;  // left the trie; the rest of the chain is new
+      } else {
+        cur = next;
+      }
+    }
+  }
+  return missing;
+}
+
+uint32_t SharedIndexBuilder::AddSubscription(
+    const std::vector<query::XTree>& trees) {
+  XAOS_CHECK(Shareable(trees)) << "unshareable query passed to AddSubscription";
+  uint32_t sub = subscription_count_++;
+  for (const query::XTree& tree : trees) {
+    int32_t cur = SharedIndex::kRootState;
+    query::XNodeId id = query::kRootXNode;
+    while (!tree.node(id).children.empty()) {
+      id = tree.node(id).children[0];
+      const query::XNode& node = tree.node(id);
+      const bool wild = node.test.kind == Kind::kAnyElement;
+      const bool desc = node.incoming_axis == xpath::Axis::kDescendant;
+      EdgeKind kind = desc ? (wild ? kDescWild : kDescNamed)
+                           : (wild ? kChildWild : kChildNamed);
+      util::Symbol s = wild ? util::kInvalidSymbol : SymbolFor(node.test);
+      cur = Intern(cur, kind, s);
+      ++chain_nodes_total_;
+    }
+    // Identical disjunct chains of one query accept once.
+    std::vector<uint32_t>& accepts = states_[static_cast<size_t>(cur)].accepts;
+    if (accepts.empty() || accepts.back() != sub) accepts.push_back(sub);
+  }
+  return sub;
+}
+
+query::ProjectionSpec SharedIndexBuilder::AnalyzeProjection() const {
+  if (root_portal_) {
+    return query::ProjectionSpec::KeepAll(
+        "unanchored '//' step keeps the whole document");
+  }
+  query::ProjectionSpec spec;
+  size_t max_level = 0;
+  for (size_t i = 1; i < states_.size(); ++i) {
+    if (states_[i].level >= 1) {
+      max_level = std::max(max_level, static_cast<size_t>(states_[i].level));
+    }
+  }
+  spec.levels.resize(max_level);
+  for (size_t i = 1; i < states_.size(); ++i) {
+    const State& state = states_[i];
+    if (state.level >= 1) {
+      query::ProjectionSpec::Level& level =
+          spec.levels[static_cast<size_t>(state.level - 1)];
+      if (state.wildcard) {
+        level.any_name = true;
+        level.any_keep_subtree |= state.portal;
+      } else {
+        query::ProjectionSpec::NameEntry& entry = level.names[state.symbol];
+        entry.keep_subtree |= state.portal;
+        if (state.level == 1) AddSeed(&spec.seed_symbols, state.symbol);
+      }
+    }
+    // Targets of anchored descendant steps start relevant matches at any
+    // depth (mirrors ProjectionSpec::Analyze's seed rule).
+    if (state.desc_in && !state.wildcard) {
+      AddSeed(&spec.seed_symbols, state.symbol);
+    }
+  }
+  return spec;
+}
+
+std::unique_ptr<SharedIndex> SharedIndexBuilder::Build() const {
+  auto index = std::make_unique<SharedIndex>();
+  index->states_.resize(states_.size());
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const State& src = states_[i];
+    SharedIndex::StateMeta& dst = index->states_[i];
+    dst.has_desc_out = src.has_desc_out;
+    dst.child_begin = static_cast<uint32_t>(index->named_edges_.size());
+    for (const Edge& edge : src.out) {
+      if (edge.kind == kChildNamed) {
+        index->named_edges_.push_back(
+            SharedIndex::NamedEdge{edge.symbol, edge.target});
+      }
+    }
+    dst.child_end = static_cast<uint32_t>(index->named_edges_.size());
+    for (const Edge& edge : src.out) {
+      if (edge.kind == kDescNamed) {
+        index->named_edges_.push_back(
+            SharedIndex::NamedEdge{edge.symbol, edge.target});
+      }
+    }
+    dst.desc_begin = dst.child_end;
+    dst.desc_end = static_cast<uint32_t>(index->named_edges_.size());
+    auto by_symbol = [](const SharedIndex::NamedEdge& a,
+                       const SharedIndex::NamedEdge& b) {
+      return a.symbol < b.symbol;
+    };
+    std::sort(index->named_edges_.begin() + dst.child_begin,
+              index->named_edges_.begin() + dst.child_end, by_symbol);
+    std::sort(index->named_edges_.begin() + dst.desc_begin,
+              index->named_edges_.begin() + dst.desc_end, by_symbol);
+    for (const Edge& edge : src.out) {
+      if (edge.kind == kChildWild) dst.child_wild = edge.target;
+      if (edge.kind == kDescWild) dst.desc_wild = edge.target;
+    }
+    dst.accept_begin = static_cast<uint32_t>(index->accepts_.size());
+    index->accepts_.insert(index->accepts_.end(), src.accepts.begin(),
+                           src.accepts.end());
+    dst.accept_end = static_cast<uint32_t>(index->accepts_.size());
+  }
+  index->stats_.states = states_.size();
+  index->stats_.subscriptions = subscription_count_;
+  index->stats_.chain_nodes = chain_nodes_total_;
+  return index;
+}
+
+// --- SharedIndex ------------------------------------------------------------
+
+int32_t SharedIndex::FindNamed(uint32_t begin, uint32_t end,
+                               util::Symbol symbol) const {
+  if (symbol == util::kInvalidSymbol) return -1;
+  const NamedEdge* first = named_edges_.data() + begin;
+  const NamedEdge* last = named_edges_.data() + end;
+  const NamedEdge* it = std::lower_bound(
+      first, last, symbol,
+      [](const NamedEdge& edge, util::Symbol s) { return edge.symbol < s; });
+  if (it != last && it->symbol == symbol) return it->target;
+  return -1;
+}
+
+// --- SharedMatcher ----------------------------------------------------------
+
+SharedMatcher::SharedMatcher(const SharedIndex* index, bool bool_only)
+    : index_(index), bool_only_(bool_only) {
+  in_carry_.assign(index_->state_count(), 0);
+  subs_.resize(index_->subscription_count());
+  fresh_.emplace_back();
+  carry_added_.push_back(0);
+}
+
+void SharedMatcher::StartDocument() {
+  depth_ = 0;
+  end_seen_ = false;
+  carry_.clear();
+  std::fill(in_carry_.begin(), in_carry_.end(), 0);
+  fresh_[0].clear();
+  fresh_[0].push_back(SharedIndex::kRootState);
+  carry_added_[0] = 0;
+  if (index_->HasDescOut(SharedIndex::kRootState)) {
+    carry_.push_back(SharedIndex::kRootState);
+    in_carry_[SharedIndex::kRootState] = 1;
+    carry_added_[0] = 1;
+  }
+  for (SubState& sub : subs_) {
+    sub.confirmed = false;
+    sub.confirm_ns = 0;
+    sub.items.clear();
+  }
+  elements_document_ = 0;
+  states_entered_document_ = 0;
+}
+
+void SharedMatcher::Fire(uint32_t sub, const DocumentCursor::Node& node,
+                         std::string_view name) {
+  SubState& state = subs_[sub];
+  if (!state.confirmed) {
+    state.confirmed = true;
+    if (obs::Enabled()) state.confirm_ns = obs::NowNs();
+  }
+  if (bool_only_) return;
+  // Several accepting states (disjunct chains) can select the same element;
+  // ids are strictly increasing across elements, so adjacent-id dedup keeps
+  // the item list sorted and duplicate-free.
+  if (!state.items.empty() && state.items.back().info.id == node.id) return;
+  OutputItem item;
+  item.info.id = node.id;
+  item.info.parent_id = node.parent_id;
+  item.info.ordinal = static_cast<uint32_t>(node.ordinal);
+  item.info.level = static_cast<int>(node.level);
+  item.info.kind = query::DocNodeKind::kElement;
+  item.info.name.assign(name);
+  state.items.push_back(std::move(item));
+}
+
+void SharedMatcher::Enter(int32_t state, size_t depth,
+                          const DocumentCursor::Node& node,
+                          std::string_view name) {
+  fresh_[depth].push_back(state);
+  ++states_entered_document_;
+  ++states_entered_total_;
+  if (index_->HasDescOut(state) && !in_carry_[static_cast<size_t>(state)]) {
+    in_carry_[static_cast<size_t>(state)] = 1;
+    carry_.push_back(state);
+    ++carry_added_[depth];
+  }
+  for (const uint32_t* sub = index_->AcceptsBegin(state);
+       sub != index_->AcceptsEnd(state); ++sub) {
+    Fire(*sub, node, name);
+  }
+}
+
+void SharedMatcher::StartElement(util::Symbol symbol, std::string_view name,
+                                 const DocumentCursor::Node& node) {
+  ++elements_total_;
+  ++elements_document_;
+  const size_t depth = ++depth_;
+  if (depth == fresh_.size()) {
+    fresh_.emplace_back();
+    carry_added_.push_back(0);
+  }
+  fresh_[depth].clear();
+  carry_added_[depth] = 0;
+
+  util::Symbol s = symbol;
+  if (s == util::kInvalidSymbol) {
+    // Replay paths without interning; an unseen name has no named edges,
+    // but wildcard transitions still apply.
+    s = util::SymbolTable::Global().Lookup(name);
+  }
+
+  // Descendant transitions fire only from states armed at shallower depths:
+  // cap the carry scan before any Enter() of this event can append.
+  const size_t carry_before = carry_.size();
+  for (int32_t from : fresh_[depth - 1]) {
+    index_->ForEachChildTarget(from, s,
+                               [&](int32_t t) { Enter(t, depth, node, name); });
+  }
+  for (size_t i = 0; i < carry_before; ++i) {
+    index_->ForEachDescTarget(carry_[i], s,
+                              [&](int32_t t) { Enter(t, depth, node, name); });
+  }
+}
+
+void SharedMatcher::EndElement() {
+  XAOS_CHECK(depth_ > 0) << "unbalanced events";
+  for (uint32_t k = 0; k < carry_added_[depth_]; ++k) {
+    in_carry_[static_cast<size_t>(carry_.back())] = 0;
+    carry_.pop_back();
+  }
+  carry_added_[depth_] = 0;
+  fresh_[depth_].clear();
+  --depth_;
+}
+
+void SharedMatcher::EndDocument() { end_seen_ = true; }
+
+void SharedMatcher::AbortDocument() {
+  // Per-subscription confirmation persists (mirrors XaosEngine: the flag
+  // survives an abort until the next StartDocument) but Matched() reports
+  // false because the document never ended.
+  depth_ = 0;
+  end_seen_ = false;
+  carry_.clear();
+  std::fill(in_carry_.begin(), in_carry_.end(), 0);
+  for (std::vector<int32_t>& f : fresh_) f.clear();
+  std::fill(carry_added_.begin(), carry_added_.end(), 0);
+}
+
+QueryResult SharedMatcher::Result(uint32_t sub) const {
+  QueryResult result;
+  result.matched = Matched(sub);
+  if (result.matched && !bool_only_) result.items = subs_[sub].items;
+  return result;
+}
+
+}  // namespace xaos::core

@@ -1,0 +1,304 @@
+// Shared-prefix subscription index: many compiled x-dags merged into one
+// automaton, for sublinear multi-query matching.
+//
+// The per-engine pub/sub path (engine_fleet.h) runs one XaosEngine per
+// subscription behind a label index; an event still costs O(engines whose
+// labels it carries), i.e. linear in the subscription count for popular
+// labels. This module collapses the *shareable* subscriptions — queries
+// whose x-dags are linear forward chains (child/descendant axes, element or
+// wildcard tests, no predicates, no value tests, output at the leaf) — into
+// one hash-consed trie-automaton, YFilter-style: structurally identical
+// prefix states are shared across subscriptions, and per-subscription
+// acceptance sets hang off the accepting states. Fully identical queries
+// collapse to a single state chain with an N-entry acceptance set, so
+// per-event cost scales with *distinct query structure*, not with the
+// subscription count.
+//
+// Hash-consing invariant: a state is identified by (parent state, edge kind,
+// symbol), where edge kind is child/descendant x named/wildcard. Each key
+// has at most one target, so a document element can enter any given state at
+// most once per event — the runtime needs no per-event deduplication.
+//
+// The runtime (SharedMatcher) is an NFA simulation with the classic
+// fresh/carry split: child transitions fire only from the states entered at
+// the parent element ("fresh" set of the parent depth), while descendant
+// transitions fire from a persistent "carry" stack of armed states — a
+// state with descendant out-edges is armed when entered and stays armed
+// until the element that entered it closes, covering its whole subtree.
+//
+// Queries the merger cannot share (backward or sibling axes, predicates,
+// attribute/text tests, value constraints) stay on the per-engine path,
+// which doubles as the differential oracle: verdicts and result items are
+// byte-identical between the two backends (tests/shared_index_test.cc,
+// fuzz/fuzz_shared_index_diff.cc).
+
+#ifndef XAOS_CORE_SHARED_INDEX_H_
+#define XAOS_CORE_SHARED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/document_cursor.h"
+#include "core/result.h"
+#include "query/projection.h"
+#include "query/xtree.h"
+#include "util/symbol_table.h"
+
+namespace xaos::core {
+
+class SharedIndex;
+
+// Accumulates subscriptions into the hash-consed trie. Build() snapshots it
+// into the flat, immutable SharedIndex the matcher runs on; the builder
+// stays usable for marginal-cost probes (ParallelFleet shard planning) and
+// for further AddSubscription calls followed by a rebuild.
+class SharedIndexBuilder {
+ public:
+  SharedIndexBuilder();
+
+  // True if `tree` is a linear forward chain the merger can represent:
+  // Root at node 0, every step child or descendant with an element or
+  // wildcard test (no value), single-child spine, output exactly at the
+  // leaf.
+  static bool ShareableTree(const query::XTree& tree);
+  // A query is shareable iff every disjunct tree is.
+  static bool Shareable(const std::vector<query::XTree>& trees);
+
+  // States AddSubscription(trees) would create, without inserting — the
+  // marginal cost of co-locating this query with the already-inserted pool
+  // (0 for a fully shared duplicate). Trees must be shareable.
+  size_t MarginalStates(const std::vector<query::XTree>& trees) const;
+
+  // Inserts a subscription's chains and returns its dense id (0, 1, ...).
+  // Trees must be shareable (checked).
+  uint32_t AddSubscription(const std::vector<query::XTree>& trees);
+
+  // Trie states so far, including the root state.
+  size_t state_count() const { return states_.size(); }
+  size_t subscription_count() const { return subscription_count_; }
+  // Chain nodes inserted before sharing (the root excluded): what a
+  // per-subscription representation would have cost. state_count()-1 over
+  // this is the sharing ratio.
+  uint64_t chain_nodes_total() const { return chain_nodes_total_; }
+
+  // The document-projection spec of the whole inserted pool, derived from
+  // one walk of the merged trie. Equivalent to unioning
+  // ProjectionSpec::Analyze over every inserted chain: shared prefixes are
+  // analyzed once. Empty spec (keeps nothing) when no subscriptions.
+  query::ProjectionSpec AnalyzeProjection() const;
+
+  // Snapshots the trie into the immutable runtime form.
+  std::unique_ptr<SharedIndex> Build() const;
+
+ private:
+  // Edge kinds, two axes x named/wildcard. A named target and a wildcard
+  // target of the same parent are distinct states ("/a/b" and "/a/*" do not
+  // share their second step).
+  enum EdgeKind : uint32_t {
+    kChildNamed = 0,
+    kDescNamed = 1,
+    kChildWild = 2,
+    kDescWild = 3,
+  };
+
+  struct Edge {
+    EdgeKind kind;
+    util::Symbol symbol;  // kInvalidSymbol for wildcard kinds
+    int32_t target;
+  };
+
+  struct State {
+    std::vector<Edge> out;
+    std::vector<uint32_t> accepts;
+    // Projection bookkeeping, fixed at creation (a trie state has exactly
+    // one incoming path): document level when every match sits at one
+    // depth, kFloatingLevel below a descendant step.
+    int level = 0;
+    util::Symbol symbol = util::kInvalidSymbol;  // incoming named test
+    bool wildcard = false;   // incoming wildcard test
+    bool desc_in = false;    // entered via a descendant edge
+    bool portal = false;     // fixed-level source of a descendant edge
+    bool has_desc_out = false;
+  };
+
+  static constexpr int kFloatingLevel = -1;
+
+  static uint64_t EdgeKey(int32_t parent, EdgeKind kind, util::Symbol symbol);
+  // Follows (parent, kind, symbol); returns the target or -1.
+  int32_t Lookup(int32_t parent, EdgeKind kind, util::Symbol symbol) const;
+  // Lookup-or-create; updates portal/has_desc_out bookkeeping.
+  int32_t Intern(int32_t parent, EdgeKind kind, util::Symbol symbol);
+
+  std::vector<State> states_;
+  std::unordered_map<uint64_t, int32_t> edges_;
+  uint32_t subscription_count_ = 0;
+  uint64_t chain_nodes_total_ = 0;
+  // A descendant edge leaves the root state: every chain below it floats
+  // from the document root, so projection degrades to keep-all.
+  bool root_portal_ = false;
+};
+
+// The immutable runtime form: per-state transition tables as flat sorted
+// arrays (binary-searched by symbol), wildcard targets, and acceptance
+// slices. Read-only after construction, so fleet workers can share one
+// index across threads.
+class SharedIndex {
+ public:
+  struct BuildStats {
+    size_t states = 0;          // including the root state
+    size_t subscriptions = 0;
+    uint64_t chain_nodes = 0;   // pre-merge chain nodes (root excluded)
+  };
+
+  static constexpr int32_t kRootState = 0;
+
+  size_t state_count() const { return states_.size(); }
+  size_t subscription_count() const { return stats_.subscriptions; }
+  const BuildStats& stats() const { return stats_; }
+
+  // Sharing ratio in per-mille: 1000 * (states - root) / chain_nodes.
+  // 1000 = nothing shared; small = heavy sharing.
+  int64_t SharingRatioPermille() const {
+    if (stats_.chain_nodes == 0) return 1000;
+    return static_cast<int64_t>((stats_.states - 1) * 1000 /
+                                stats_.chain_nodes);
+  }
+
+  // Child transition of `state` on `symbol` (named then wildcard target);
+  // calls fn(target) for each, at most twice.
+  template <typename Fn>
+  void ForEachChildTarget(int32_t state, util::Symbol symbol, Fn&& fn) const {
+    const StateMeta& m = states_[static_cast<size_t>(state)];
+    int32_t named = FindNamed(m.child_begin, m.child_end, symbol);
+    if (named >= 0) fn(named);
+    if (m.child_wild >= 0) fn(m.child_wild);
+  }
+  template <typename Fn>
+  void ForEachDescTarget(int32_t state, util::Symbol symbol, Fn&& fn) const {
+    const StateMeta& m = states_[static_cast<size_t>(state)];
+    int32_t named = FindNamed(m.desc_begin, m.desc_end, symbol);
+    if (named >= 0) fn(named);
+    if (m.desc_wild >= 0) fn(m.desc_wild);
+  }
+
+  bool HasDescOut(int32_t state) const {
+    return states_[static_cast<size_t>(state)].has_desc_out;
+  }
+  // Subscriptions accepted at `state` ([begin, end) into a stable array).
+  const uint32_t* AcceptsBegin(int32_t state) const {
+    return accepts_.data() + states_[static_cast<size_t>(state)].accept_begin;
+  }
+  const uint32_t* AcceptsEnd(int32_t state) const {
+    return accepts_.data() + states_[static_cast<size_t>(state)].accept_end;
+  }
+
+ private:
+  friend class SharedIndexBuilder;
+
+  struct StateMeta {
+    uint32_t child_begin = 0, child_end = 0;  // into named_edges_
+    uint32_t desc_begin = 0, desc_end = 0;    // into named_edges_
+    int32_t child_wild = -1;
+    int32_t desc_wild = -1;
+    uint32_t accept_begin = 0, accept_end = 0;
+    bool has_desc_out = false;
+  };
+  struct NamedEdge {
+    util::Symbol symbol;
+    int32_t target;
+  };
+
+  int32_t FindNamed(uint32_t begin, uint32_t end, util::Symbol symbol) const;
+
+  std::vector<StateMeta> states_;
+  std::vector<NamedEdge> named_edges_;  // child slice then desc slice, sorted
+  std::vector<uint32_t> accepts_;
+  BuildStats stats_;
+};
+
+// Per-evaluator runtime over one SharedIndex: the only mutable state of the
+// shared backend. Driven by EngineFleet for every element event (the trie
+// is its own index; no label pre-filtering). Verdict semantics mirror
+// XaosEngine: MatchConfirmed is monotone and usable mid-stream, Matched and
+// Result are valid after EndDocument, an aborted document reports
+// Matched() == false while the confirmation flag persists until the next
+// StartDocument.
+class SharedMatcher {
+ public:
+  // `index` must outlive the matcher. `bool_only` mirrors
+  // EngineOptions::stop_after_confirmed_match: report matched with no
+  // items.
+  SharedMatcher(const SharedIndex* index, bool bool_only);
+
+  void StartDocument();
+  // `node` is the cursor node of the element being started (the fleet
+  // advances the shared cursor first). `symbol` may be kInvalidSymbol
+  // (replay paths); `name` resolves it.
+  void StartElement(util::Symbol symbol, std::string_view name,
+                    const DocumentCursor::Node& node);
+  void EndElement();
+  void EndDocument();
+  void AbortDocument();
+
+  // Valid after EndDocument (false mid-stream and after an abort).
+  bool Matched(uint32_t sub) const {
+    return end_seen_ && subs_[sub].confirmed;
+  }
+  // Monotone mid-stream confirmation, like XaosEngine::match_confirmed.
+  bool MatchConfirmed(uint32_t sub) const { return subs_[sub].confirmed; }
+  // obs::NowNs() of the confirmation transition; 0 unmatched / obs off.
+  uint64_t confirm_ns(uint32_t sub) const { return subs_[sub].confirm_ns; }
+  // The subscription's result; items in document order, deduplicated
+  // (empty under bool_only, like stop_after_confirmed_match).
+  QueryResult Result(uint32_t sub) const;
+
+  // --- accounting (cumulative across documents) ---
+  uint64_t elements_total() const { return elements_total_; }
+  uint64_t states_entered_total() const { return states_entered_total_; }
+  // This document's element / state-entry counts (dispatch-work-saved
+  // attribution at document end).
+  uint64_t elements_document() const { return elements_document_; }
+  uint64_t states_entered_document() const { return states_entered_document_; }
+
+ private:
+  struct SubState {
+    bool confirmed = false;
+    uint64_t confirm_ns = 0;
+    std::vector<OutputItem> items;
+  };
+
+  void Enter(int32_t state, size_t depth, const DocumentCursor::Node& node,
+             std::string_view name);
+  void Fire(uint32_t sub, const DocumentCursor::Node& node,
+            std::string_view name);
+
+  const SharedIndex* index_;
+  bool bool_only_;
+
+  // fresh_[d]: states entered at the open element of depth d (document
+  // element at 1; fresh_[0] holds the root state). Vectors are reused
+  // across elements at the same depth, allocation-free in steady state.
+  std::vector<std::vector<int32_t>> fresh_;
+  // Armed states with descendant out-edges, in arming order (a stack:
+  // deeper arms are popped before shallower ones). carry_added_[d] entries
+  // were armed at depth d.
+  std::vector<int32_t> carry_;
+  std::vector<uint32_t> carry_added_;
+  std::vector<uint8_t> in_carry_;  // per state
+  size_t depth_ = 0;
+  bool end_seen_ = false;
+
+  std::vector<SubState> subs_;
+
+  uint64_t elements_total_ = 0;
+  uint64_t states_entered_total_ = 0;
+  uint64_t elements_document_ = 0;
+  uint64_t states_entered_document_ = 0;
+};
+
+}  // namespace xaos::core
+
+#endif  // XAOS_CORE_SHARED_INDEX_H_

@@ -82,6 +82,16 @@ struct EngineOptions {
   // without reading them to the end (paper Section 5.1's eager emission).
   bool stop_after_confirmed_match = false;
 
+  // Multi-query evaluators route shareable subscriptions (linear forward
+  // chains — see core/shared_index.h) through the merged shared-prefix
+  // automaton instead of one engine each; per-event cost then scales with
+  // distinct query structure, not subscription count. Results are identical
+  // either way — disabling selects the per-engine path everywhere, which
+  // the differential tests use as the oracle. Ignored by single-query
+  // evaluators; automatically off when capture_output_subtrees or
+  // max_live_structures demand exact per-engine semantics.
+  bool enable_shared_index = true;
+
   // Registry the evaluators report per-subscription latency and high-water
   // instrumentation into when obs::Enabled(); nullptr selects
   // obs::MetricsRegistry::Default(). Lets embedders (pubsub_router,

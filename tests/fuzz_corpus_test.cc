@@ -55,5 +55,9 @@ TEST(FuzzCorpusTest, ProjectionSeeds) {
   Replay("projection", fuzz::RunProjectionDifferentialInput);
 }
 
+TEST(FuzzCorpusTest, SharedIndexSeeds) {
+  Replay("shared", fuzz::RunSharedIndexDiffInput);
+}
+
 }  // namespace
 }  // namespace xaos

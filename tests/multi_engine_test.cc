@@ -149,10 +149,14 @@ TEST(HotPathCountersTest, ArenaBytesExported) {
 TEST(HotPathCountersTest, DispatchAndInterningCountersInDefaultRegistry) {
   obs::SetEnabled(true);  // runtime default is off; no-op when compiled out
   if (!obs::Enabled()) GTEST_SKIP() << "observability disabled at build time";
-  // The fleet folds these into the default registry at EndDocument.
+  // The fleet folds these into the default registry at EndDocument. Both
+  // queries are shareable chains, so force the per-engine backend — the
+  // dispatch-skip counters only exist on that path.
+  core::EngineOptions options;
+  options.enable_shared_index = false;
   StatusOr<core::Query> query = core::Query::Compile("//b/c");
   ASSERT_TRUE(query.ok());
-  core::MultiQueryEvaluator multi;
+  core::MultiQueryEvaluator multi(options);
   multi.AddQuery(*query);
   StatusOr<core::Query> idle = core::Query::Compile("//never_present/x");
   ASSERT_TRUE(idle.ok());
