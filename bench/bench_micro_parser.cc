@@ -142,13 +142,22 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --json-out before google-benchmark's flag parser rejects it.
+  // Strip our flags before google-benchmark's flag parser rejects them.
   std::string json_out;
   std::vector<char*> remaining;
   remaining.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
       json_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--scanner=", 10) == 0) {
+      xaos::StatusOr<xaos::xml::ScannerBackend> backend =
+          xaos::xml::ResolveScannerBackend(argv[i] + 10);
+      if (!backend.ok()) {
+        std::fprintf(stderr, "--scanner: %s\n",
+                     std::string(backend.status().message()).c_str());
+        return 2;
+      }
+      xaos::xml::SetDefaultScannerBackend(*backend);
     } else {
       remaining.push_back(argv[i]);
     }

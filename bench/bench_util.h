@@ -18,6 +18,8 @@
 
 #include "core/engine_stats.h"
 #include "obs/json.h"
+#include "util/cpu_features.h"
+#include "xml/structural_scanner.h"
 
 namespace xaos::bench {
 
@@ -150,7 +152,17 @@ inline void Rule(int width) {
 //                 "metrics": {"elements_total": ..., ...}}, ...]}
 class BenchReporter {
  public:
-  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    // Hardware/backend provenance, recorded into every BENCH_*.json so the
+    // regression gate (tools/check_bench_regression.py) can tell when a
+    // baseline and a candidate ran with different vector capabilities or a
+    // pinned scanner kernel — those comparisons warn instead of failing.
+    SetParam("cpu_features", util::CpuFeatureSummary());
+    SetParam("hardware_concurrency",
+             static_cast<double>(util::DetectCpuFeatures().hardware_concurrency));
+    SetParam("scanner_backend",
+             xml::ScannerBackendName(xml::DefaultScannerBackend()));
+  }
 
   void SetParam(const std::string& key, double value) {
     params_.emplace_back(key, obs::JsonNumber(value));

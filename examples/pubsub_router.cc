@@ -71,10 +71,21 @@ int main(int argc, char** argv) {
       no_projection = true;
     } else if (std::strncmp(argv[i], "--flight-trace=", 15) == 0) {
       flight_trace_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--scanner=", 10) == 0) {
+      // Pin the structural-scanner kernel (scalar/swar/sse2/avx2/auto);
+      // results are identical across backends, only throughput differs.
+      xaos::StatusOr<xaos::xml::ScannerBackend> backend =
+          xaos::xml::ResolveScannerBackend(argv[i] + 10);
+      if (!backend.ok()) {
+        std::cerr << "--scanner: " << backend.status().message() << "\n";
+        return 2;
+      }
+      xaos::xml::SetDefaultScannerBackend(*backend);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--threads=N] [--max-depth=N] [--max-total-bytes=N]"
-                << " [--no-projection] [--flight-trace=FILE]\n";
+                << " [--no-projection] [--flight-trace=FILE]"
+                << " [--scanner=BACKEND]\n";
       return 2;
     }
   }

@@ -1,0 +1,8 @@
+// libFuzzer entry point: XML documents checked for byte-identical kernel
+// masks and parse event streams across every structural-scanner backend.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunScannerDiffInput(data, size);
+}

@@ -40,6 +40,15 @@ int RunDifferentialInput(const uint8_t* data, size_t size);
 // converse; see xml/skip_scanner.h.)
 int RunProjectionDifferentialInput(const uint8_t* data, size_t size);
 
+// Structural-scanner differential. Treats `data` as an XML document and
+// checks the tentpole invariant of xml/structural_scanner.h at two levels:
+// every available classify kernel must produce the scalar kernel's exact
+// BlockMasks for every 64-byte block of the input, and a full parse under
+// every available backend — one-shot and through an adversarial chunk
+// schedule — must yield the scalar backend's byte-identical event stream,
+// outcome and error position.
+int RunScannerDiffInput(const uint8_t* data, size_t size);
+
 // Shared-index differential. Input layout:
 // "<xpath>;<xpath>;...\n<xml document>" — a multi-query pool evaluated
 // through the shared-prefix automaton backend and through the per-engine

@@ -67,6 +67,10 @@ std::string_view MetricHelpText(std::string_view base) {
        "Subtrees bypassed by the static-projection skip scanner."},
       {"xaos_projection_bytes_skipped_total",
        "Bytes bypassed by the static-projection skip scanner."},
+      {"xaos_scanner_bytes_classified_total",
+       "Bytes run through the structural scanner's block classifier."},
+      {"xaos_scanner_backend",
+       "Active structural-scanner backend (1 for the selected kernel)."},
       {"xaos_engine_event_ns",
        "Sampled per-event dispatch latency in nanoseconds."},
       {"xaos_engine_elements_total", "Elements dispatched to engines."},

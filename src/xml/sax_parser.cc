@@ -58,10 +58,36 @@ class MatchTimingHandler : public ContentHandler {
   obs::PhaseTimers* timers_;
 };
 
+// Name-character membership tables: ScanName runs for every element and
+// attribute name, so the per-byte test is one indexed load instead of a
+// chain of range compares.
+struct NameCharTable {
+  bool start[256];
+  bool part[256];
+};
+
+constexpr NameCharTable MakeNameCharTable() {
+  NameCharTable t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    const bool start = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':' || c >= 0x80;
+    t.start[c] = start;
+    t.part[c] =
+        start || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+  return t;
+}
+
+constexpr NameCharTable kNameChars = MakeNameCharTable();
+
 }  // namespace
 
 SaxParser::SaxParser(ContentHandler* handler, ParserOptions options)
     : handler_(handler), options_(options) {
+  if (options_.scanner_backend.has_value()) {
+    scanner_.SetBackend(*options_.scanner_backend);
+  }
+  skip_scanner_.SetScannerBackend(scanner_.backend());
   if (options_.phase_timers != nullptr) {
     timing_wrapper_ =
         std::make_unique<MatchTimingHandler>(handler, options_.phase_timers);
@@ -87,23 +113,44 @@ bool SaxParser::IsWhitespace(char c) {
 }
 
 bool SaxParser::IsNameStartChar(unsigned char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
-         c == ':' || c >= 0x80;
+  return kNameChars.start[c];
 }
 
 bool SaxParser::IsNameChar(unsigned char c) {
-  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  return kNameChars.part[c];
+}
+
+util::Symbol SaxParser::InternName(std::string_view name) {
+  if (name.size() <= sizeof(NameCacheSlot::bytes)) {
+    NameCacheSlot& slot =
+        name_cache_[(name.size() * 131 +
+                     static_cast<unsigned char>(name.front()) * 31 +
+                     static_cast<unsigned char>(name[name.size() / 2]) * 7 +
+                     static_cast<unsigned char>(name.back())) &
+                    (kNameCacheSlots - 1)];
+    if (slot.len == name.size() &&
+        std::memcmp(slot.bytes, name.data(), slot.len) == 0) {
+      return slot.symbol;
+    }
+    const util::Symbol symbol = util::SymbolTable::Global().Intern(name);
+    slot.len = static_cast<uint8_t>(name.size());
+    std::memcpy(slot.bytes, name.data(), name.size());
+    slot.symbol = symbol;
+    return symbol;
+  }
+  return util::SymbolTable::Global().Intern(name);
 }
 
 size_t SaxParser::ScanName(std::string_view s, size_t i) {
-  if (i >= s.size() || !IsNameStartChar(static_cast<unsigned char>(s[i]))) {
+  const char* d = s.data();
+  if (i >= s.size() || !kNameChars.start[static_cast<unsigned char>(d[i])]) {
     return 0;
   }
-  size_t n = 1;
-  while (i + n < s.size() && IsNameChar(static_cast<unsigned char>(s[i + n]))) {
+  size_t n = i + 1;
+  while (n < s.size() && kNameChars.part[static_cast<unsigned char>(d[n])]) {
     ++n;
   }
-  return n;
+  return n - i;
 }
 
 void SaxParser::Consume(size_t n) {
@@ -124,6 +171,26 @@ void SaxParser::Consume(size_t n) {
   }
   pos_ += n;
   seen_any_content_ = true;
+}
+
+void SaxParser::ConsumeCounted(size_t n, uint32_t newlines, size_t last_nl) {
+  // The structural scan already counted the span's newlines; fold them in
+  // without re-reading a single byte.
+  if (newlines > 0) {
+    line_ += static_cast<int>(newlines);
+    column_ = static_cast<int>(n - last_nl);
+  } else {
+    column_ += static_cast<int>(n);
+  }
+  pos_ += n;
+  seen_any_content_ = true;
+}
+
+void SaxParser::MaterializeTextView() {
+  if (!text_in_view_) return;
+  text_accum_.assign(text_view_.data(), text_view_.size());
+  text_in_view_ = false;
+  text_view_ = {};
 }
 
 SaxParser::Progress SaxParser::Fail(std::string message) {
@@ -178,12 +245,17 @@ Status SaxParser::Feed(std::string_view chunk) {
     started_document_ = true;
     handler_->StartDocument();
   }
+  // Compacting/growing buffer_ invalidates any zero-copy pending-text view
+  // into it (copy the view out first) and every cached block mask.
+  MaterializeTextView();
   // Compact the consumed prefix before growing the buffer.
   if (pos_ > 0) {
     buffer_.erase(0, pos_);
     pos_ = 0;
   }
   buffer_.append(chunk.data(), chunk.size());
+  scanner_.InvalidateCache();
+  skip_scanner_.InvalidateScannerCache();
   Progress p = Pump();
   // Whatever Pump left unconsumed is one incomplete token (plus a few
   // held-back text bytes); bound it so a stream that never closes a
@@ -230,16 +302,19 @@ Status SaxParser::Finish() {
     }
   }
   if (text_pending_) {
-    if (!IsAllXmlWhitespace(text_accum_)) {
+    if (!text_all_ws_) {
       Fail("character data outside the document element");
       return error_;
     }
     text_pending_ = false;
+    text_in_view_ = false;
+    text_view_ = {};
     text_accum_.clear();
+    text_all_ws_ = true;
   }
-  if (!open_elements_.empty()) {
+  if (!open_offsets_.empty()) {
     Fail("unexpected end of document: unclosed element <" +
-         open_elements_.back() + ">");
+         std::string(TopOpenName()) + ">");
     return error_;
   }
   if (!seen_root_) {
@@ -268,23 +343,35 @@ Status SaxParser::Finish() {
         ->Increment(element_count_);
     registry.GetCounter("xaos_parser_text_events_total")
         ->Increment(text_event_count_);
+    registry.GetCounter("xaos_scanner_bytes_classified_total")
+        ->Increment(scanner_.TakeBytesClassified() +
+                    skip_scanner_.TakeScannerBytes());
+    registry
+        .GetGauge(std::string("xaos_scanner_backend{backend=\"") +
+                  ScannerBackendName(scanner_.backend()) + "\"}")
+        ->Set(1);
   }
   return Status::Ok();
 }
 
-void SaxParser::EmitPendingText() {
-  if (!text_pending_) return;
+void SaxParser::EmitPendingTextSlow() {
   text_pending_ = false;
-  if (text_accum_.empty()) return;
-  if (options_.report_whitespace_text || !IsAllXmlWhitespace(text_accum_)) {
+  std::string_view text =
+      text_in_view_ ? text_view_ : std::string_view(text_accum_);
+  if (!text.empty() &&
+      (options_.report_whitespace_text || !text_all_ws_)) {
     ++text_event_count_;
-    handler_->Characters(text_accum_);
+    handler_->Characters(text);
   }
+  text_in_view_ = false;
+  text_view_ = {};
   text_accum_.clear();
+  text_all_ws_ = true;
 }
 
-Status SaxParser::AppendText(std::string_view raw, bool decode) {
-  if (open_elements_.empty() && !IsAllXmlWhitespace(raw)) {
+Status SaxParser::AppendTextPiece(std::string_view raw, bool decode,
+                                  bool has_amp, bool has_ctl, bool all_ws) {
+  if (open_offsets_.empty() && !all_ws) {
     Fail(seen_root_ ? "character data after the document element"
                     : "character data before the document element");
     return error_;
@@ -292,12 +379,11 @@ Status SaxParser::AppendText(std::string_view raw, bool decode) {
   // The XML Char production excludes C0 controls (other than tab/LF/CR)
   // even inside CDATA; literal bytes get the same treatment decoded
   // character references always had.
-  if (FindForbiddenControlByte(raw) != std::string_view::npos) {
+  if (has_ctl) {
     Fail("control character in character data");
     return error_;
   }
-  if (decode && !raw.empty() &&
-      std::memchr(raw.data(), '&', raw.size()) != nullptr) {
+  if (decode && has_amp && !raw.empty()) {
     StatusOr<std::string> decoded = DecodeReferences(raw, &entity_references_);
     if (!decoded.ok()) {
       Fail(decoded.status().message());
@@ -310,13 +396,33 @@ Status SaxParser::AppendText(std::string_view raw, bool decode) {
                 " exceeded");
       return error_;
     }
+    MaterializeTextView();
     text_accum_ += *decoded;
+    // References may decode to whitespace (&#32;) or not (&amp;); only the
+    // decoded bytes decide.
+    text_all_ws_ = text_all_ws_ && IsAllXmlWhitespace(*decoded);
+  } else if (!text_pending_) {
+    // First (and in the common case only) piece of the run: keep it as a
+    // view into buffer_ and skip the copy entirely.
+    text_view_ = raw;
+    text_in_view_ = true;
+    text_all_ws_ = all_ws;
   } else {
+    MaterializeTextView();
     text_accum_.append(raw.data(), raw.size());
+    text_all_ws_ = text_all_ws_ && all_ws;
   }
   text_pending_ = true;
   if (!options_.coalesce_text) EmitPendingText();
   return Status::Ok();
+}
+
+Status SaxParser::AppendText(std::string_view raw, bool decode) {
+  // Cold-path wrapper: derive the facts the hot paths already have. `raw`
+  // never contains '<' here, so the text scan covers the whole span.
+  TextFacts facts = scanner_.ScanText(raw.data(), raw.size(), 0);
+  return AppendTextPiece(raw, decode, facts.has_amp, facts.has_ctl,
+                         facts.all_ws);
 }
 
 SaxParser::Progress SaxParser::Pump() {
@@ -353,7 +459,7 @@ SaxParser::Progress SaxParser::PumpSkip() {
 }
 
 SaxParser::Progress SaxParser::DeliverSkip(const SkipReport& report) {
-  if (open_elements_.empty()) seen_root_ = true;
+  if (open_offsets_.empty()) seen_root_ = true;
   if (obs::Enabled()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
     registry.GetCounter("xaos_projection_subtrees_skipped_total")
@@ -377,45 +483,61 @@ SaxParser::Progress SaxParser::DeliverSkip(const SkipReport& report) {
 }
 
 SaxParser::Progress SaxParser::ParseText() {
-  const char* base = buffer_.data();
-  const char* from = base + pos_;
+  const char* from = buffer_.data() + pos_;
   size_t avail = buffer_.size() - pos_;
-  const char* lt = static_cast<const char*>(std::memchr(from, '<', avail));
-  size_t run = (lt == nullptr) ? avail : static_cast<size_t>(lt - from);
+  // One classification pass answers every question this function used to
+  // make separate passes for: run end, '&', ']', control bytes,
+  // whitespace-ness, newline accounting.
+  TextFacts facts = scanner_.ScanText(buffer_.data(), buffer_.size(), pos_);
+  bool saw_lt = facts.first_lt != std::string_view::npos;
+  size_t run = saw_lt ? facts.first_lt : avail;
   std::string_view text(from, run);
 
   // "]]>" must not appear literally in character data (XML 1.0 §2.4);
   // only the CDATA-end scanner may consume it.
-  if (text.find("]]>") != std::string_view::npos) {
+  if (facts.has_rbracket &&
+      text.find("]]>") != std::string_view::npos) {
     return Fail("']]>' in character data");
   }
-  if (lt == nullptr) {
+  if (!saw_lt) {
     // No markup yet. Hold back a trailing incomplete entity reference so it
     // is not split across chunks; everything before it can be emitted. An
     // overlong reference is not held back — the decode below rejects it
     // now instead of buffering an unbounded '&'-payload.
-    size_t amp = text.rfind('&');
-    if (amp != std::string_view::npos &&
-        text.find(';', amp) == std::string_view::npos &&
-        text.size() - amp <= kMaxReferenceBodyBytes + 1) {
-      text = text.substr(0, amp);
+    size_t held = text.size();
+    if (facts.has_amp) {
+      size_t amp = text.rfind('&');
+      if (amp != std::string_view::npos &&
+          text.find(';', amp) == std::string_view::npos &&
+          text.size() - amp <= kMaxReferenceBodyBytes + 1) {
+        text = text.substr(0, amp);
+      }
     }
     // Likewise hold back a trailing "]" / "]]" so a "]]>" split across
     // chunks is still caught by the scan above on the next Feed. Two
     // brackets suffice: any "]]>" ends with exactly these.
-    size_t trail = 0;
-    while (trail < 2 && trail < text.size() &&
-           text[text.size() - 1 - trail] == ']') {
-      ++trail;
+    if (facts.has_rbracket) {
+      size_t trail = 0;
+      while (trail < 2 && trail < text.size() &&
+             text[text.size() - 1 - trail] == ']') {
+        ++trail;
+      }
+      text.remove_suffix(trail);
     }
-    text.remove_suffix(trail);
     if (text.empty()) return Progress::kNeedMore;
+    // The facts described the untrimmed span; rescan the (chunk-boundary,
+    // so cold) trimmed remainder, keeping the buffer's block grid.
+    if (text.size() != held) {
+      facts = scanner_.ScanText(buffer_.data(), pos_ + text.size(), pos_);
+    }
   }
-  if (Status s = AppendText(text, /*decode=*/true); !s.ok()) {
+  if (Status s = AppendTextPiece(text, /*decode=*/true, facts.has_amp,
+                                 facts.has_ctl, facts.all_ws);
+      !s.ok()) {
     return Progress::kError;
   }
-  Consume(text.size());
-  return (lt == nullptr) ? Progress::kNeedMore : Progress::kOk;
+  ConsumeCounted(text.size(), facts.newlines, facts.last_nl);
+  return saw_lt ? Progress::kOk : Progress::kNeedMore;
 }
 
 SaxParser::Progress SaxParser::ParseMarkup() {
@@ -423,9 +545,12 @@ SaxParser::Progress SaxParser::ParseMarkup() {
   // Wait for enough characters to classify the construct unambiguously.
   if (rest.size() < 2) return Progress::kNeedMore;
   if (rest[1] == '/') {
-    size_t gt = rest.find('>', 2);
+    // End tags cannot contain quoted values, so the raw '>' mask answers
+    // directly — and the block is almost always already classified (the
+    // text scan that found this '<' touched it).
+    size_t gt = scanner_.NextGt(buffer_.data(), buffer_.size(), pos_ + 2);
     if (gt == std::string_view::npos) return Progress::kNeedMore;
-    return ParseEndTag(gt);
+    return ParseEndTag(gt + 2);
   }
   if (rest[1] == '?') return ParsePi();
   if (rest[1] == '!') {
@@ -442,52 +567,22 @@ SaxParser::Progress SaxParser::ParseMarkup() {
     if (StartsWith(rest, "<!DOCTYPE")) return ParseDoctype();
     return Fail("unsupported markup declaration");
   }
-  size_t end;
-  bool self_closing;
-  Progress p = FindStartTagEnd(&end, &self_closing);
-  if (p != Progress::kOk) return p;
-  return ParseStartTag(end, self_closing);
-}
-
-SaxParser::Progress SaxParser::FindStartTagEnd(size_t* end,
-                                               bool* self_closing) {
-  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
-  // memchr from candidate '>' to candidate '>': scan for the nearest
-  // closing angle, then check only the span before it for a quote (which
-  // would hide the '>') or a stray '<'. Tags without attribute values hit
-  // the fast path: one memchr for '>' plus three bounded probes.
-  size_t i = 1;
-  for (;;) {
-    if (i >= rest.size()) return Progress::kNeedMore;
-    const char* base = rest.data() + i;
-    size_t avail = rest.size() - i;
-    const char* gt = static_cast<const char*>(std::memchr(base, '>', avail));
-    // Without any '>' the tag cannot end in this buffer, quoted or not.
-    if (gt == nullptr) return Progress::kNeedMore;
-    size_t span = static_cast<size_t>(gt - base);
-    const char* q1 = static_cast<const char*>(std::memchr(base, '"', span));
-    const char* q2 = static_cast<const char*>(std::memchr(base, '\'', span));
-    const char* quote = (q1 != nullptr && (q2 == nullptr || q1 < q2)) ? q1 : q2;
-    const char* lt = static_cast<const char*>(std::memchr(
-        base, '<', quote != nullptr ? static_cast<size_t>(quote - base) : span));
-    if (lt != nullptr) return Fail("'<' inside tag");
-    if (quote == nullptr) {
-      size_t at = static_cast<size_t>(gt - rest.data());
-      *end = at;
-      *self_closing = (at >= 2 && rest[at - 1] == '/');
-      return Progress::kOk;
-    }
-    // Skip the quoted attribute value and rescan behind it.
-    const char* rest_end = rest.data() + rest.size();
-    const char* close = static_cast<const char*>(std::memchr(
-        quote + 1, *quote, static_cast<size_t>(rest_end - (quote + 1))));
-    if (close == nullptr) return Progress::kNeedMore;
-    i = static_cast<size_t>(close + 1 - rest.data());
-  }
+  // Start tag: one structural scan over the body finds the quote-aware '>'
+  // and, in the same pass, counts quoted attribute values and newlines.
+  // Deferred mode: a stray '<' fails only once a '>' confirms the tag was
+  // malformed rather than merely incomplete (the historic contract).
+  TagScan scan = scanner_.ScanTag(buffer_.data(), buffer_.size(), pos_ + 1,
+                                  /*immediate_lt=*/false);
+  if (scan.kind == TagScan::Kind::kNeedMore) return Progress::kNeedMore;
+  if (scan.kind == TagScan::Kind::kBadLt) return Fail("'<' inside tag");
+  size_t end = 1 + scan.end;
+  bool self_closing = end >= 2 && rest[end - 1] == '/';
+  return ParseStartTag(end, self_closing, scan);
 }
 
 SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
-                                             bool self_closing) {
+                                             bool self_closing,
+                                             const TagScan& scan) {
   // rest[0] == '<', rest[tag_end] == '>'.
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
   std::string_view body =
@@ -502,36 +597,35 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
   }
   std::string_view name = body.substr(0, name_len);
 
-  if (open_elements_.empty() && seen_root_) {
+  if (open_offsets_.empty() && seen_root_) {
     return Fail("multiple document elements (second root <" +
                 std::string(name) + ">)");
   }
-  if (static_cast<int>(open_elements_.size()) >= limits.max_depth) {
+  if (static_cast<int>(open_offsets_.size()) >= limits.max_depth) {
     return FailLimit("maximum element depth of " +
                      std::to_string(limits.max_depth) + " exceeded");
   }
 
   if (projection_filter_ != nullptr &&
-      projection_filter_->ShouldSkipSubtree(name, open_elements_.size())) {
+      projection_filter_->ShouldSkipSubtree(name, open_offsets_.size())) {
     // The whole subtree is irrelevant: account for the start tag, then let
     // the skip scanner race to the matching end tag. The element is never
-    // pushed onto open_elements_ and emits no events.
+    // pushed onto the open-element stack and emits no events.
     SkipReport initial;
     initial.elements = 1;
-    initial.node_ids = 1 + SkipScanner::CountQuotedValues(
-                               body.substr(name_len));
+    // The tag scan already paired the quotes; no re-scan of the body.
+    initial.node_ids = 1 + scan.quoted_values;
     initial.bytes = tag_end + 1;
     EmitPendingText();
-    Consume(tag_end + 1);
+    ConsumeCounted(tag_end + 1, scan.newlines,
+                   scan.newlines > 0 ? scan.last_nl + 1 : scan.last_nl);
     if (self_closing) return DeliverSkip(initial);
-    skip_scanner_.Begin(initial, open_elements_.size(), limits.max_depth,
+    skip_scanner_.Begin(initial, open_offsets_.size(), limits.max_depth,
                         options_.report_whitespace_text);
     skip_active_ = true;
     if (obs::flight::Active()) skip_begin_ns_ = obs::NowNs();
     return Progress::kOk;
   }
-
-  util::SymbolTable& symbols = util::SymbolTable::Global();
 
   // Attributes. Views point into `body` (and thus buffer_) or into reused
   // decode slots; both stay valid until the StartElement callback returns,
@@ -579,14 +673,20 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
                        std::to_string(limits.max_attribute_value_bytes) +
                        " bytes");
     }
-    if (raw_value.find('<') != std::string_view::npos) {
+    // One classification pass replaces the three validation probes
+    // ('<', forbidden control byte, '&').
+    ValueFacts value_facts = scanner_.ScanValue(
+        buffer_.data(), buffer_.size(),
+        static_cast<size_t>(raw_value.data() - buffer_.data()),
+        raw_value.size());
+    if (value_facts.has_lt) {
       return Fail("'<' in attribute value");
     }
-    if (FindForbiddenControlByte(raw_value) != std::string_view::npos) {
+    if (value_facts.has_ctl) {
       return Fail("control character in attribute value");
     }
     std::string_view value_view = raw_value;
-    if (raw_value.find('&') != std::string_view::npos) {
+    if (value_facts.has_amp) {
       StatusOr<std::string> value =
           DecodeReferences(raw_value, &entity_references_);
       if (!value.ok()) return Fail(value.status().message());
@@ -603,7 +703,7 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
       slot.assign(*value);
       value_view = slot;
     }
-    util::Symbol attr_symbol = symbols.Intern(attr_name);
+    util::Symbol attr_symbol = InternName(attr_name);
     // Interned ids make uniqueness an integer compare (names are equal iff
     // their Symbols are).
     for (const AttributeView& existing : attributes_) {
@@ -616,22 +716,39 @@ SaxParser::Progress SaxParser::ParseStartTag(size_t tag_end,
   }
 
   EmitPendingText();
-  handler_->StartElement(QName(name, symbols.Intern(name)),
+  handler_->StartElement(QName(name, InternName(name)),
                          AttributeSpan(attributes_));
   ++element_count_;
   if (self_closing) {
     handler_->EndElement(name);
-    if (open_elements_.empty()) seen_root_ = true;
+    if (open_offsets_.empty()) seen_root_ = true;
   } else {
-    open_elements_.emplace_back(name);
+    PushOpenName(name);
   }
-  Consume(tag_end + 1);
+  ConsumeCounted(tag_end + 1, scan.newlines,
+                 scan.newlines > 0 ? scan.last_nl + 1 : scan.last_nl);
   return Progress::kOk;
 }
 
 SaxParser::Progress SaxParser::ParseEndTag(size_t tag_end) {
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
   std::string_view body = rest.substr(2, tag_end - 2);
+  // Fast path: the body is byte-identical to the open element's name — the
+  // canonical well-formed shape. That name already passed Name syntax and
+  // the length limit at its start tag, and a Name cannot contain newlines,
+  // so one memcmp replaces the per-byte name walk, the trailing-whitespace
+  // check and the newline count. Any other shape (trailing whitespace,
+  // mismatch, empty stack) falls through to the validating path below.
+  if (!open_offsets_.empty() && body == TopOpenName()) {
+    EmitPendingText();
+    handler_->EndElement(body);
+    PopOpenName();
+    if (open_offsets_.empty()) seen_root_ = true;
+    pos_ += tag_end + 1;
+    column_ += static_cast<int>(tag_end) + 1;
+    seen_any_content_ = true;
+    return Progress::kOk;
+  }
   size_t name_len = ScanName(body, 0);
   if (name_len == 0) return Fail("invalid end-tag name");
   if (name_len > options_.limits.max_name_bytes) {
@@ -644,17 +761,17 @@ SaxParser::Progress SaxParser::ParseEndTag(size_t tag_end) {
   while (i < body.size() && IsWhitespace(body[i])) ++i;
   if (i != body.size()) return Fail("junk in end tag");
 
-  if (open_elements_.empty()) {
+  if (open_offsets_.empty()) {
     return Fail("end tag </" + std::string(name) + "> with no open element");
   }
-  if (open_elements_.back() != name) {
-    return Fail("mismatched end tag: expected </" + open_elements_.back() +
+  if (TopOpenName() != name) {
+    return Fail("mismatched end tag: expected </" + std::string(TopOpenName()) +
                 ">, found </" + std::string(name) + ">");
   }
   EmitPendingText();
   handler_->EndElement(name);
-  open_elements_.pop_back();
-  if (open_elements_.empty()) seen_root_ = true;
+  PopOpenName();
+  if (open_offsets_.empty()) seen_root_ = true;
   Consume(tag_end + 1);
   return Progress::kOk;
 }
@@ -682,11 +799,17 @@ SaxParser::Progress SaxParser::ParseCData() {
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
   size_t end = rest.find("]]>", 9);
   if (end == std::string_view::npos) return Progress::kNeedMore;
-  if (open_elements_.empty()) {
+  if (open_offsets_.empty()) {
     return Fail("CDATA section outside the document element");
   }
   std::string_view text = rest.substr(9, end - 9);
-  if (Status s = AppendText(text, /*decode=*/false); !s.ok()) {
+  // CDATA content may legally contain '<' and '&', so only the control-byte
+  // and whitespace facts matter (and no decoding happens).
+  CDataFacts facts =
+      scanner_.ScanCData(buffer_.data(), buffer_.size(), pos_ + 9, end - 9);
+  if (Status s = AppendTextPiece(text, /*decode=*/false, /*has_amp=*/false,
+                                 facts.has_ctl, facts.all_ws);
+      !s.ok()) {
     return Progress::kError;
   }
   Consume(end + 3);
@@ -727,7 +850,7 @@ SaxParser::Progress SaxParser::ParsePi() {
 
 SaxParser::Progress SaxParser::ParseDoctype() {
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
-  if (seen_root_ || !open_elements_.empty()) {
+  if (seen_root_ || !open_offsets_.empty()) {
     return Fail("DOCTYPE after the document element started");
   }
   // Skip to the matching '>' of the declaration, honoring the optional

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "util/status.h"
 #include "xml/sax_event.h"
 #include "xml/skip_scanner.h"
+#include "xml/structural_scanner.h"
 
 namespace xaos::obs {
 class PhaseTimers;
@@ -87,6 +89,12 @@ struct ParserOptions {
   // assignment would become chunk-dependent) or reported comments/PIs
   // (their events would be lost inside skips). Must outlive the parser.
   ProjectionFilter* projection_filter = nullptr;
+  // Structural-scanner kernel for this parser (and its skip scanner). Unset
+  // (the default) uses the process-wide DefaultScannerBackend(), i.e. the
+  // XAOS_SCANNER override or the best the CPU supports. Every backend
+  // produces byte-identical events and error positions; this exists for
+  // benchmarking, CI pinning and differential tests.
+  std::optional<ScannerBackend> scanner_backend;
 };
 
 // Incremental push parser. Typical use:
@@ -131,7 +139,10 @@ class SaxParser {
   Progress Pump();                      // parse as much of buffer_ as possible
   Progress ParseText();                 // content until '<'
   Progress ParseMarkup();               // dispatch on "<...": tag/comment/...
-  Progress ParseStartTag(size_t tag_end, bool self_closing);
+  // `scan` is the structural scan of the tag body (rest[1..tag_end)); it
+  // carries the quoted-value count and newline accounting for the tag.
+  Progress ParseStartTag(size_t tag_end, bool self_closing,
+                         const TagScan& scan);
   Progress ParseEndTag(size_t tag_end);
   Progress ParseComment();
   Progress ParseCData();
@@ -142,18 +153,31 @@ class SaxParser {
   // the skipped subtree was the document element, and notifies the handler.
   Progress DeliverSkip(const SkipReport& report);
 
-  // Scans for the '>' ending a start tag, honoring quoted attribute values.
-  // On success sets *end to the index of '>' and *self_closing.
-  Progress FindStartTagEnd(size_t* end, bool* self_closing);
-
   // Record a well-formedness error (kParseError) / a limit rejection
   // (kResourceExhausted); both poison the parser and return kError.
   Progress Fail(std::string message);
   Progress FailLimit(std::string message);
   Progress FailWith(StatusCode code, std::string message);
-  void EmitPendingText();               // flush text_accum_ to the handler
-  Status AppendText(std::string_view raw, bool decode);  // into text_accum_
+  // Flush pending text to the handler. Called once per markup event, and
+  // usually with nothing pending — the guard stays inline.
+  void EmitPendingText() {
+    if (text_pending_) EmitPendingTextSlow();
+  }
+  void EmitPendingTextSlow();
+  // Appends one character-data piece to the pending run. The bool facts
+  // come from a structural scan of `raw` (whole-span coverage); the hot
+  // paths hand down the facts they already computed, the cold wrapper
+  // AppendText() derives them itself.
+  Status AppendTextPiece(std::string_view raw, bool decode, bool has_amp,
+                         bool has_ctl, bool all_ws);
+  Status AppendText(std::string_view raw, bool decode);
+  // Copies a zero-copy pending-text view into text_accum_. Must run before
+  // anything mutates buffer_ (the view points into it).
+  void MaterializeTextView();
   void Consume(size_t n);               // advance pos_, track line/column
+  // Consume() with the newline accounting precomputed by a structural scan
+  // of the consumed span: `newlines` '\n's, the last at offset `last_nl`.
+  void ConsumeCounted(size_t n, uint32_t newlines, size_t last_nl);
 
   // Validating helpers.
   static bool IsNameStartChar(unsigned char c);
@@ -161,6 +185,21 @@ class SaxParser {
   static bool IsWhitespace(char c);
   // Parses a Name starting at `i` within `s`; returns its length or 0.
   static size_t ScanName(std::string_view s, size_t i);
+
+  // Open-element-stack accessors over the arena representation (see
+  // open_names_ / open_offsets_ below).
+  size_t OpenDepth() const { return open_offsets_.size(); }
+  std::string_view TopOpenName() const {
+    return std::string_view(open_names_).substr(open_offsets_.back());
+  }
+  void PushOpenName(std::string_view name) {
+    open_offsets_.push_back(open_names_.size());
+    open_names_.append(name);
+  }
+  void PopOpenName() {
+    open_names_.resize(open_offsets_.back());
+    open_offsets_.pop_back();
+  }
 
   ContentHandler* handler_;
   ParserOptions options_;
@@ -172,10 +211,24 @@ class SaxParser {
   std::string buffer_;     // unconsumed input (suffix of the stream)
   size_t pos_ = 0;         // consumed prefix of buffer_
 
+  // Pending character data. The common case — one contiguous raw run, no
+  // references to decode — is held as a zero-copy view into buffer_
+  // (text_in_view_); it is materialized into text_accum_ only when a
+  // second piece coalesces onto it, a piece needs reference decoding, or
+  // the next Feed() is about to mutate buffer_. text_all_ws_ tracks
+  // whether the pending run (after decoding) is entirely XML whitespace,
+  // maintained incrementally so emission never rescans the text.
   std::string text_accum_;     // pending character data (decoded)
-  bool text_pending_ = false;  // text_accum_ holds a (possibly empty) run
+  std::string_view text_view_;
+  bool text_in_view_ = false;
+  bool text_all_ws_ = true;
+  bool text_pending_ = false;  // a (possibly empty) run is pending
 
-  std::vector<std::string> open_elements_;  // stack of open element names
+  // Stack of open element names as one arena string plus start offsets:
+  // push/pop happen once per element, and this layout makes them a byte
+  // append / resize instead of a std::string construct / destroy.
+  std::string open_names_;
+  std::vector<size_t> open_offsets_;
   bool started_document_ = false;
   bool seen_root_ = false;
   bool seen_any_content_ = false;  // anything consumed (XML decl gating)
@@ -196,6 +249,23 @@ class SaxParser {
   std::vector<AttributeView> attributes_;
   // Deque: slot strings must not move while attributes_ views into them.
   std::deque<std::string> attr_decode_slots_;
+
+  // Vectorized structural front-end shared by every hot loop below; the
+  // skip scanner owns a sibling instance pinned to the same backend.
+  StructuralScanner scanner_;
+
+  // Parser-local front for SymbolTable::Global(): element and attribute
+  // names repeat heavily within one document, so a tiny direct-mapped
+  // cache turns most Intern calls (hash + atomic probe + chain walk) into
+  // one memcmp against a cached spelling.
+  struct NameCacheSlot {
+    uint8_t len = 0;  // 0 = empty
+    char bytes[23];
+    util::Symbol symbol = util::kInvalidSymbol;
+  };
+  static constexpr size_t kNameCacheSlots = 64;  // power of two
+  NameCacheSlot name_cache_[kNameCacheSlots];
+  util::Symbol InternName(std::string_view name);
 
   // Document projection. Null unless options_.projection_filter is set and
   // compatible with the event options (see ParserOptions).

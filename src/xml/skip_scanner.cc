@@ -1,7 +1,5 @@
 #include "xml/skip_scanner.h"
 
-#include <algorithm>
-#include <array>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -52,18 +50,6 @@ bool ReferenceIsWhitespace(std::string_view body) {
   }
   return value == 0x20 || value == 0x9 || value == 0xA || value == 0xD;
 }
-
-// Bytes that end the fast forward scan inside a start tag: the tag
-// terminator, a quote opening an attribute value, or a stray '<'.
-constexpr std::array<bool, 256> MakeTagSignificant() {
-  std::array<bool, 256> table{};
-  table[static_cast<unsigned char>('>')] = true;
-  table[static_cast<unsigned char>('"')] = true;
-  table[static_cast<unsigned char>('\'')] = true;
-  table[static_cast<unsigned char>('<')] = true;
-  return table;
-}
-constexpr std::array<bool, 256> kTagSignificant = MakeTagSignificant();
 
 }  // namespace
 
@@ -131,7 +117,10 @@ void SkipScanner::ProcessCData(std::string_view content) {
   if (content.empty()) return;
   run_has_content_ = true;
   if (count_ws_runs_ || run_non_ws_) return;
-  if (!IsAllXmlWhitespace(content)) run_non_ws_ = true;
+  if (!scanner_.ScanCData(content.data(), content.size(), 0, content.size())
+           .all_ws) {
+    run_non_ws_ = true;
+  }
 }
 
 SkipScanner::State SkipScanner::Error(std::string message, size_t at,
@@ -150,8 +139,33 @@ SkipScanner::State SkipScanner::LimitError(std::string message, size_t at,
 
 SkipScanner::State SkipScanner::Scan(std::string_view input,
                                      size_t* consumed) {
+  constexpr size_t kBlk = kScannerBlockBytes;
   size_t i = 0;
   State result = State::kScanning;
+  // Block-local mask window: one Scan call walks `input` strictly forward,
+  // so a single classified block held in locals replaces cache probes —
+  // every tag in a block reuses the same masks for free.
+  BlockMasks m{};
+  size_t cur_bs = kNpos;
+  auto load_block = [&](size_t bs) {
+    const size_t len = input.size() - bs;
+    if (len >= kBlk) {
+      scanner_.ClassifyFullBlock(input.data() + bs, &m);
+    } else {
+      scanner_.ClassifyTail(input.data() + bs, len, &m);
+    }
+    cur_bs = bs;
+  };
+  // Offset of the next '>' at or after `f`, or kNpos if input ends first.
+  auto next_gt = [&](size_t f) -> size_t {
+    for (size_t bs = f & ~(kBlk - 1); bs < input.size(); bs += kBlk) {
+      if (bs != cur_bs) load_block(bs);
+      uint64_t g = m.gt;
+      if (bs < f) g &= ~0ull << (f - bs);
+      if (g != 0) return bs + static_cast<unsigned>(__builtin_ctzll(g));
+    }
+    return kNpos;
+  };
   while (i < input.size()) {
     if (input[i] != '<') {
       // Character data until the next markup. Only its whitespace-ness
@@ -177,10 +191,10 @@ SkipScanner::State SkipScanner::Scan(std::string_view input,
     std::string_view rest = input.substr(i);
     if (rest.size() < 2) break;
     if (rest[1] == '/') {
-      size_t gt = rest.find('>', 2);
+      size_t gt = next_gt(i + 2);
       if (gt == kNpos) break;
       FlushRun();
-      i += gt + 1;
+      i = gt + 1;
       if (--depth_ == 0) {
         result = State::kDone;
         break;
@@ -217,46 +231,69 @@ SkipScanner::State SkipScanner::Scan(std::string_view input,
       }
       return Error("unsupported markup declaration", i, consumed);
     }
-    // Start tag: one forward pass finds the quote-aware '>' and counts the
-    // quoted attribute values as it goes (the full parser's
-    // FindStartTagEnd + CountQuotedValues, fused — this loop runs for
-    // every skipped element, so the body is a table-driven byte scan with
-    // memchr only for jumping over quoted values).
-    const char* p = rest.data() + 1;
-    const char* rest_end = rest.data() + rest.size();
-    uint64_t quoted_values = 0;
-    size_t tag_end = kNpos;
-    bool self_closing = false;
-    bool need_more = false;
-    for (;;) {
-      while (p < rest_end &&
-             !kTagSignificant[static_cast<unsigned char>(*p)]) {
-        ++p;
+    // Start tag: the quote-aware '>' search and the quoted-attribute-value
+    // count, fused into one walk over the block masks (this runs for every
+    // skipped element). A stray unquoted '<' fails the instant it is seen.
+    // Blocks without single quotes take the branchless prefix-xor path;
+    // single-quoted values drop to a per-structural-bit walk.
+    const size_t f = i + 1;
+    uint64_t quoted = 0;
+    char quote = 0;
+    size_t tag_gt = kNpos;
+    for (size_t bs = f & ~(kBlk - 1); bs < input.size(); bs += kBlk) {
+      if (bs != cur_bs) load_block(bs);
+      uint64_t valid = ~0ull;
+      if (bs < f) valid = ~0ull << (f - bs);
+      if ((m.squote & valid) == 0 && quote != '\'') {
+        const uint64_t dq = m.dquote & valid;
+        const uint64_t inside =
+            ScannerPrefixXor(dq) ^ (quote != 0 ? ~0ull : 0ull);
+        const uint64_t gt_eff = m.gt & valid & ~inside;
+        const uint64_t lt_eff = m.lt & valid & ~inside;
+        const unsigned first_gt =
+            gt_eff != 0 ? static_cast<unsigned>(__builtin_ctzll(gt_eff)) : 64;
+        const unsigned first_lt =
+            lt_eff != 0 ? static_cast<unsigned>(__builtin_ctzll(lt_eff)) : 64;
+        if (first_gt < first_lt) {
+          const uint64_t below =
+              first_gt == 0 ? 0 : (~0ull >> (kBlk - first_gt));
+          quoted += static_cast<uint64_t>(
+              __builtin_popcountll(dq & ~inside & below));
+          tag_gt = bs + first_gt;
+          break;
+        }
+        if (first_lt < 64) return Error("'<' inside tag", i, consumed);
+        quoted += static_cast<uint64_t>(__builtin_popcountll(dq & ~inside));
+        quote = (inside >> 63) != 0 ? '"' : 0;
+        continue;
       }
-      if (p == rest_end) {
-        need_more = true;
-        break;
+      uint64_t structural = (m.lt | m.gt | m.dquote | m.squote) & valid;
+      while (structural != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(structural));
+        structural &= structural - 1;
+        const uint64_t b = 1ull << bit;
+        if (quote != 0) {
+          if ((quote == '"' && (m.dquote & b) != 0) ||
+              (quote == '\'' && (m.squote & b) != 0)) {
+            quote = 0;
+            ++quoted;
+          }
+          continue;
+        }
+        if ((m.gt & b) != 0) {
+          tag_gt = bs + bit;
+          break;
+        }
+        if ((m.lt & b) != 0) return Error("'<' inside tag", i, consumed);
+        quote = (m.dquote & b) != 0 ? '"' : '\'';
       }
-      char c = *p;
-      if (c == '>') {
-        tag_end = static_cast<size_t>(p - rest.data());
-        self_closing = tag_end >= 2 && rest[tag_end - 1] == '/';
-        break;
-      }
-      if (c == '<') return Error("'<' inside tag", i, consumed);
-      const char* close = static_cast<const char*>(std::memchr(
-          p + 1, c, static_cast<size_t>(rest_end - (p + 1))));
-      if (close == nullptr) {
-        need_more = true;
-        break;
-      }
-      ++quoted_values;
-      p = close + 1;
+      if (tag_gt != kNpos) break;
     }
-    if (need_more) break;
+    if (tag_gt == kNpos) break;  // tag still incomplete: wait for more input
+    bool self_closing = tag_gt - i >= 2 && input[tag_gt - 1] == '/';
     FlushRun();
     report_.elements += 1;
-    report_.node_ids += 1 + quoted_values;
+    report_.node_ids += 1 + quoted;
     if (!self_closing) {
       if (base_open_depth_ + depth_ >= static_cast<uint64_t>(max_depth_)) {
         return LimitError("maximum element depth of " +
@@ -265,7 +302,7 @@ SkipScanner::State SkipScanner::Scan(std::string_view input,
       }
       ++depth_;
     }
-    i += tag_end + 1;
+    i = tag_gt + 1;
   }
   *consumed = i;
   report_.bytes += i;

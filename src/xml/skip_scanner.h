@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "xml/sax_event.h"
+#include "xml/structural_scanner.h"
 
 namespace xaos::xml {
 
@@ -79,6 +80,20 @@ class SkipScanner {
   // so pairing quotes counts attributes exactly.
   static uint64_t CountQuotedValues(std::string_view tag_body);
 
+  // Pins the structural-scanner backend (the parser forwards its own choice
+  // so skipped and parsed regions classify identically).
+  void SetScannerBackend(ScannerBackend backend) {
+    scanner_.SetBackend(backend);
+  }
+
+  // Bytes this scanner's structural kernel classified since the last call;
+  // the parser folds them into xaos_scanner_bytes_classified_total.
+  uint64_t TakeScannerBytes() { return scanner_.TakeBytesClassified(); }
+
+  // Drops cached block masks; the parser calls this when its buffer (which
+  // Scan()'s input views into) is compacted or grown.
+  void InvalidateScannerCache() { scanner_.InvalidateCache(); }
+
  private:
   State Error(std::string message, size_t at, size_t* consumed);
   State LimitError(std::string message, size_t at, size_t* consumed);
@@ -88,6 +103,11 @@ class SkipScanner {
     if (run.empty()) return;
     run_has_content_ = true;
     if (count_ws_runs_ || run_non_ws_) return;
+    const char c0 = run.front();
+    if (c0 != ' ' && c0 != '\t' && c0 != '\r' && c0 != '\n' && c0 != '&') {
+      run_non_ws_ = true;  // decisive first byte: the common real-text case
+      return;
+    }
     ClassifyText(run);
   }
   void FlushRun() {
@@ -99,6 +119,12 @@ class SkipScanner {
   }
   void ClassifyText(std::string_view run);
   void ProcessCData(std::string_view content);
+
+  // Structural front-end for the fused start-tag scan and CDATA
+  // classification. Text runs keep the memchr + early-out ClassifyText
+  // walk: the walk stops at the first decisive byte, which full-block
+  // classification cannot beat.
+  StructuralScanner scanner_;
 
   SkipReport report_;
   size_t base_open_depth_ = 0;

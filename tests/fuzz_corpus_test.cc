@@ -55,6 +55,10 @@ TEST(FuzzCorpusTest, ProjectionSeeds) {
   Replay("projection", fuzz::RunProjectionDifferentialInput);
 }
 
+TEST(FuzzCorpusTest, ScannerSeeds) {
+  Replay("scanner", fuzz::RunScannerDiffInput);
+}
+
 TEST(FuzzCorpusTest, SharedIndexSeeds) {
   Replay("shared", fuzz::RunSharedIndexDiffInput);
 }

@@ -73,6 +73,34 @@ def best_throughput(row):
     return throughput
 
 
+# Provenance params BenchReporter stamps into every report (bench_util.h).
+# A mismatch means baseline and candidate ran with different hardware
+# capabilities or a pinned scanner kernel — the numbers are still compared
+# (with --normalize absorbing uniform drift), but the mismatch is called
+# out so a "regression" can be recognized as an environment change.
+ENVIRONMENT_PARAMS = ("cpu_features", "hardware_concurrency",
+                      "scanner_backend")
+
+
+def warn_environment_mismatches(baselines, currents):
+    for name, baseline in sorted(baselines.items()):
+        current = currents.get(name)
+        if current is None:
+            continue
+        base_params = baseline.get("params", {})
+        cur_params = current.get("params", {})
+        for key in ENVIRONMENT_PARAMS:
+            base_value = base_params.get(key)
+            cur_value = cur_params.get(key)
+            if base_value is None and cur_value is None:
+                continue  # reports predate provenance stamping
+            if base_value != cur_value:
+                print(f"warning: '{name}': {key} differs from baseline "
+                      f"({base_value!r} -> {cur_value!r}); throughput "
+                      f"comparisons may reflect the environment, not the "
+                      f"code")
+
+
 def collect_comparisons(baselines, currents):
     """Pairs up baseline and current rows across all reports.
 
@@ -149,6 +177,7 @@ def main():
         print(f"warning: '{name}' has no committed baseline "
               f"(add one under {args.baseline_dir})")
 
+    warn_environment_mismatches(baselines, currents)
     throughput_rows, latency_rows = collect_comparisons(baselines, currents)
 
     drift = 1.0

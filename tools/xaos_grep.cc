@@ -33,6 +33,12 @@
 //                  skip-scans subtrees the query provably cannot touch
 //                  (query/projection.h); results are identical either way,
 //                  so this is a debugging/benchmarking switch
+//   --scanner=BACKEND
+//                  pin the structural-scanner kernel: scalar, swar, sse2,
+//                  avx2, or auto (the default: the XAOS_SCANNER environment
+//                  variable if set, else the best the CPU supports). Every
+//                  backend produces identical results; this is a
+//                  benchmarking/debugging switch
 //
 // Parser guardrails (see xml::ParserLimits; a file that exceeds a bound is
 // reported and skipped, exit code 2):
@@ -81,7 +87,7 @@ int Usage() {
       stderr,
       "usage: xaos_grep [--count|--match|--xml|--tuples] [--stats[=json]] "
       "[--explain] [--trace|--trace-json] [--metrics-json=FILE] "
-      "[--flight-trace=FILE] [--no-projection] "
+      "[--flight-trace=FILE] [--no-projection] [--scanner=BACKEND] "
       "[--max-depth=N] [--max-attrs=N] [--max-attr-value-bytes=N] "
       "[--max-name-bytes=N] [--max-token-bytes=N] [--max-entity-refs=N] "
       "[--max-total-bytes=N] '<xpath>' [file.xml ...]\n"
@@ -222,6 +228,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--flight-trace needs a file path\n");
         return Usage();
       }
+    } else if (arg.rfind("--scanner=", 0) == 0) {
+      xaos::StatusOr<xaos::xml::ScannerBackend> backend =
+          xaos::xml::ResolveScannerBackend(
+              arg.substr(std::strlen("--scanner=")));
+      if (!backend.ok()) {
+        std::fprintf(stderr, "--scanner: %s\n",
+                     std::string(backend.status().message()).c_str());
+        return Usage();
+      }
+      xaos::xml::SetDefaultScannerBackend(*backend);
     } else if (arg.rfind("--", 0) == 0) {
       bool consumed = false;
       if (!MatchLimitsFlags(arg, &options.limits, &consumed)) return Usage();
