@@ -6,6 +6,8 @@
 #ifndef XAOS_BENCH_BENCH_UTIL_H_
 #define XAOS_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -33,18 +35,48 @@ class Flags {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
   }
 
+  // All Get* parsers reject malformed or out-of-range values with the
+  // offending flag named on stderr and exit status 2 (the same contract as
+  // FailOnUnknown) instead of silently reading 0/garbage via atoi/atof.
   double GetDouble(const std::string& name, double fallback) const {
     std::string value;
-    return Lookup(name, &value) ? std::atof(value.c_str()) : fallback;
+    if (!Lookup(name, &value)) return fallback;
+    // strtod with a full-consumption check: FP from_chars is still spotty
+    // across standard libraries.
+    const char* text = value.c_str();
+    char* end = nullptr;
+    errno = 0;
+    double parsed = std::strtod(text, &end);
+    if (value.empty() || end != text + value.size() || errno == ERANGE) {
+      std::fprintf(stderr, "error: --%s=%s is not a valid number\n",
+                   name.c_str(), value.c_str());
+      PrintKnownAndExit();
+    }
+    return parsed;
   }
   int GetInt(const std::string& name, int fallback) const {
     std::string value;
-    return Lookup(name, &value) ? std::atoi(value.c_str()) : fallback;
+    if (!Lookup(name, &value)) return fallback;
+    int parsed = 0;
+    auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                     parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      std::fprintf(stderr,
+                   "error: --%s=%s is not a valid integer (or out of range)\n",
+                   name.c_str(), value.c_str());
+      PrintKnownAndExit();
+    }
+    return parsed;
   }
   bool GetBool(const std::string& name, bool fallback) const {
     std::string value;
     if (!Lookup(name, &value)) return fallback;
-    return value != "0" && value != "false";
+    if (value == "1" || value == "true") return true;
+    if (value == "0" || value == "false") return false;
+    std::fprintf(stderr, "error: --%s=%s is not a boolean (0/1/true/false)\n",
+                 name.c_str(), value.c_str());
+    PrintKnownAndExit();
+    return fallback;  // unreachable; PrintKnownAndExit does not return
   }
   std::string GetString(const std::string& name,
                         const std::string& fallback) const {
@@ -280,6 +312,11 @@ inline void AddEngineStats(BenchReporter* reporter,
   reporter->AddResultMetric(
       "arena_bytes_allocated",
       static_cast<double>(stats.arena_bytes_allocated));
+  reporter->AddResultMetric(
+      "candidates_emitted_early",
+      static_cast<double>(stats.candidates_emitted_early));
+  reporter->AddResultMetric("candidates_reclaimed",
+                            static_cast<double>(stats.candidates_reclaimed));
 }
 
 }  // namespace xaos::bench

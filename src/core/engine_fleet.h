@@ -83,6 +83,10 @@ class EngineFleet {
   void Deliver(int idx) {
     if (stamps_[static_cast<size_t>(idx)] != stamp_) {
       stamps_[static_cast<size_t>(idx)] = stamp_;
+      // An inert engine (stop_after_confirmed_match triggered) ignores
+      // every further event of this document — don't dispatch to it. Its
+      // skipped tail is folded back in at EndDocument.
+      if (engines_[static_cast<size_t>(idx)]->inert()) return;
       delivered_scratch_.push_back(idx);
     }
   }

@@ -15,10 +15,15 @@ void EngineStats::ToMetrics(obs::MetricsRegistry* registry,
       ->Increment(propagations);
   registry->GetCounter(prefix + "optimistic_propagations_total")
       ->Increment(optimistic_propagations);
-  // Exact name from the observability contract (no prefix): total bytes the
-  // matching arenas served in place of heap allocations.
+  registry->GetCounter(prefix + "candidates_emitted_early_total")
+      ->Increment(candidates_emitted_early);
+  // Exact names from the observability contract (no prefix): total bytes
+  // the matching arenas served in place of heap allocations, and structures
+  // eagerly reclaimed by earliest answering.
   registry->GetCounter("xaos_arena_bytes_allocated")
       ->Increment(arena_bytes_allocated);
+  registry->GetCounter("xaos_candidates_reclaimed_total")
+      ->Increment(candidates_reclaimed);
   registry->GetGauge(prefix + "structures_live")
       ->Set(static_cast<int64_t>(structures_live));
   registry->GetGauge(prefix + "structures_live_peak")

@@ -47,6 +47,13 @@ struct EngineStats {
   // the heap traffic the arena absorbed. Set at EndDocument.
   uint64_t arena_bytes_allocated = 0;
 
+  // Earliest answering: output items emitted before EndDocument (their
+  // membership in the final result was proven mid-stream), and structures
+  // whose slot/backref storage was eagerly returned to the arena once they
+  // could no longer influence the result.
+  uint64_t candidates_emitted_early = 0;
+  uint64_t candidates_reclaimed = 0;
+
   double DiscardedFraction() const {
     return elements_total == 0
                ? 0.0

@@ -76,6 +76,15 @@ void MatchingStructure::Link(const MatchingPtr& parent, int i,
   parent->slots_[static_cast<size_t>(i)].push_back(std::move(child));
 }
 
+void MatchingStructure::ReleaseStorage(util::PoolArena* arena,
+                                       util::ArenaVector<BackRef>* detached) {
+  for (SlotVector& slot : slots_) {
+    SlotVector empty{util::PoolAllocator<MatchingPtr>(arena)};
+    slot.swap(empty);
+  }
+  detached->swap(backrefs_);
+}
+
 bool MatchingStructure::RemoveFromSlot(int i, const MatchingStructure* child) {
   SlotVector& slot = slots_[static_cast<size_t>(i)];
   for (size_t k = 0; k < slot.size(); ++k) {

@@ -110,6 +110,21 @@ class MatchingStructure {
   // True if every slot holds a confirmed entry.
   bool AllSlotsConfirmed() const;
 
+  // --- anchoring (earliest answering) ---
+  // A structure is *anchored* once it is confirmed AND reachable from a
+  // confirmed root through a chain of confirmed structures. Anchored
+  // structures with an output x-node are provably part of the final result
+  // and can be emitted before end-of-document; anchored structures whose
+  // slots have drained to confirmed counts can release their storage back
+  // to the arena (engine's MaybeReclaim).
+  bool anchored() const { return anchored_; }
+  void set_anchored() { anchored_ = true; }
+  // Set when the engine has emitted this structure's output (if any) and
+  // returned its slot/backref storage to the arena. A reclaimed structure
+  // is only kept alive by stray shared_ptrs; it must never be re-linked.
+  bool reclaimed() const { return reclaimed_; }
+  void set_reclaimed() { reclaimed_ = true; }
+
   // Parents that currently reference this structure, for undo cascades.
   struct BackRef {
     std::weak_ptr<MatchingStructure> parent;
@@ -117,6 +132,14 @@ class MatchingStructure {
     bool optimistic;
   };
   util::ArenaVector<BackRef>& backrefs() { return backrefs_; }
+
+  // Swaps the slot and backref vectors with empty ones so their arena
+  // blocks are returned immediately (earliest answering's eager reclaim).
+  // Confirmed counts are preserved — they carry slot satisfaction after the
+  // stored entries are dropped. `detached` receives the former backrefs so
+  // the caller can unlink this structure from its parents.
+  void ReleaseStorage(util::PoolArena* arena,
+                      util::ArenaVector<BackRef>* detached);
 
  private:
   query::XNodeId xnode_;
@@ -128,6 +151,8 @@ class MatchingStructure {
   bool dead_ = false;
   bool confirmed_ = false;
   bool propagated_ = false;
+  bool anchored_ = false;
+  bool reclaimed_ = false;
   EngineStats* stats_;
   uint64_t accounted_bytes_ = 0;
 };

@@ -458,6 +458,8 @@ EngineStats ParallelFleet::AggregateStats() const {
     total.propagations += s.propagations;
     total.optimistic_propagations += s.optimistic_propagations;
     total.arena_bytes_allocated += s.arena_bytes_allocated;
+    total.candidates_emitted_early += s.candidates_emitted_early;
+    total.candidates_reclaimed += s.candidates_reclaimed;
   }
   return total;
 }

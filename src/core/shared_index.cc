@@ -290,6 +290,7 @@ void SharedMatcher::StartDocument() {
     sub.confirm_ns = 0;
     sub.items.clear();
   }
+  confirmed_subs_ = 0;
   elements_document_ = 0;
   states_entered_document_ = 0;
 }
@@ -299,6 +300,7 @@ void SharedMatcher::Fire(uint32_t sub, const DocumentCursor::Node& node,
   SubState& state = subs_[sub];
   if (!state.confirmed) {
     state.confirmed = true;
+    ++confirmed_subs_;
     if (obs::Enabled()) state.confirm_ns = obs::NowNs();
   }
   if (bool_only_) return;
@@ -344,6 +346,12 @@ void SharedMatcher::StartElement(util::Symbol symbol, std::string_view name,
   }
   fresh_[depth].clear();
   carry_added_[depth] = 0;
+
+  // Inert fast path (earliest answering): under bool_only, once every
+  // subscription is confirmed no transition can change any verdict — the
+  // depth bookkeeping above keeps EndElement balanced and the automaton is
+  // skipped for the rest of the document.
+  if (bool_only_ && confirmed_subs_ == subs_.size()) return;
 
   util::Symbol s = symbol;
   if (s == util::kInvalidSymbol) {

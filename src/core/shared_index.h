@@ -292,6 +292,11 @@ class SharedMatcher {
   bool end_seen_ = false;
 
   std::vector<SubState> subs_;
+  // Subscriptions confirmed this document. Under bool_only, once every
+  // subscription is confirmed no transition can change any verdict, so
+  // StartElement degrades to depth bookkeeping (earliest answering's inert
+  // mode for the shared acceptance path).
+  uint32_t confirmed_subs_ = 0;
 
   uint64_t elements_total_ = 0;
   uint64_t states_entered_total_ = 0;

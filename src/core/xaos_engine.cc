@@ -135,6 +135,31 @@ XaosEngine::XaosEngine(const query::XTree* tree, EngineOptions options)
       }
     }
   }
+
+  // Earliest answering: anchored structures can be emitted at any event.
+  // Eager reclamation additionally requires a single output x-node (tuple
+  // enumeration over several outputs walks the full structure graph) and
+  // excludes x-nodes involved in sibling axes: sibling-listed structures
+  // stay reachable from parent frames, and a structure with a
+  // following-sibling child slot receives late entries through links that
+  // reclamation would sever.
+  earliest_ = options_.enable_earliest_emission;
+  int output_count = 0;
+  for (XNodeId v = 0; v < n; ++v) {
+    if (is_output_[static_cast<size_t>(v)]) ++output_count;
+  }
+  reclaim_enabled_ = earliest_ && output_count == 1;
+  reclaim_blocked_.assign(static_cast<size_t>(n), false);
+  for (XNodeId v = 0; v < n; ++v) {
+    if (sibling_listed_[static_cast<size_t>(v)]) {
+      reclaim_blocked_[static_cast<size_t>(v)] = true;
+    }
+    for (XNodeId w : tree_->node(v).children) {
+      if (tree_->node(w).incoming_axis == Axis::kFollowingSibling) {
+        reclaim_blocked_[static_cast<size_t>(v)] = true;
+      }
+    }
+  }
 }
 
 void XaosEngine::ResetDocumentState() {
@@ -150,6 +175,8 @@ void XaosEngine::ResetDocumentState() {
   captured_.clear();
   root_structure_.reset();
   live_root_ = nullptr;
+  early_items_.clear();
+  emitted_ids_.clear();
   done_ = false;
   early_match_ = false;
   confirm_ns_ = 0;
@@ -176,6 +203,8 @@ void XaosEngine::FailWith(Status status) {
   active_captures_.clear();
   root_structure_.reset();
   live_root_ = nullptr;
+  early_items_.clear();
+  emitted_ids_.clear();
 }
 
 const MatchingPtr* XaosEngine::FindMatch(const Frame& frame, XNodeId xnode) {
@@ -371,10 +400,13 @@ void XaosEngine::ProcessStart(DocNodeKind kind, std::string_view name,
 // confirmed, lets the confirmation propagate into the parent immediately.
 void XaosEngine::LinkChild(const MatchingPtr& parent, int slot,
                            const MatchingPtr& child, bool optimistic) {
-  if (child->confirmed() && IsCountedXNode(child->xnode())) {
+  if (child->confirmed() &&
+      (IsCountedXNode(child->xnode()) || child->reclaimed())) {
     // Boolean submatching: a confirmed, output-free sub-matching only needs
     // to be counted. No storage, and no back reference either — confirmed
-    // structures are never retracted.
+    // structures are never retracted. A reclaimed child is the same shape:
+    // its output is already emitted and its storage is gone, so only its
+    // (permanent) confirmation matters to the parent.
     parent->bump_confirmed(slot);
     TryConfirm(parent.get());
     return;
@@ -382,6 +414,12 @@ void XaosEngine::LinkChild(const MatchingPtr& parent, int slot,
   bool was_confirmed = child->confirmed();
   MatchingStructure::Link(parent, slot, child, optimistic);
   if (was_confirmed) TryConfirm(parent.get());
+  // A confirmed child linked under an already-anchored parent is itself
+  // reachable from the confirmed Root through confirmed structures.
+  if (earliest_ && parent->anchored() && child->confirmed() &&
+      !child->anchored()) {
+    Anchor(child.get());
+  }
 }
 
 bool XaosEngine::SlotRefillable(const MatchingStructure& parent,
@@ -416,6 +454,13 @@ void XaosEngine::CascadeRemoval(MatchingStructure* m, bool retract_only) {
     MatchingPtr parent = ref.parent.lock();
     if (parent == nullptr || parent->dead()) continue;
     parent->RemoveFromSlot(ref.slot, m);
+    // An anchored parent's slots are satisfied by confirmed counts forever;
+    // losing a stored (unconfirmed) extra entry cannot undo it, but it may
+    // drain the slot and make the parent reclaimable.
+    if (earliest_ && parent->anchored()) {
+      MaybeReclaim(parent.get());
+      continue;
+    }
     // An open parent may still receive entries for this slot. A closed
     // parent's emptiness is final (Table 2, step 23) — unless the slot is a
     // refillable following-sibling slot, in which case the parent merely
@@ -666,6 +711,14 @@ void XaosEngine::ProcessEnd() {
     }
 
     PropagateUp(m);
+
+    // A structure anchored before (or during) its close: its subtree
+    // capture is complete now, so a deferred emission can go out, and its
+    // slots may already have drained to confirmed counts.
+    if (earliest_ && m->anchored()) {
+      if (is_output_[static_cast<size_t>(v)]) EmitEarly(m.get());
+      MaybeReclaim(m.get());
+    }
   }
 
   // A confirmed entry in every Root slot guarantees a total matching at
@@ -674,7 +727,17 @@ void XaosEngine::ProcessEnd() {
       live_root_->AllSlotsConfirmed()) {
     early_match_ = true;
     if (obs::Enabled()) confirm_ns_ = obs::NowNs();
-    if (options_.stop_after_confirmed_match) inert_ = true;
+    if (options_.stop_after_confirmed_match) {
+      inert_ = true;
+    } else if (earliest_) {
+      // The Root is confirmed: it and everything reachable from it through
+      // confirmed structures is provably in the final result. Anchoring
+      // cascades emission (and reclamation) down the confirmed graph; later
+      // confirmations anchor incrementally via the TryConfirm / LinkChild
+      // hooks. Skipped in stop_after_confirmed_match mode, which reports
+      // matched with no items.
+      Anchor(live_root_);
+    }
   }
 
   // Unregister this element's open matches (they are the newest entries of
@@ -731,6 +794,7 @@ void XaosEngine::TryConfirm(MatchingStructure* m) {
   } else {
     backrefs = m->backrefs();
   }
+  bool anchor_after = false;
   for (const MatchingStructure::BackRef& ref : backrefs) {
     MatchingPtr parent = ref.parent.lock();
     if (parent == nullptr || parent->dead()) continue;
@@ -740,8 +804,109 @@ void XaosEngine::TryConfirm(MatchingStructure* m) {
       // strong reference to `m` held by `parent`; callers of TryConfirm keep
       // `m` alive for the duration of the call.
       parent->RemoveFromSlot(ref.slot, m);
+      if (earliest_ && parent->anchored()) MaybeReclaim(parent.get());
     }
+    // A live anchored parent makes the freshly confirmed `m` reachable from
+    // the confirmed Root. Anchoring is deferred past the loop: Anchor can
+    // reclaim `m`, which would detach it from parents not yet visited.
+    if (earliest_ && !counted && parent->anchored()) anchor_after = true;
     TryConfirm(parent.get());
+  }
+  if (anchor_after) Anchor(m);
+}
+
+void XaosEngine::Anchor(MatchingStructure* m) {
+  if (!earliest_ || m == nullptr || m->anchored() || m->dead() ||
+      !m->confirmed()) {
+    return;
+  }
+  m->set_anchored();
+  if (is_output_[static_cast<size_t>(m->xnode())] &&
+      (m->closed() || !options_.capture_output_subtrees)) {
+    // An anchored output structure is provably in the final result. With
+    // subtree capture the serialized XML only exists once the element
+    // closes; emission of a still-open structure is deferred to its close
+    // (ProcessEnd re-checks anchored structures at their end event).
+    EmitEarly(m);
+  }
+  // Recursively anchor the confirmed entries of stored (non-counted)
+  // slots: every one of them is reachable through `m`'s confirmed link.
+  // Two-phase: anchoring a child can reclaim it, which erases it from the
+  // slot vector being iterated, so collect strong references first.
+  std::vector<MatchingPtr> to_anchor;
+  const std::vector<XNodeId>& children = tree_->node(m->xnode()).children;
+  for (size_t slot = 0; slot < children.size(); ++slot) {
+    if (IsCountedXNode(children[slot])) continue;
+    for (const MatchingPtr& child : m->slot(static_cast<int>(slot))) {
+      if (child->confirmed() && !child->anchored()) {
+        to_anchor.push_back(child);
+      }
+    }
+  }
+  for (const MatchingPtr& child : to_anchor) Anchor(child.get());
+  MaybeReclaim(m);
+}
+
+void XaosEngine::EmitEarly(MatchingStructure* m) {
+  if (!emitted_ids_.insert(m->element().id).second) return;
+  OutputItem item;
+  item.info = m->element();
+  auto it = captured_.find(m->element().id);
+  if (it != captured_.end()) {
+    // Move the capture buffer out — its heap storage is freed with the
+    // item instead of lingering until end of document.
+    item.captured_xml = std::move(it->second);
+    captured_.erase(it);
+  }
+  ++stats_.candidates_emitted_early;
+  if (options_.early_item_sink) options_.early_item_sink(item);
+  early_items_.push_back(std::move(item));
+}
+
+void XaosEngine::MaybeReclaim(MatchingStructure* m) {
+  if (!reclaim_enabled_ || m->reclaimed() || !m->anchored() || m->dead() ||
+      !m->closed() || m->xnode() == kRootXNode ||
+      reclaim_blocked_[static_cast<size_t>(m->xnode())]) {
+    return;
+  }
+  // Reclaim only once every non-counted slot has drained to its confirmed
+  // count. A stored entry — even an anchored one — may still be the only
+  // strong reference keeping an unconfirmed grandchild's backref target
+  // alive; destroying it here could lose an item that confirms later.
+  // Counted slots never store confirmed entries (TryConfirm migrates them
+  // to counts); their remaining stored entries are unconfirmed, output-free
+  // candidates whose loss is harmless (expired backrefs are skipped).
+  const std::vector<XNodeId>& children = tree_->node(m->xnode()).children;
+  for (size_t slot = 0; slot < children.size(); ++slot) {
+    if (!IsCountedXNode(children[slot]) &&
+        !m->slot(static_cast<int>(slot)).empty()) {
+      return;
+    }
+  }
+  m->set_reclaimed();
+  ++stats_.candidates_reclaimed;
+  util::ArenaVector<MatchingStructure::BackRef> detached(
+      m->backrefs().get_allocator());
+  m->ReleaseStorage(&arena_, &detached);
+  // Detach from parents. Lock every parent first: removing `m` from a slot
+  // can drop the last strong reference and destroy it mid-loop, so after
+  // the first removal only the raw pointer *value* may be used.
+  std::vector<std::pair<MatchingPtr, int>> parents;
+  parents.reserve(detached.size());
+  for (const MatchingStructure::BackRef& ref : detached) {
+    MatchingPtr parent = ref.parent.lock();
+    if (parent == nullptr || parent->dead()) continue;
+    parents.emplace_back(std::move(parent), ref.slot);
+  }
+  const MatchingStructure* raw = m;
+  for (auto& [parent, slot] : parents) {
+    // Anchored => every confirmed count >= 1, so the slot stays satisfied
+    // and no undo can trigger; this is pure storage release.
+    parent->RemoveFromSlot(slot, raw);
+  }
+  for (auto& [parent, slot] : parents) {
+    (void)slot;
+    if (parent->anchored()) MaybeReclaim(parent.get());
   }
 }
 
@@ -883,15 +1048,26 @@ void XaosEngine::BuildResult(const MatchingPtr& root_structure) {
   result_ = QueryResult{};
   if (root_structure == nullptr || root_structure->dead() ||
       !root_structure->AllSlotsNonEmpty()) {
+    // Emission requires an anchored (confirmed-through-Root) structure, so
+    // an unmatched document can never have emitted anything.
+    XAOS_CHECK(early_items_.empty()) << "early items without a root match";
     return;
   }
   result_.matched = true;
+
+  // Items already emitted by earliest answering come first; the residual
+  // marked traversal adds only what was never anchored (it skips emitted
+  // ids), and the final sort restores document order — byte-identical to
+  // the non-earliest engine.
+  result_.items = std::move(early_items_);
+  early_items_.clear();
 
   // Marked traversal (Section 4.4): every structure reachable from a
   // satisfied root participates in at least one total matching, so each
   // output x-node's reachable structures are exactly the selected nodes.
   std::unordered_set<const MatchingStructure*> visited;
-  std::unordered_set<ElementId> emitted;
+  std::unordered_set<ElementId> emitted(emitted_ids_.begin(),
+                                        emitted_ids_.end());
   std::vector<const MatchingStructure*> pending{root_structure.get()};
   visited.insert(root_structure.get());
   while (!pending.empty()) {
@@ -922,6 +1098,20 @@ void XaosEngine::BuildResult(const MatchingPtr& root_structure) {
 TupleEnumeration XaosEngine::OutputTuples(size_t max_tuples) const {
   TupleEnumeration enumeration;
   if (!done_ || !result_.matched || root_structure_ == nullptr) {
+    return enumeration;
+  }
+  if (stats_.candidates_reclaimed > 0) {
+    // Parts of the structure graph were eagerly reclaimed. Reclamation is
+    // only enabled for single-output trees, where the distinct tuples are
+    // exactly the result items — synthesize singletons instead of walking
+    // the (partially released) graph.
+    for (const OutputItem& item : result_.items) {
+      if (enumeration.tuples.size() >= max_tuples) {
+        enumeration.complete = false;
+        break;
+      }
+      enumeration.tuples.push_back(OutputTuple{item.info});
+    }
     return enumeration;
   }
   std::vector<XNodeId> out_nodes;

@@ -30,10 +30,12 @@
 #define XAOS_CORE_XAOS_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/document_cursor.h"
@@ -97,6 +99,26 @@ struct EngineOptions {
   // obs::MetricsRegistry::Default(). Lets embedders (pubsub_router,
   // parallel-fleet shards) keep those series in their own registry.
   obs::MetricsRegistry* metrics_registry = nullptr;
+
+  // Earliest answering ("Earliest query answering over streamed trees"):
+  // emit each output item at the earliest event where its membership in the
+  // final result is provable — when its structure is *anchored*, i.e.
+  // confirmed and reachable from the confirmed Root through a chain of
+  // confirmed structures — instead of waiting for EndDocument. For queries
+  // with a single output x-node, anchored structures whose slots have
+  // drained to confirmed counts additionally release their slot, backref
+  // and capture storage back to the arena, so peak matching-structure bytes
+  // track open-path state rather than document size. Results stay
+  // byte-identical (document order, no duplicates) either way; only the
+  // moment of emission and the amount of live state change.
+  bool enable_earliest_emission = true;
+
+  // Optional callback invoked once per output item at the moment it is
+  // proven to be in the final result (requires enable_earliest_emission).
+  // Emission order follows proof order, which can differ from document
+  // order (an ancestor output may be proven only when an inner descendant
+  // confirms); the final QueryResult is still sorted into document order.
+  std::function<void(const OutputItem&)> early_item_sink;
 };
 
 // Result of tuple enumeration (multiple output nodes, Section 5.3).
@@ -195,6 +217,10 @@ class XaosEngine : public xml::ContentHandler {
   // confirmation transition, so it adds no per-event cost; evaluators turn
   // it into the per-subscription time-to-first-match histogram.
   uint64_t match_confirm_ns() const { return confirm_ns_; }
+  // True once the engine has stopped doing per-event work for the current
+  // document (stop_after_confirmed_match triggered). Dispatchers can skip
+  // delivering further events to an inert engine.
+  bool inert() const { return inert_; }
   // The computed result. Valid after EndDocument.
   const QueryResult& result() const { return result_; }
 
@@ -306,6 +332,20 @@ class XaosEngine : public xml::ContentHandler {
   // cascades the confirmation into its parents.
   void TryConfirm(MatchingStructure* m);
 
+  // --- earliest answering (see EngineOptions::enable_earliest_emission) ---
+  // Marks `m` anchored (confirmed + reachable from the confirmed Root via
+  // confirmed structures), emits its output if it is an output x-node, and
+  // recursively anchors the confirmed entries of its non-counted slots.
+  void Anchor(MatchingStructure* m);
+  // Emits the output item for an anchored output structure exactly once
+  // (capture buffers move into the item and are erased).
+  void EmitEarly(MatchingStructure* m);
+  // Releases `m`'s storage back to the arena and detaches it from its
+  // parents if it can no longer influence the result: anchored, closed,
+  // every non-counted slot drained to confirmed counts, and its x-node not
+  // reclaim-blocked (sibling axes). Only active when reclaim_enabled_.
+  void MaybeReclaim(MatchingStructure* m);
+
   // Links a child into a parent slot, propagating confirmation if the
   // child is already confirmed. `optimistic` — see MatchingStructure::Link.
   void LinkChild(const MatchingPtr& parent, int slot, const MatchingPtr& child,
@@ -349,9 +389,19 @@ class XaosEngine : public xml::ContentHandler {
   // X-nodes whose subtree contains no output node: structures matched to
   // them are counted, not stored, once confirmed (boolean submatchings).
   std::vector<bool> counted_subtree_;
+  // X-nodes whose structures must never be reclaimed early: sibling-listed
+  // nodes (their closed structures stay reachable from the parent frame)
+  // and nodes with a following-sibling child slot (late entries arrive
+  // through links that reclaim would sever).
+  std::vector<bool> reclaim_blocked_;
   bool wants_attributes_ = false;
   bool wants_text_ = false;
   bool wants_siblings_ = false;
+  // enable_earliest_emission resolved against this tree; reclaim_enabled_
+  // additionally requires exactly one output x-node (multi-output tuple
+  // enumeration needs the full structure graph).
+  bool earliest_ = false;
+  bool reclaim_enabled_ = false;
 
   // --- per-document state ---
   // Frame stack. `stack_` is used as an arena indexed by `depth_` so that
@@ -377,6 +427,11 @@ class XaosEngine : public xml::ContentHandler {
   bool external_cursor_ = false;
   // arena_.bytes_allocated() at the start of the current document.
   uint64_t arena_baseline_ = 0;
+  // Items emitted before EndDocument (proof order) and the ids already
+  // emitted — BuildResult merges these with the residual traversal and
+  // restores document order.
+  std::vector<OutputItem> early_items_;
+  std::unordered_set<ElementId> emitted_ids_;
   bool done_ = false;
   bool early_match_ = false;
   uint64_t confirm_ns_ = 0;  // see match_confirm_ns()

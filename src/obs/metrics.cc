@@ -37,14 +37,13 @@ double HistogramSnapshot::Quantile(double q) const {
   double target = q * static_cast<double>(count);
   if (target < 1.0) target = 1.0;
   uint64_t cumulative = 0;
-  uint64_t previous_bound = 0;
   for (const auto& [bound, bucket_count] : buckets) {
-    // Inclusive lower edge of this bucket: one past the previous bucket's
-    // upper bound (bucket 0 of the log2 histogram holds only the value 0).
-    double lower = cumulative == 0 && bound == 0
-                       ? 0.0
-                       : static_cast<double>(previous_bound) + 1.0;
-    if (bound == 0) lower = 0.0;
+    // Inclusive lower edge of this bucket, derived from its own bound:
+    // bucket 0 of the log2 histogram holds only the value 0; the bucket
+    // with upper bound 2^i - 1 covers [2^(i-1), 2^i). The previous *listed*
+    // bucket's bound cannot be used — the snapshot keeps non-empty buckets
+    // only, so intermediate empty buckets would shift the edge down.
+    double lower = bound == 0 ? 0.0 : static_cast<double>((bound >> 1) + 1);
     if (target <= static_cast<double>(cumulative + bucket_count)) {
       double into = target - static_cast<double>(cumulative);
       double fraction = into / static_cast<double>(bucket_count);
@@ -54,7 +53,6 @@ double HistogramSnapshot::Quantile(double q) const {
       return value > max_d ? max_d : value;
     }
     cumulative += bucket_count;
-    previous_bound = bound;
   }
   return static_cast<double>(max);
 }

@@ -230,9 +230,14 @@ TEST(EngineExtensionsTest, BooleanSubmatchingsReduceRetainedStructures) {
   auto trees = query::CompileToXTrees("//w[ancestor::z[v]]");
   ASSERT_TRUE(trees.ok());
 
-  core::EngineOptions on;   // default
+  // Pin earliest emission off: its eager reclamation drains both engines
+  // to the root structure, hiding the boolean-submatchings contrast this
+  // test is about.
+  core::EngineOptions on;
+  on.enable_earliest_emission = false;
   core::EngineOptions off;
   off.enable_boolean_submatchings = false;
+  off.enable_earliest_emission = false;
 
   core::XaosEngine with(&trees->front(), on);
   ASSERT_TRUE(xml::ParseString(xml, &with).ok());

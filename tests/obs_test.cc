@@ -206,6 +206,49 @@ TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
   EXPECT_LE(h.Quantile(0.90), h.Quantile(0.99));
 }
 
+TEST(HistogramTest, QuantileNeverExceedsObservedMax) {
+  // One sample, 700, lands in bucket (511, 1023]. Interpolation toward the
+  // bucket's upper bound must clamp to the observed max, for every q.
+  HistogramSnapshot h;
+  h.count = 1;
+  h.sum = 700;
+  h.max = 700;
+  h.buckets = {{1023, 1}};
+  EXPECT_EQ(h.Quantile(0.0), 700.0);
+  EXPECT_EQ(h.Quantile(0.5), 700.0);
+  EXPECT_EQ(h.Quantile(1.0), 700.0);
+}
+
+TEST(HistogramTest, QuantileZeroBucketLowerEdge) {
+  // Bucket 0 of the log2 histogram holds only the value 0; its lower edge
+  // is 0, not a negative or stale previous bound.
+  HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 0;
+  h.max = 0;
+  h.buckets = {{0, 4}};
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileLowerEdgeSurvivesEmptyBucketGaps) {
+  // The snapshot stores non-empty buckets only: between bound 1 and bound
+  // 1023 here, eight buckets are missing. The (511, 1023] bucket's lower
+  // edge must still be 512 — derived from its own bound, not from the
+  // previous *listed* bucket's bound (1), which would let interpolated
+  // values dip far below every sample the bucket actually holds.
+  HistogramSnapshot h;
+  h.count = 10;
+  h.sum = 1 + 9 * 600;
+  h.max = 1000;
+  h.buckets = {{1, 1}, {1023, 9}};
+  // Ranks 2..10 all sit in the high bucket, so every quantile past the
+  // first sample is at least the bucket's true lower edge.
+  EXPECT_GE(h.Quantile(0.5), 512.0);
+  EXPECT_GE(h.Quantile(0.9), 512.0);
+  EXPECT_LE(h.Quantile(1.0), 1000.0);
+}
+
 TEST(ExportTest, PrometheusHistogramIsCumulative) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("ns");

@@ -11,6 +11,15 @@ beyond tolerance or a latency percentile blew up:
   * latency: any per-row metric ending in `_p99_ns` must not exceed
     max(baseline * --latency-factor, --latency-floor-ns). The floor keeps
     microsecond-scale numbers from tripping the factor on scheduler noise.
+  * peak memory: any per-row metric ending in `_peak_bytes` must not exceed
+    baseline * --memory-factor. Benchmarks opt in by using that suffix
+    (bench_earliest's matching_peak_bytes); older reports use `_bytes_peak`
+    names, which stay ungated because their values are environment-sensitive.
+
+Exit codes: 0 = pass, 1 = at least one regression, 2 = operational error
+(no baselines, unreadable directories, unexpected exception). Malformed
+rows or missing fields in individual reports produce warnings and are
+skipped — this script must never die with a traceback.
 
 With --normalize (what CI uses), every current throughput is first divided
 by the median current/baseline ratio across ALL rows. That cancels uniform
@@ -104,19 +113,41 @@ def warn_environment_mismatches(baselines, currents):
 def collect_comparisons(baselines, currents):
     """Pairs up baseline and current rows across all reports.
 
-    Returns (throughput_rows, latency_rows):
+    Returns (throughput_rows, latency_rows, memory_rows):
       throughput_rows: [(qualified_label, base_mb_s, cur_mb_s), ...]
       latency_rows:    [(qualified_label, metric, base_ns, cur_ns), ...]
+      memory_rows:     [(qualified_label, metric, base_b, cur_b), ...]
+
+    Tolerates reports predating newer schema additions: rows without a
+    label, non-dict metrics, or non-list results are warned about and
+    skipped, never a crash (baselines in bench/baselines/ span many PRs).
     """
     throughput_rows = []
     latency_rows = []
+    memory_rows = []
+
+    def labelled_rows(report, where):
+        rows = report.get("results")
+        if not isinstance(rows, list):
+            print(f"warning: {where}: 'results' is not a list; skipped")
+            return []
+        usable = []
+        for row in rows:
+            if not isinstance(row, dict) or not isinstance(
+                    row.get("label"), str):
+                print(f"warning: {where}: row without a label; skipped")
+                continue
+            usable.append(row)
+        return usable
+
     for name, baseline in sorted(baselines.items()):
         current = currents.get(name)
         if current is None:
             print(f"warning: no current report for '{name}'")
             continue
-        current_rows = {r["label"]: r for r in current.get("results", [])}
-        for row in baseline.get("results", []):
+        current_rows = {r["label"]: r
+                        for r in labelled_rows(current, f"current '{name}'")}
+        for row in labelled_rows(baseline, f"baseline '{name}'"):
             label = row["label"]
             fresh = current_rows.get(label)
             qualified = f"{name}/{label}"
@@ -127,17 +158,30 @@ def collect_comparisons(baselines, currents):
             cur_tp = best_throughput(fresh)
             if base_tp is not None and cur_tp is not None:
                 throughput_rows.append((qualified, base_tp, cur_tp))
-            cur_metrics = fresh.get("metrics", {})
-            for key, base_value in sorted(row.get("metrics", {}).items()):
-                if not key.endswith("_p99_ns"):
+            cur_metrics = fresh.get("metrics")
+            if not isinstance(cur_metrics, dict):
+                cur_metrics = {}
+            base_metrics = row.get("metrics")
+            if not isinstance(base_metrics, dict):
+                base_metrics = {}
+            for key, base_value in sorted(base_metrics.items()):
+                is_latency = key.endswith("_p99_ns")
+                is_memory = key.endswith("_peak_bytes")
+                if not (is_latency or is_memory):
                     continue
                 cur_value = cur_metrics.get(key)
-                if cur_value is None:
-                    print(f"warning: {qualified}: metric '{key}' missing "
-                          f"from current run")
+                if not isinstance(cur_value, (int, float)) or not isinstance(
+                        base_value, (int, float)):
+                    print(f"warning: {qualified}: metric '{key}' missing or "
+                          f"non-numeric in one of the runs")
                     continue
-                latency_rows.append((qualified, key, base_value, cur_value))
-    return throughput_rows, latency_rows
+                if is_latency:
+                    latency_rows.append((qualified, key, base_value,
+                                         cur_value))
+                else:
+                    memory_rows.append((qualified, key, base_value,
+                                        cur_value))
+    return throughput_rows, latency_rows, memory_rows
 
 
 def median(values):
@@ -161,6 +205,8 @@ def main():
                         help="allowed p99 latency growth factor")
     parser.add_argument("--latency-floor-ns", type=float, default=10000,
                         help="p99 values below this never fail (noise floor)")
+    parser.add_argument("--memory-factor", type=float, default=1.5,
+                        help="allowed growth factor for *_peak_bytes metrics")
     parser.add_argument("--normalize", action="store_true",
                         help="divide current numbers by the median "
                              "current/baseline ratio first (cancels uniform "
@@ -178,18 +224,30 @@ def main():
               f"(add one under {args.baseline_dir})")
 
     warn_environment_mismatches(baselines, currents)
-    throughput_rows, latency_rows = collect_comparisons(baselines, currents)
+    throughput_rows, latency_rows, memory_rows = collect_comparisons(
+        baselines, currents)
 
     drift = 1.0
     if args.normalize and throughput_rows:
-        observed = median([cur / base for _, base, cur in throughput_rows])
-        # Only forgive uniform slowness. A current run FASTER than baseline
-        # is never evidence of regression, so dividing by a >1 drift (which
-        # would penalize rows that sped up less than the median) is wrong.
-        drift = min(1.0, observed)
-        print(f"normalizing by median host drift: x{drift:.3f} "
-              f"(observed x{observed:.3f} across "
-              f"{len(throughput_rows)} rows)")
+        ratios = [cur / base for _, base, cur in throughput_rows if base > 0]
+        if ratios:
+            observed = median(ratios)
+            # Only forgive uniform slowness. A current run FASTER than
+            # baseline is never evidence of regression, so dividing by a >1
+            # drift (which would penalize rows that sped up less than the
+            # median) is wrong. A non-positive median (degenerate baseline
+            # rows) would turn the division below into nonsense — skip
+            # normalization instead of crashing or inverting signs.
+            if observed > 0:
+                drift = min(1.0, observed)
+                print(f"normalizing by median host drift: x{drift:.3f} "
+                      f"(observed x{observed:.3f} across "
+                      f"{len(ratios)} rows)")
+            else:
+                print(f"warning: median drift x{observed:.3f} is not "
+                      f"positive; skipping normalization")
+        else:
+            print("warning: no usable rows for drift normalization")
 
     failures = []
     for qualified, base_tp, cur_tp in throughput_rows:
@@ -218,6 +276,18 @@ def main():
             print(f"ok: {qualified}: {key} = {adjusted:.0f} ns "
                   f"(limit {limit:.0f})")
 
+    for qualified, key, base_value, cur_value in memory_rows:
+        # Peak bytes are not host-speed-sensitive; no drift scaling.
+        limit = base_value * args.memory_factor
+        if cur_value > limit:
+            failures.append(
+                f"{qualified}: {key} = {cur_value:.0f} B exceeds limit "
+                f"{limit:.0f} B (baseline {base_value:.0f}, "
+                f"factor {args.memory_factor})")
+        else:
+            print(f"ok: {qualified}: {key} = {cur_value:.0f} B "
+                  f"(limit {limit:.0f})")
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):")
         for failure in failures:
@@ -232,4 +302,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except Exception as error:  # noqa: BLE001 - documented exit code 2
+        print(f"error: unexpected failure: {type(error).__name__}: {error}")
+        sys.exit(2)
