@@ -208,6 +208,12 @@ int main(int argc, char** argv) {
       reporter.AddResultMetric("speedup_vs_one_worker", speedup_vs_one);
       reporter.AddResultMetric("publish_stall_ns_per_doc", stall_ns_per_doc);
       reporter.AddResultMetric("park_wait_ns_per_doc", park_ns_per_doc);
+      // Where the adaptive coalescing policy settled: equals the configured
+      // base when the ring never back-pressured, grows toward the cap when
+      // publishes stalled (larger batches -> fewer ring operations).
+      reporter.AddResultMetric(
+          "batch_events_final",
+          static_cast<double>(fleet.current_batch_events()));
       for (size_t s = 0; s < shard_stats.size(); ++s) {
         std::printf("  worker %zu: publish stall %8.3f ms/doc, "
                     "park %8.3f ms/doc (%llu parks)\n",

@@ -146,9 +146,15 @@ int main(int argc, char** argv) {
                                          name + "\"}");
     subscriptions.push_back(std::move(sub));
   }
+  // Sequential mode feeds the evaluator through batched dispatch (the
+  // fleet coalesces its own ring publishes); routing is byte-identical
+  // to per-event delivery either way.
+  xaos::core::BatchedDispatcher dispatcher(&evaluator);
   xaos::xml::ContentHandler* handler =
       fleet ? static_cast<xaos::xml::ContentHandler*>(fleet.get())
-            : &evaluator;
+      : engine_options.enable_batched_dispatch
+          ? static_cast<xaos::xml::ContentHandler*>(&dispatcher)
+          : &evaluator;
   if (fleet) {
     fleet->Finalize();
     std::cout << "routing with " << fleet->worker_count()
@@ -189,6 +195,8 @@ int main(int argc, char** argv) {
       // for the rest of the stream.
       if (fleet) {
         fleet->AbortDocument(status);
+      } else if (handler == &dispatcher) {
+        dispatcher.AbortDocument(status);
       } else {
         evaluator.AbortDocument(status);
       }

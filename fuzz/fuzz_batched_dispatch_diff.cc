@@ -1,0 +1,9 @@
+// libFuzzer entry point: "<batch byte><xpath>;...\n<xml>" multi-query
+// pools checked batched-dispatch replay vs per-event delivery for
+// identical outcomes, verdicts, confirmations and items.
+
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return xaos::fuzz::RunBatchedDispatchDiffInput(data, size);
+}

@@ -7,6 +7,7 @@
 
 #include "baseline/brute_force_matcher.h"
 #include "baseline/compare.h"
+#include "core/batched_dispatch.h"
 #include "core/multi_engine.h"
 #include "dom/dom_builder.h"
 #include "query/xtree.h"
@@ -328,6 +329,66 @@ int RunSharedIndexDiffInput(const uint8_t* data, size_t size) {
       __builtin_trap();
     }
     if (!(baseline::CanonicalFromResult(shared.Result(q)) ==
+          baseline::CanonicalFromResult(oracle.Result(q)))) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
+
+int RunBatchedDispatchDiffInput(const uint8_t* data, size_t size) {
+  if (size < 2 || size > (1u << 14)) return 0;
+  size_t batch_events = 1 + (data[0] & 63);
+  std::string_view input(reinterpret_cast<const char*>(data + 1), size - 1);
+  size_t newline = input.find('\n');
+  if (newline == std::string_view::npos) return 0;
+  std::string_view query_list = input.substr(0, newline);
+  std::string document(input.substr(newline + 1));
+
+  std::vector<core::Query> queries;
+  while (!query_list.empty() && queries.size() < 16) {
+    size_t semi = query_list.find(';');
+    std::string_view expression = query_list.substr(0, semi);
+    query_list.remove_prefix(
+        semi == std::string_view::npos ? query_list.size() : semi + 1);
+    if (expression.empty()) continue;
+    StatusOr<core::Query> query =
+        core::Query::Compile(expression, /*max_paths=*/4);
+    if (!query.ok()) continue;  // keep fuzzing the pool shape
+    queries.push_back(std::move(*query));
+  }
+  if (queries.empty()) return 0;
+
+  core::MultiQueryEvaluator batched;
+  core::MultiQueryEvaluator oracle;
+  for (const core::Query& query : queries) {
+    batched.AddQuery(query);
+    oracle.AddQuery(query);
+  }
+  core::BatchedDispatchOptions dispatch_options;
+  dispatch_options.max_batch_events = batch_events;
+  dispatch_options.max_batch_text_bytes = 256;
+  core::BatchedDispatcher dispatcher(&batched, dispatch_options);
+
+  xml::ParserOptions options = FuzzParserOptions();
+  Status batched_parse = xml::ParseString(document, &dispatcher, options);
+  Status oracle_parse = xml::ParseString(document, &oracle, options);
+  if (batched_parse.ok() != oracle_parse.ok()) __builtin_trap();
+  if (!batched_parse.ok()) {
+    // Exercise the mid-stream abort path: buffered events must be
+    // discarded and the batch pool must stay reusable (no double release).
+    dispatcher.AbortDocument(batched_parse);
+    return 0;
+  }
+  if (batched.status().ok() != oracle.status().ok()) __builtin_trap();
+  if (!batched.status().ok()) return 0;
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (batched.Matched(q) != oracle.Matched(q)) __builtin_trap();
+    if (batched.MatchConfirmed(q) != oracle.MatchConfirmed(q)) {
+      __builtin_trap();
+    }
+    if (!(baseline::CanonicalFromResult(batched.Result(q)) ==
           baseline::CanonicalFromResult(oracle.Result(q)))) {
       __builtin_trap();
     }

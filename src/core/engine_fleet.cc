@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "core/shared_index.h"
 #include "obs/metrics.h"
@@ -83,6 +84,10 @@ void EngineFleet::StartDocument() {
   cursor_.Reset();
   depth_ = 0;
   engines_skipped_document_ = 0;
+  // The memo holds an inert-filtered candidate set; inertness resets per
+  // document, so a stale memo would under-deliver.
+  memo_valid_ = false;
+  BreakRun();
   if (matcher_ != nullptr) matcher_->StartDocument();
   for (XaosEngine* engine : engines_) engine->StartDocument();
 }
@@ -136,9 +141,141 @@ void EngineFleet::Characters(std::string_view text) {
   }
 }
 
+void EngineFleet::BreakRun() {
+  if (run_length_ > 0 && obs::Enabled()) {
+    static obs::Histogram* hist =
+        obs::MetricsRegistry::Default().GetHistogram(
+            "xaos_dispatch_run_length");
+    hist->Record(run_length_);
+  }
+  run_length_ = 0;
+}
+
+void EngineFleet::ReplayRun(const xml::EventBatch& batch, size_t begin,
+                            size_t end,
+                            std::vector<xml::AttributeView>* attr_scratch) {
+  const std::vector<xml::BatchedEvent>& events = batch.events();
+  for (size_t e = begin; e < end; ++e) {
+    const xml::BatchedEvent& event = events[e];
+    switch (event.kind) {
+      case xml::BatchedEvent::Kind::kStartElement: {
+        cursor_.StartElement(event.attr_count);
+        const std::string_view name =
+            batch.text_slice(event.text_offset, event.text_size);
+        if (matcher_ != nullptr) {
+          matcher_->StartElementFlat(event.symbol, name, cursor_.top());
+        }
+        const bool memo_hit = memo_valid_ && event.attr_count == 0 &&
+                              event.symbol != util::kInvalidSymbol &&
+                              event.symbol == memo_symbol_;
+        if (memo_hit) {
+          // Same candidate set as the previous start-element: re-filter the
+          // memoized set by inert() (inertness is monotone within a
+          // document, so this equals a fresh index walk) and skip the walk.
+          ++run_length_;
+          delivered_scratch_.clear();
+          for (int idx : memo_delivered_) {
+            if (!engines_[static_cast<size_t>(idx)]->inert()) {
+              delivered_scratch_.push_back(idx);
+            }
+          }
+        } else {
+          BreakRun();
+          run_length_ = 1;
+          if (++stamp_ == 0) {
+            std::fill(stamps_.begin(), stamps_.end(), 0);
+            stamp_ = 1;
+          }
+          delivered_scratch_.clear();
+          for (int idx : always_dispatch_) Deliver(idx);
+          AddSymbolTargets(event.symbol, name);
+          for (uint32_t a = 0; a < event.attr_count; ++a) {
+            const xml::BatchedAttribute& attr =
+                batch.attribute(event.attr_begin + a);
+            AddSymbolTargets(
+                attr.symbol,
+                batch.text_slice(attr.name_offset, attr.name_size));
+          }
+          // Attribute names can widen the candidate set, so only
+          // attribute-free elements with an interned symbol are memoizable.
+          if (event.attr_count == 0 && event.symbol != util::kInvalidSymbol) {
+            memo_valid_ = true;
+            memo_symbol_ = event.symbol;
+            memo_delivered_ = delivered_scratch_;  // reuses capacity
+          } else {
+            memo_valid_ = false;
+          }
+        }
+
+        const uint64_t skipped = engines_.size() - delivered_scratch_.size();
+        engines_skipped_ += skipped;
+        engines_skipped_document_ += skipped;
+
+        if (!delivered_scratch_.empty()) {
+          attr_scratch->clear();
+          for (uint32_t a = 0; a < event.attr_count; ++a) {
+            const xml::BatchedAttribute& attr =
+                batch.attribute(event.attr_begin + a);
+            attr_scratch->push_back(xml::AttributeView{
+                batch.text_slice(attr.name_offset, attr.name_size),
+                batch.text_slice(attr.value_offset, attr.value_size),
+                attr.symbol});
+          }
+          const xml::QName qname(name, event.symbol);
+          const xml::AttributeSpan attrs(*attr_scratch);
+          for (int idx : delivered_scratch_) {
+            engines_[static_cast<size_t>(idx)]->StartElement(qname, attrs);
+          }
+        }
+
+        if (depth_ == delivered_stack_.size()) delivered_stack_.emplace_back();
+        delivered_stack_[depth_] = delivered_scratch_;  // reuses capacity
+        ++depth_;
+        break;
+      }
+      case xml::BatchedEvent::Kind::kEndElement: {
+        XAOS_CHECK(depth_ > 0) << "unbalanced events";
+        --depth_;
+        const std::string_view name =
+            batch.text_slice(event.text_offset, event.text_size);
+        for (int idx : delivered_stack_[depth_]) {
+          engines_[static_cast<size_t>(idx)]->EndElement(name);
+        }
+        if (matcher_ != nullptr) matcher_->EndElementFlat();
+        cursor_.EndElement();
+        break;
+      }
+      case xml::BatchedEvent::Kind::kCharacters: {
+        cursor_.Characters();
+        if (!text_engines_.empty()) {
+          const std::string_view text =
+              batch.text_slice(event.text_offset, event.text_size);
+          for (int idx : text_engines_) {
+            engines_[static_cast<size_t>(idx)]->Characters(text);
+          }
+        }
+        break;
+      }
+      case xml::BatchedEvent::Kind::kSkipSubtree: {
+        xml::SkipReport report;
+        std::memcpy(
+            &report,
+            batch.text_slice(event.text_offset, event.text_size).data(),
+            sizeof(report));
+        cursor_.SkipSubtree(report.node_ids, report.elements);
+        break;
+      }
+      default:
+        XAOS_CHECK(false) << "document boundary inside a replay run";
+    }
+  }
+}
+
 void EngineFleet::AbortDocument() {
   depth_ = 0;
   cursor_.Reset();
+  memo_valid_ = false;
+  BreakRun();
   if (matcher_ != nullptr) matcher_->AbortDocument();
   if (obs::Enabled()) {
     obs::MetricsRegistry::Default()
@@ -149,6 +286,8 @@ void EngineFleet::AbortDocument() {
 }
 
 void EngineFleet::EndDocument() {
+  memo_valid_ = false;
+  BreakRun();
   if (matcher_ != nullptr) matcher_->EndDocument();
   for (XaosEngine* engine : engines_) {
     engine->EndDocument();

@@ -24,6 +24,7 @@
 #include "core/document_cursor.h"
 #include "core/xaos_engine.h"
 #include "util/symbol_table.h"
+#include "xml/event_batch.h"
 #include "xml/sax_event.h"
 
 namespace xaos::core {
@@ -66,6 +67,17 @@ class EngineFleet {
     cursor_.SkipSubtree(report.node_ids, report.elements);
   }
 
+  // Batched dispatch: replays batch events [begin, end) — which must not
+  // contain document-boundary events — through one devirtualized loop.
+  // Consecutive start-elements resolving to the same candidate-engine set
+  // reuse a one-entry (symbol, attr-free) memo instead of re-walking the
+  // label index; the shared matcher steps through its flat transition
+  // tables. Results are byte-identical to feeding the same events through
+  // the per-event interface. `attr_scratch` is per-caller reusable storage
+  // for attribute views, as in EventBatch::Replay.
+  void ReplayRun(const xml::EventBatch& batch, size_t begin, size_t end,
+                 std::vector<xml::AttributeView>* attr_scratch);
+
   // Abandons the current document mid-stream (the producer failed): resets
   // the per-document dispatch state so the next StartDocument starts clean
   // instead of tripping the balance checks. Engine per-document state is
@@ -73,6 +85,14 @@ class EngineFleet {
   void AbortDocument();
 
   size_t engine_count() const { return engines_.size(); }
+  // True when at least one engine consumes character data or end-element
+  // names (text predicates or subtree captures). When false, a batching
+  // producer may capture those events lean — record without payload bytes
+  // (xml::EventBatcher::set_lean_payload).
+  bool wants_text_events() {
+    Finalize();
+    return !text_engines_.empty();
+  }
   // Engine deliveries suppressed by the dispatch index so far (cumulative
   // across documents): for each element event, engines that did not
   // receive it.
@@ -117,6 +137,20 @@ class EngineFleet {
 
   uint64_t engines_skipped_ = 0;
   uint64_t engines_skipped_document_ = 0;
+
+  // --- batched-dispatch run memo ---
+  // One-entry memo over the last start-element's candidate set: consecutive
+  // attribute-free elements with the same interned symbol resolve to the
+  // same engines, so the label-index walk is skipped for the whole run.
+  // Inertness is monotone within a document, so the memoized set is
+  // re-filtered by inert() on reuse instead of being re-derived.
+  bool memo_valid_ = false;
+  util::Symbol memo_symbol_ = util::kInvalidSymbol;
+  std::vector<int> memo_delivered_;
+  // Length of the current same-candidate-set run, flushed into the
+  // xaos_dispatch_run_length histogram at each run break / document end.
+  uint64_t run_length_ = 0;
+  void BreakRun();
 };
 
 }  // namespace xaos::core

@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/batched_dispatch.h"
+
 #include "dom/dom_replayer.h"
 #include "obs/flight.h"
 #include "obs/json.h"
@@ -108,6 +110,60 @@ EngineStats SumStats(const std::vector<std::unique_ptr<XaosEngine>>& engines) {
   return total;
 }
 
+// Replays `batch` through `fleet`: document-boundary events go through the
+// evaluator's virtual handlers (they carry per-document setup/teardown);
+// maximal interior runs go through the devirtualized ReplayRun loop. One
+// kReplay flight span covers the whole batch, and the batch counts into
+// xaos_dispatch_batches_total. Per-event cost sampling (TimedDispatch) is
+// intentionally absent here — the per-event path remains the sampled oracle.
+template <typename Evaluator>
+void ReplayBatchImpl(Evaluator* evaluator, EngineFleet* fleet,
+                     const xml::EventBatch& batch,
+                     std::vector<xml::AttributeView>* attr_scratch,
+                     int shard, uint64_t doc) {
+  const std::vector<xml::BatchedEvent>& events = batch.events();
+  obs::flight::ScopedSpan replay_span(obs::flight::SpanKind::kReplay);
+  if (replay_span.active()) {
+    replay_span.span()->batch = batch.sequence();
+    replay_span.span()->shard = shard;
+    // A batch opening a document belongs to the document it opens.
+    if (!events.empty() &&
+        events.front().kind == xml::BatchedEvent::Kind::kStartDocument) {
+      ++doc;
+    }
+    replay_span.span()->doc = doc;
+    replay_span.span()->value = static_cast<int64_t>(batch.event_count());
+  }
+  const size_t n = events.size();
+  size_t i = 0;
+  while (i < n) {
+    const xml::BatchedEvent::Kind kind = events[i].kind;
+    if (kind == xml::BatchedEvent::Kind::kStartDocument) {
+      evaluator->StartDocument();
+      ++i;
+      continue;
+    }
+    if (kind == xml::BatchedEvent::Kind::kEndDocument) {
+      evaluator->EndDocument();
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n &&
+           events[j].kind != xml::BatchedEvent::Kind::kStartDocument &&
+           events[j].kind != xml::BatchedEvent::Kind::kEndDocument) {
+      ++j;
+    }
+    fleet->ReplayRun(batch, i, j, attr_scratch);
+    i = j;
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* batches = obs::MetricsRegistry::Default().GetCounter(
+        "xaos_dispatch_batches_total");
+    batches->Increment();
+  }
+}
+
 }  // namespace
 
 StatusOr<Query> Query::Compile(std::string_view xpath, int max_paths) {
@@ -192,6 +248,13 @@ void StreamingEvaluator::Characters(std::string_view text) {
 
 void StreamingEvaluator::SkippedSubtree(const xml::SkipReport& report) {
   fleet_.SkipSubtree(report);
+}
+
+void StreamingEvaluator::ReplayBatch(
+    const xml::EventBatch& batch,
+    std::vector<xml::AttributeView>* attr_scratch) {
+  ReplayBatchImpl(this, &fleet_, batch, attr_scratch, /*shard=*/-1,
+                  doc_ordinal_);
 }
 
 bool StreamingEvaluator::MatchConfirmed() const {
@@ -419,6 +482,13 @@ void MultiQueryEvaluator::SkippedSubtree(const xml::SkipReport& report) {
   fleet_.SkipSubtree(report);
 }
 
+void MultiQueryEvaluator::ReplayBatch(
+    const xml::EventBatch& batch,
+    std::vector<xml::AttributeView>* attr_scratch) {
+  ReplayBatchImpl(this, &fleet_, batch, attr_scratch, flight_shard_,
+                  doc_ordinal_);
+}
+
 xml::ProjectionFilter* MultiQueryEvaluator::projection_filter() {
   if (gate_built_for_ != queries_.size()) {
     gate_built_for_ = queries_.size();
@@ -510,7 +580,12 @@ StatusOr<QueryResult> EvaluateStreaming(std::string_view xpath,
                                         EngineOptions options) {
   XAOS_ASSIGN_OR_RETURN(Query query, Query::Compile(xpath));
   StreamingEvaluator evaluator(query, options);
-  XAOS_RETURN_IF_ERROR(xml::ParseString(xml_text, &evaluator));
+  if (options.enable_batched_dispatch) {
+    BatchedDispatcher dispatcher(&evaluator);
+    XAOS_RETURN_IF_ERROR(xml::ParseString(xml_text, &dispatcher));
+  } else {
+    XAOS_RETURN_IF_ERROR(xml::ParseString(xml_text, &evaluator));
+  }
   XAOS_RETURN_IF_ERROR(evaluator.status());
   return evaluator.Result();
 }

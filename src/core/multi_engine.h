@@ -69,6 +69,18 @@ class StreamingEvaluator : public xml::ContentHandler {
   void Characters(std::string_view text) override;
   void SkippedSubtree(const xml::SkipReport& report) override;
 
+  // Batched dispatch: replays a whole captured EventBatch through the
+  // fleet's devirtualized run loop (EngineFleet::ReplayRun), handling any
+  // document-boundary events the batch contains. Byte-identical to feeding
+  // the same events through the per-event ContentHandler interface.
+  // `attr_scratch` is per-caller reusable attribute-view storage.
+  void ReplayBatch(const xml::EventBatch& batch,
+                   std::vector<xml::AttributeView>* attr_scratch);
+
+  // True when any engine reads character data or end-element names; false
+  // lets a batching producer skip copying those payloads (lean capture).
+  bool wants_text_events() { return fleet_.wants_text_events(); }
+
   // Document-projection filter derived from the query's x-dags at
   // construction, for installation into xml::ParserOptions. The returned
   // pointer stays valid for the evaluator's lifetime; its per-document
@@ -172,6 +184,17 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   void Characters(std::string_view text) override;
   void SkippedSubtree(const xml::SkipReport& report) override;
 
+  // Batched dispatch: replays a whole captured EventBatch through the
+  // fleet's devirtualized run loop; see StreamingEvaluator::ReplayBatch.
+  void ReplayBatch(const xml::EventBatch& batch,
+                   std::vector<xml::AttributeView>* attr_scratch);
+
+  // True when any engine reads character data or end-element names; false
+  // lets a batching producer skip copying those payloads (lean capture).
+  // The shared automaton never consumes text (shareable queries carry no
+  // predicates or captures), so only per-engine subscriptions count.
+  bool wants_text_events() { return fleet_.wants_text_events(); }
+
   // Document-projection filter covering the union of all subscriptions
   // added so far (rebuilt lazily when queries were added since the last
   // call). Install via xml::ParserOptions::projection_filter; valid for the
@@ -210,6 +233,9 @@ class MultiQueryEvaluator : public xml::ContentHandler {
   size_t shared_state_count() const {
     return shared_index_ != nullptr ? shared_index_->state_count() : 0;
   }
+  // The shared matcher (null until the first StartDocument builds it);
+  // tests use it to pin flat-stepping limits and read step-cache counters.
+  SharedMatcher* shared_matcher_for_test() { return shared_matcher_.get(); }
 
  private:
   struct QuerySlot {

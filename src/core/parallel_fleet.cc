@@ -44,6 +44,12 @@ ParallelFleet::ParallelFleet(ParallelFleetOptions options)
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_batch_events == 0) options_.max_batch_events = 1;
   if (options_.ring_capacity < 2) options_.ring_capacity = 2;
+  batch_policy_.base = options_.max_batch_events;
+  batch_policy_.cap =
+      std::max(options_.max_batch_events, options_.max_batch_events_cap);
+  batch_policy_.decay_publishes =
+      std::max<size_t>(1, options_.adaptive_decay_publishes);
+  batch_policy_.current = batch_policy_.base;
 }
 
 ParallelFleet::~ParallelFleet() {
@@ -187,13 +193,22 @@ void ParallelFleet::PublishBatch(xml::EventBatch* batch) {
     dispatch_span.span()->value =
         static_cast<int64_t>(pooled->batch.event_count());
   }
+  bool stalled = false;
   for (Worker& worker : workers_) {
-    PushBlocking(&worker, pooled);
+    stalled = PushBlocking(&worker, pooled) || stalled;
+  }
+  if (options_.adaptive_batching) {
+    // The stall itself is the coalescing signal: by the time the producer
+    // got through, the rings were saturated — ship bigger batches until the
+    // pressure clears (ROADMAP 5a).
+    batcher_.set_max_events(batch_policy_.OnPublish(stalled));
   }
 }
 
-void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
+bool ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
+  bool stalled = false;
   if (!worker->ring.TryPush(batch)) {
+    stalled = true;
     ++publish_stalls_;
     // Clock reads live on the stall path only; an uncontended publish
     // never touches the clock.
@@ -221,11 +236,20 @@ void ParallelFleet::PushBlocking(Worker* worker, PooledBatch* batch) {
     std::lock_guard<std::mutex> lock(worker->park_mu);
     worker->park_cv.notify_one();
   }
+  return stalled;
 }
 
 void ParallelFleet::StartDocument() {
   Finalize();
   if (obs::flight::Active()) obs::flight::SetCurrentThreadName("parse");
+  // Lean capture when no shard's engines read character data or
+  // end-element names: the shared ring then carries fixed-size records for
+  // those events instead of copies of the document's text.
+  bool wants_text = false;
+  for (Worker& worker : workers_) {
+    wants_text = wants_text || worker.evaluator->wants_text_events();
+  }
+  batcher_.set_lean_payload(!wants_text);
   document_status_ = Status::Ok();
   gate_.Reset();
   batcher_.StartDocument();
@@ -373,16 +397,19 @@ void ParallelFleet::WorkerLoop(Worker* worker) {
     // and acknowledge through the same latch a document end uses.
     bool aborts_document = batch->batch.aborts_document();
     if (!aborts_document) {
-      {
+      if (obs::flight::Active() && !worker->flight_named) {
+        // Named lazily on the worker's own thread (SetCurrentThreadName is
+        // a no-op before the recorder is armed).
+        worker->flight_named = true;
+        obs::flight::SetCurrentThreadName("worker/" +
+                                          std::to_string(worker->index));
+      }
+      if (options_.engine_options.enable_batched_dispatch) {
+        // Devirtualized batch loop; ReplayBatch emits the kReplay span.
+        worker->evaluator->ReplayBatch(batch->batch, &worker->attr_scratch);
+      } else {
         obs::flight::ScopedSpan replay_span(obs::flight::SpanKind::kReplay);
         if (replay_span.active()) {
-          if (!worker->flight_named) {
-            // Named lazily on the worker's own thread (SetCurrentThreadName
-            // is a no-op before the recorder is armed).
-            worker->flight_named = true;
-            obs::flight::SetCurrentThreadName(
-                "worker/" + std::to_string(worker->index));
-          }
           replay_span.span()->batch = batch->batch.sequence();
           replay_span.span()->shard = worker->index;
           replay_span.span()->doc = worker->docs_completed + 1;
@@ -482,6 +509,8 @@ void ParallelFleet::ExportMetrics(obs::MetricsRegistry* registry) const {
       ->Set(static_cast<int64_t>(publish_stall_ns_));
   registry->GetGauge("xaos_parallel_workers")
       ->Set(static_cast<int64_t>(workers_.size()));
+  registry->GetGauge("xaos_parallel_batch_events_current")
+      ->Set(static_cast<int64_t>(batch_policy_.current));
   registry->GetGauge("xaos_parallel_documents_aborted")
       ->Set(static_cast<int64_t>(documents_aborted_));
   for (size_t s = 0; s < workers_.size(); ++s) {

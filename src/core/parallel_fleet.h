@@ -58,7 +58,41 @@ struct ParallelFleetOptions {
   // Batches in flight per worker ring; the producer stalls when the
   // slowest worker falls this far behind (bounded memory back-pressure).
   size_t ring_capacity = 8;
+  // Adaptive publish coalescing: when the producer stalls on a full ring,
+  // the per-batch event budget doubles (up to `max_batch_events_cap`) so
+  // fewer, larger publishes amortize ring traffic exactly when the rings
+  // are saturated; after `adaptive_decay_publishes` consecutive stall-free
+  // publishes the budget halves back toward `max_batch_events`, restoring
+  // low batch latency for light loads.
+  bool adaptive_batching = true;
+  size_t max_batch_events_cap = 8192;
+  size_t adaptive_decay_publishes = 16;
   EngineOptions engine_options;
+};
+
+// The producer-side controller for adaptive publish coalescing, driven by
+// the same stall signal the kPublishStall spans record. Exposed for unit
+// tests; ParallelFleet owns one and applies it per publish.
+struct AdaptiveBatchPolicy {
+  size_t base = 512;
+  size_t cap = 8192;
+  size_t decay_publishes = 16;
+  size_t current = 512;
+  size_t quiet = 0;  // consecutive stall-free publishes
+
+  // Feeds one publish's outcome; returns the event budget for the next
+  // batch. Growth is immediate (stalls are expensive), decay is slow
+  // (half after a quiet stretch) so the budget doesn't oscillate.
+  size_t OnPublish(bool stalled) {
+    if (stalled) {
+      quiet = 0;
+      if (current < cap) current = current * 2 < cap ? current * 2 : cap;
+    } else if (current > base && ++quiet >= decay_publishes) {
+      quiet = 0;
+      current = current / 2 > base ? current / 2 : base;
+    }
+    return current;
+  }
 };
 
 // Per-shard accounting, readable after EndDocument (cumulative).
@@ -146,6 +180,8 @@ class ParallelFleet : public xml::ContentHandler,
   uint64_t batches_published() const { return batches_published_; }
   // Times the producer found a worker ring full and had to wait.
   uint64_t publish_stalls() const { return publish_stalls_; }
+  // The adaptive policy's current per-batch event budget.
+  size_t current_batch_events() const { return batch_policy_.current; }
   // Total producer time spent in those stalls, across all shards. Timed on
   // the stall path only, so the uncontended publish stays clock-free.
   uint64_t publish_stall_ns() const { return publish_stall_ns_; }
@@ -187,7 +223,8 @@ class ParallelFleet : public xml::ContentHandler,
   xml::EventBatch* AcquireBatch() override;
   void PublishBatch(xml::EventBatch* batch) override;
 
-  void PushBlocking(Worker* worker, PooledBatch* batch);
+  // Returns true if the push stalled on a full ring (adaptive signal).
+  bool PushBlocking(Worker* worker, PooledBatch* batch);
   void WorkerLoop(Worker* worker);
   // Blocking pop; returns nullptr on shutdown with an empty ring.
   PooledBatch* PopBlocking(Worker* worker);
@@ -231,6 +268,8 @@ class ParallelFleet : public xml::ContentHandler,
   // Why the last document was abandoned; cleared by StartDocument. Written
   // by the producer thread, read by the caller after the abort latch.
   Status document_status_;
+
+  AdaptiveBatchPolicy batch_policy_;  // producer thread only
 
   uint64_t batches_published_ = 0;  // producer thread only
   uint64_t publish_stalls_ = 0;     // producer thread only

@@ -245,6 +245,7 @@ std::unique_ptr<SharedIndex> SharedIndexBuilder::Build() const {
   index->stats_.states = states_.size();
   index->stats_.subscriptions = subscription_count_;
   index->stats_.chain_nodes = chain_nodes_total_;
+  index->BuildStepTable();
   return index;
 }
 
@@ -262,6 +263,48 @@ int32_t SharedIndex::FindNamed(uint32_t begin, uint32_t end,
   return -1;
 }
 
+void SharedIndex::BuildStepTable() {
+  step_table_.clear();
+  step_mask_ = 0;
+  if (named_edges_.empty()) return;
+  // First-fit open addressing at <= 50% load: probes terminate on the first
+  // empty slot, so lookups for absent keys stay short.
+  size_t capacity = 16;
+  while (capacity < named_edges_.size() * 2) capacity <<= 1;
+  step_table_.assign(capacity, StepEntry{});
+  step_mask_ = capacity - 1;
+  auto upsert = [&](int32_t state, util::Symbol symbol, int32_t child,
+                    int32_t desc) {
+    size_t slot = StepHash(state, symbol) & step_mask_;
+    for (;;) {
+      StepEntry& entry = step_table_[slot];
+      if (entry.state < 0) {
+        entry.state = state;
+        entry.symbol = symbol;
+        entry.child_target = child;
+        entry.desc_target = desc;
+        return;
+      }
+      if (entry.state == state && entry.symbol == symbol) {
+        if (child >= 0) entry.child_target = child;
+        if (desc >= 0) entry.desc_target = desc;
+        return;
+      }
+      slot = (slot + 1) & step_mask_;
+    }
+  };
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const StateMeta& m = states_[i];
+    int32_t state = static_cast<int32_t>(i);
+    for (uint32_t e = m.child_begin; e < m.child_end; ++e) {
+      upsert(state, named_edges_[e].symbol, named_edges_[e].target, -1);
+    }
+    for (uint32_t e = m.desc_begin; e < m.desc_end; ++e) {
+      upsert(state, named_edges_[e].symbol, -1, named_edges_[e].target);
+    }
+  }
+}
+
 // --- SharedMatcher ----------------------------------------------------------
 
 SharedMatcher::SharedMatcher(const SharedIndex* index, bool bool_only)
@@ -275,6 +318,10 @@ SharedMatcher::SharedMatcher(const SharedIndex* index, bool bool_only)
 void SharedMatcher::StartDocument() {
   depth_ = 0;
   end_seen_ = false;
+  // A saturated interner re-learns from scratch: ids and cached steps are
+  // invalidated together, never separately.
+  if (!flat_ok_) ResetFlatUniverse();
+  flat_active_ = false;
   carry_.clear();
   std::fill(in_carry_.begin(), in_carry_.end(), 0);
   fresh_[0].clear();
@@ -396,6 +443,297 @@ void SharedMatcher::AbortDocument() {
   std::fill(in_carry_.begin(), in_carry_.end(), 0);
   for (std::vector<int32_t>& f : fresh_) f.clear();
   std::fill(carry_added_.begin(), carry_added_.end(), 0);
+  flat_active_ = false;
+}
+
+// --- flat stepping (batched dispatch) ---------------------------------------
+
+namespace {
+
+uint64_t HashStates(const int32_t* data, uint32_t size) {
+  uint64_t h = 0x9e3779b97f4a7c15ull + size;
+  for (uint32_t i = 0; i < size; ++i) {
+    uint64_t x = static_cast<uint32_t>(data[i]);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    h = (h ^ x) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+  }
+  return h;
+}
+
+size_t ConfigHash(uint32_t fresh, uint32_t carry, util::Symbol symbol) {
+  uint64_t key = fresh;
+  key = key * 0x9e3779b97f4a7c15ull ^ carry;
+  key = key * 0x9e3779b97f4a7c15ull ^ static_cast<uint32_t>(symbol);
+  key ^= key >> 29;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 32;
+  return static_cast<size_t>(key);
+}
+
+}  // namespace
+
+void SharedMatcher::ResetFlatUniverse() {
+  set_pool_.clear();
+  sets_.clear();
+  accept_pool_.clear();
+  set_accepts_.clear();
+  set_table_.assign(1024, 0);
+  set_mask_ = set_table_.size() - 1;
+  step_cache_.assign(kStepCacheSize, StepSlot{});
+  // Id 0 is the empty set; InternSet returns it without a table probe.
+  sets_.push_back(SetSpan{0, 0});
+  set_accepts_.push_back(SetSpan{0, 0});
+  flat_ok_ = true;
+  flat_active_ = false;
+}
+
+uint32_t SharedMatcher::InternSet(const int32_t* data, uint32_t size,
+                                  bool* ok) {
+  if (size == 0) return kEmptySetId;
+  const uint64_t hash = HashStates(data, size);
+  size_t slot = static_cast<size_t>(hash) & set_mask_;
+  for (;;) {
+    const uint32_t stored = set_table_[slot];
+    if (stored == 0) break;  // first fit: not interned yet
+    const SetSpan& span = sets_[stored - 1];
+    if (span.size == size &&
+        std::equal(data, data + size, set_pool_.data() + span.begin)) {
+      return stored - 1;
+    }
+    slot = (slot + 1) & set_mask_;
+  }
+  if (sets_.size() >= flat_set_limit_) {
+    *ok = false;
+    return kEmptySetId;
+  }
+  const uint32_t id = static_cast<uint32_t>(sets_.size());
+  SetSpan span;
+  span.begin = static_cast<uint32_t>(set_pool_.size());
+  span.size = size;
+  set_pool_.insert(set_pool_.end(), data, data + size);
+  sets_.push_back(span);
+  SetSpan accepts;
+  accepts.begin = static_cast<uint32_t>(accept_pool_.size());
+  for (uint32_t i = 0; i < size; ++i) {
+    accept_pool_.insert(accept_pool_.end(), index_->AcceptsBegin(data[i]),
+                        index_->AcceptsEnd(data[i]));
+  }
+  accepts.size = static_cast<uint32_t>(accept_pool_.size()) - accepts.begin;
+  set_accepts_.push_back(accepts);
+  set_table_[slot] = id + 1;
+  if (sets_.size() * 2 > set_table_.size()) {
+    // Keep <= 50% load; rehash every id into the doubled table.
+    std::vector<uint32_t> bigger(set_table_.size() * 2, 0);
+    const size_t mask = bigger.size() - 1;
+    for (uint32_t i = 1; i < sets_.size(); ++i) {
+      size_t s = static_cast<size_t>(HashStates(
+                     set_pool_.data() + sets_[i].begin, sets_[i].size)) &
+                 mask;
+      while (bigger[s] != 0) s = (s + 1) & mask;
+      bigger[s] = i + 1;
+    }
+    set_table_ = std::move(bigger);
+    set_mask_ = mask;
+  }
+  return id;
+}
+
+bool SharedMatcher::ComputeStep(uint32_t fresh, uint32_t carry,
+                                util::Symbol symbol, uint32_t* fresh_child,
+                                uint32_t* carry_child) {
+  // Enter order mirrors StartElement: child transitions from the parent's
+  // fresh set (named then wildcard per state), then descendant transitions
+  // from the armed carry — accept firing order, and therefore item order
+  // and confirmation timing, stay byte-identical to the per-event path.
+  flat_entered_scratch_.clear();
+  const SetSpan fresh_span = sets_[fresh];
+  for (uint32_t i = 0; i < fresh_span.size; ++i) {
+    const int32_t from = set_pool_[fresh_span.begin + i];
+    if (const SharedIndex::StepEntry* e = index_->FindStep(from, symbol)) {
+      if (e->child_target >= 0) {
+        flat_entered_scratch_.push_back(e->child_target);
+      }
+    }
+    const int32_t wild = index_->child_wild(from);
+    if (wild >= 0) flat_entered_scratch_.push_back(wild);
+  }
+  const SetSpan carry_span = sets_[carry];
+  for (uint32_t i = 0; i < carry_span.size; ++i) {
+    const int32_t from = set_pool_[carry_span.begin + i];
+    if (const SharedIndex::StepEntry* e = index_->FindStep(from, symbol)) {
+      if (e->desc_target >= 0) flat_entered_scratch_.push_back(e->desc_target);
+    }
+    const int32_t wild = index_->desc_wild(from);
+    if (wild >= 0) flat_entered_scratch_.push_back(wild);
+  }
+
+  // The child carry is the parent's armed stack extended by entered states
+  // with descendant out-edges (arming order = enter order) — the prefix
+  // property FlatFallback rebuilds the legacy stack from.
+  flat_carry_scratch_.clear();
+  for (uint32_t i = 0; i < carry_span.size; ++i) {
+    flat_carry_scratch_.push_back(set_pool_[carry_span.begin + i]);
+  }
+  bool extended = false;
+  for (const int32_t entered : flat_entered_scratch_) {
+    if (!index_->HasDescOut(entered)) continue;
+    if (std::find(flat_carry_scratch_.begin(), flat_carry_scratch_.end(),
+                  entered) != flat_carry_scratch_.end()) {
+      continue;  // re-entered under an ancestor that already armed it
+    }
+    flat_carry_scratch_.push_back(entered);
+    extended = true;
+  }
+
+  bool ok = true;
+  *fresh_child =
+      InternSet(flat_entered_scratch_.data(),
+                static_cast<uint32_t>(flat_entered_scratch_.size()), &ok);
+  if (!ok) return false;
+  *carry_child =
+      extended ? InternSet(flat_carry_scratch_.data(),
+                           static_cast<uint32_t>(flat_carry_scratch_.size()),
+                           &ok)
+               : carry;
+  return ok;
+}
+
+void SharedMatcher::FlatFallback() {
+  // depth_ is the parent depth of the element being started: materialize
+  // configurations [0, depth_] into the per-event structures so the legacy
+  // StartElement can finish this element and the rest of the document.
+  const size_t top = depth_;
+  while (fresh_.size() <= top) {
+    fresh_.emplace_back();
+    carry_added_.push_back(0);
+  }
+  carry_.clear();
+  std::fill(in_carry_.begin(), in_carry_.end(), 0);
+  uint32_t prev_carry = 0;
+  for (size_t d = 0; d <= top; ++d) {
+    const SetSpan fresh_span = sets_[flat_fresh_stack_[d]];
+    fresh_[d].assign(
+        set_pool_.begin() + fresh_span.begin,
+        set_pool_.begin() + fresh_span.begin + fresh_span.size);
+    const SetSpan carry_span = sets_[flat_carry_stack_[d]];
+    XAOS_CHECK(carry_span.size >= prev_carry) << "carry prefix violated";
+    carry_added_[d] = carry_span.size - prev_carry;
+    for (uint32_t i = prev_carry; i < carry_span.size; ++i) {
+      const int32_t state = set_pool_[carry_span.begin + i];
+      carry_.push_back(state);
+      in_carry_[static_cast<size_t>(state)] = 1;
+    }
+    prev_carry = carry_span.size;
+  }
+  for (size_t d = top + 1; d < fresh_.size(); ++d) {
+    fresh_[d].clear();
+    carry_added_[d] = 0;
+  }
+  flat_ok_ = false;
+  flat_active_ = false;
+}
+
+void SharedMatcher::StartElementFlat(util::Symbol symbol,
+                                     std::string_view name,
+                                     const DocumentCursor::Node& node) {
+  if (!flat_ok_) {
+    StartElement(symbol, name, node);
+    return;
+  }
+  if (!flat_active_) {
+    // First element of a flat-stepped document: seed depth 0 with the root
+    // configuration (StartDocument seeded the legacy structures, which stay
+    // authoritative if interning fails right here).
+    if (sets_.empty()) ResetFlatUniverse();
+    flat_active_ = true;
+    int32_t root = SharedIndex::kRootState;
+    bool ok = true;
+    const uint32_t fresh0 = InternSet(&root, 1, &ok);
+    if (!ok) {
+      flat_ok_ = false;
+      flat_active_ = false;
+      StartElement(symbol, name, node);
+      return;
+    }
+    const uint32_t carry0 = index_->HasDescOut(root) ? fresh0 : kEmptySetId;
+    flat_fresh_stack_.assign(1, fresh0);
+    flat_carry_stack_.assign(1, carry0);
+  }
+
+  // Inert fast path (earliest answering), mirroring StartElement: depth
+  // bookkeeping only once every subscription is confirmed.
+  if (bool_only_ && confirmed_subs_ == subs_.size()) {
+    ++elements_total_;
+    ++elements_document_;
+    const size_t depth = ++depth_;
+    if (flat_fresh_stack_.size() <= depth) {
+      flat_fresh_stack_.resize(depth + 1);
+      flat_carry_stack_.resize(depth + 1);
+    }
+    flat_fresh_stack_[depth] = kEmptySetId;
+    flat_carry_stack_[depth] = kEmptySetId;
+    return;
+  }
+
+  util::Symbol s = symbol;
+  if (s == util::kInvalidSymbol) {
+    s = util::SymbolTable::Global().Lookup(name);
+  }
+  const uint32_t fresh_parent = flat_fresh_stack_[depth_];
+  const uint32_t carry_parent = flat_carry_stack_[depth_];
+  StepSlot& slot = step_cache_[ConfigHash(fresh_parent, carry_parent, s) &
+                               (kStepCacheSize - 1)];
+  uint32_t fresh_child;
+  uint32_t carry_child;
+  if (slot.fresh == fresh_parent && slot.carry == carry_parent &&
+      slot.symbol == s) {
+    ++flat_cache_hits_;
+    fresh_child = slot.fresh_child;
+    carry_child = slot.carry_child;
+  } else {
+    ++flat_cache_misses_;
+    if (!ComputeStep(fresh_parent, carry_parent, s, &fresh_child,
+                     &carry_child)) {
+      FlatFallback();  // interner saturated; depth_ still the parent depth
+      StartElement(symbol, name, node);
+      return;
+    }
+    slot.fresh = fresh_parent;
+    slot.carry = carry_parent;
+    slot.symbol = s;
+    slot.fresh_child = fresh_child;
+    slot.carry_child = carry_child;
+  }
+
+  ++elements_total_;
+  ++elements_document_;
+  const size_t depth = ++depth_;
+  if (flat_fresh_stack_.size() <= depth) {
+    flat_fresh_stack_.resize(depth + 1);
+    flat_carry_stack_.resize(depth + 1);
+  }
+  flat_fresh_stack_[depth] = fresh_child;
+  flat_carry_stack_[depth] = carry_child;
+
+  const SetSpan entered = sets_[fresh_child];
+  states_entered_total_ += entered.size;
+  states_entered_document_ += entered.size;
+  const SetSpan accepts = set_accepts_[fresh_child];
+  for (uint32_t i = 0; i < accepts.size; ++i) {
+    Fire(accept_pool_[accepts.begin + i], node, name);
+  }
+}
+
+void SharedMatcher::EndElementFlat() {
+  if (!flat_ok_) {
+    EndElement();
+    return;
+  }
+  XAOS_CHECK(depth_ > 0) << "unbalanced events";
+  --depth_;
 }
 
 QueryResult SharedMatcher::Result(uint32_t sub) const {

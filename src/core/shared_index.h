@@ -184,6 +184,34 @@ class SharedIndex {
     if (m.desc_wild >= 0) fn(m.desc_wild);
   }
 
+  // --- flat transition table (batched stepping) ---
+  // One open-addressed first-fit probe resolves both named targets of
+  // (state, symbol); the sorted per-state binary search above stays as the
+  // independent per-event oracle. Entries exist only for keys with at least
+  // one named edge.
+  struct StepEntry {
+    int32_t state = -1;  // -1 marks an empty slot
+    util::Symbol symbol = util::kInvalidSymbol;
+    int32_t child_target = -1;
+    int32_t desc_target = -1;
+  };
+  const StepEntry* FindStep(int32_t state, util::Symbol symbol) const {
+    if (step_mask_ == 0 || symbol == util::kInvalidSymbol) return nullptr;
+    size_t slot = StepHash(state, symbol) & step_mask_;
+    for (;;) {
+      const StepEntry& entry = step_table_[slot];
+      if (entry.state == state && entry.symbol == symbol) return &entry;
+      if (entry.state < 0) return nullptr;
+      slot = (slot + 1) & step_mask_;
+    }
+  }
+  int32_t child_wild(int32_t state) const {
+    return states_[static_cast<size_t>(state)].child_wild;
+  }
+  int32_t desc_wild(int32_t state) const {
+    return states_[static_cast<size_t>(state)].desc_wild;
+  }
+
   bool HasDescOut(int32_t state) const {
     return states_[static_cast<size_t>(state)].has_desc_out;
   }
@@ -213,9 +241,25 @@ class SharedIndex {
 
   int32_t FindNamed(uint32_t begin, uint32_t end, util::Symbol symbol) const;
 
+  static size_t StepHash(int32_t state, util::Symbol symbol) {
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(state)) << 32) |
+                   static_cast<uint32_t>(symbol);
+    // splitmix64 finalizer: dense state/symbol ids need real mixing before
+    // the power-of-two mask.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return static_cast<size_t>(key);
+  }
+  void BuildStepTable();
+
   std::vector<StateMeta> states_;
   std::vector<NamedEdge> named_edges_;  // child slice then desc slice, sorted
   std::vector<uint32_t> accepts_;
+  std::vector<StepEntry> step_table_;   // open-addressed, power-of-two size
+  size_t step_mask_ = 0;                // table size - 1; 0 = no named edges
   BuildStats stats_;
 };
 
@@ -242,6 +286,27 @@ class SharedMatcher {
   void EndElement();
   void EndDocument();
   void AbortDocument();
+
+  // Batched stepping (EngineFleet::ReplayRun): observable behavior is
+  // byte-identical to StartElement/EndElement, but an element is stepped as
+  // one interned (fresh-set, carry-set) configuration through the index's
+  // flat transition table, with a direct-mapped (config, symbol) step cache
+  // short-circuiting repeated tags to two id pushes and the accept scan.
+  // Interned configurations are document-independent and persist across
+  // documents; if the interner saturates (set_flat_set_limit_for_test, or
+  // pathological tag diversity), the current depth stack is materialized
+  // back into the per-event structures and the document finishes on the
+  // legacy path — the next StartDocument re-learns from an empty interner.
+  // A document must be stepped through exactly one of the two paths.
+  void StartElementFlat(util::Symbol symbol, std::string_view name,
+                        const DocumentCursor::Node& node);
+  void EndElementFlat();
+
+  // --- flat-path introspection (tests, benches) ---
+  void set_flat_set_limit_for_test(size_t limit) { flat_set_limit_ = limit; }
+  bool flat_fallback_active() const { return !flat_ok_; }
+  uint64_t flat_cache_hits() const { return flat_cache_hits_; }
+  uint64_t flat_cache_misses() const { return flat_cache_misses_; }
 
   // Valid after EndDocument (false mid-stream and after an abort).
   bool Matched(uint32_t sub) const {
@@ -275,6 +340,22 @@ class SharedMatcher {
   void Fire(uint32_t sub, const DocumentCursor::Node& node,
             std::string_view name);
 
+  // --- flat stepping internals ---
+  // Interns the state list [data, data+size) and returns its id; sets *ok
+  // to false (id unusable) when the interner is at flat_set_limit_.
+  uint32_t InternSet(const int32_t* data, uint32_t size, bool* ok);
+  // Computes the child configuration of (fresh, carry) on `symbol` through
+  // the flat table. False = interner saturated, nothing was pushed.
+  bool ComputeStep(uint32_t fresh, uint32_t carry, util::Symbol symbol,
+                   uint32_t* fresh_child, uint32_t* carry_child);
+  // Materializes fresh_/carry_/in_carry_/carry_added_ from the flat depth
+  // stacks [0, depth_] and routes the rest of the document to the legacy
+  // per-event path.
+  void FlatFallback();
+  // Drops every interned set and cached step (set ids are invalidated
+  // together, so the step cache can never serve a stale id).
+  void ResetFlatUniverse();
+
   const SharedIndex* index_;
   bool bool_only_;
 
@@ -302,6 +383,48 @@ class SharedMatcher {
   uint64_t states_entered_total_ = 0;
   uint64_t elements_document_ = 0;
   uint64_t states_entered_document_ = 0;
+
+  // --- flat stepping state (batched dispatch) ---
+  // Active-state sets interned into one flat pool: sets_[id] spans pool_.
+  // Id 0 is always the empty set. Configurations (fresh id, carry id) per
+  // depth replace the per-event vectors; a carry set is always a prefix
+  // extension of its parent depth's carry set, which is what FlatFallback
+  // relies on to rebuild the legacy armed stack.
+  struct SetSpan {
+    uint32_t begin = 0;
+    uint32_t size = 0;
+  };
+  static constexpr uint32_t kEmptySetId = 0;
+  static constexpr size_t kDefaultFlatSetLimit = 1 << 16;
+  static constexpr size_t kStepCacheSize = 4096;  // direct-mapped, power of 2
+
+  struct StepSlot {
+    uint32_t fresh = UINT32_MAX;  // UINT32_MAX = never filled
+    uint32_t carry = 0;
+    util::Symbol symbol = util::kInvalidSymbol;
+    uint32_t fresh_child = 0;
+    uint32_t carry_child = 0;
+  };
+
+  std::vector<int32_t> set_pool_;
+  std::vector<SetSpan> sets_;
+  // Per-set accept lists, concatenated in member-state order at intern
+  // time: the per-element fire loop reads one span (usually empty) instead
+  // of probing every entered state's accept range.
+  std::vector<uint32_t> accept_pool_;
+  std::vector<SetSpan> set_accepts_;
+  std::vector<uint32_t> set_table_;  // open-addressed: id + 1, 0 = empty
+  size_t set_mask_ = 0;
+  std::vector<StepSlot> step_cache_;
+  std::vector<uint32_t> flat_fresh_stack_;  // config ids, indexed by depth
+  std::vector<uint32_t> flat_carry_stack_;
+  std::vector<int32_t> flat_entered_scratch_;
+  std::vector<int32_t> flat_carry_scratch_;
+  size_t flat_set_limit_ = kDefaultFlatSetLimit;
+  bool flat_ok_ = true;      // false: fell back to the legacy path mid-doc
+  bool flat_active_ = false; // this document is being stepped flat
+  uint64_t flat_cache_hits_ = 0;
+  uint64_t flat_cache_misses_ = 0;
 };
 
 }  // namespace xaos::core

@@ -21,6 +21,7 @@
 #include "baseline/brute_force_matcher.h"   // IWYU pragma: export
 #include "baseline/compare.h"               // IWYU pragma: export
 #include "baseline/navigational_engine.h"   // IWYU pragma: export
+#include "core/batched_dispatch.h"          // IWYU pragma: export
 #include "core/document_cursor.h"           // IWYU pragma: export
 #include "core/engine_fleet.h"              // IWYU pragma: export
 #include "core/multi_engine.h"              // IWYU pragma: export

@@ -24,19 +24,23 @@ void EventBatch::AddStartElement(const QName& name, AttributeSpan attributes) {
   events_.push_back(event);
 }
 
-void EventBatch::AddEndElement(std::string_view name) {
+void EventBatch::AddEndElement(std::string_view name, bool copy_payload) {
   BatchedEvent event;
   event.kind = BatchedEvent::Kind::kEndElement;
-  event.text_offset = AppendText(name);
-  event.text_size = static_cast<uint32_t>(name.size());
+  if (copy_payload) {
+    event.text_offset = AppendText(name);
+    event.text_size = static_cast<uint32_t>(name.size());
+  }
   events_.push_back(event);
 }
 
-void EventBatch::AddCharacters(std::string_view text) {
+void EventBatch::AddCharacters(std::string_view text, bool copy_payload) {
   BatchedEvent event;
   event.kind = BatchedEvent::Kind::kCharacters;
-  event.text_offset = AppendText(text);
-  event.text_size = static_cast<uint32_t>(text.size());
+  if (copy_payload) {
+    event.text_offset = AppendText(text);
+    event.text_size = static_cast<uint32_t>(text.size());
+  }
   events_.push_back(event);
 }
 
@@ -108,12 +112,12 @@ void EventBatcher::StartElement(const QName& name, AttributeSpan attributes) {
 }
 
 void EventBatcher::EndElement(std::string_view name) {
-  Current()->AddEndElement(name);
+  Current()->AddEndElement(name, !lean_payload_);
   PublishIfFull();
 }
 
 void EventBatcher::Characters(std::string_view text) {
-  Current()->AddCharacters(text);
+  Current()->AddCharacters(text, !lean_payload_);
   PublishIfFull();
 }
 

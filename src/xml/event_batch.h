@@ -93,8 +93,13 @@ class EventBatch {
   void AddStartDocument() { AddSimple(BatchedEvent::Kind::kStartDocument); }
   void AddEndDocument() { AddSimple(BatchedEvent::Kind::kEndDocument); }
   void AddStartElement(const QName& name, AttributeSpan attributes);
-  void AddEndElement(std::string_view name);
-  void AddCharacters(std::string_view text);
+  // `copy_payload` false records the event without copying its bytes into
+  // the arena (an empty slice): lean capture for consumers that declared
+  // they never read end-element names or character data. The event record
+  // itself is always kept — replay must consume exactly one text id per
+  // Characters and keep the element stack balanced.
+  void AddEndElement(std::string_view name, bool copy_payload = true);
+  void AddCharacters(std::string_view text, bool copy_payload = true);
   void AddSkipSubtree(const SkipReport& report);
 
   // --- replay side (any number of concurrent consumers) ---
@@ -105,6 +110,16 @@ class EventBatch {
   // the live-parse contract.
   void Replay(ContentHandler* handler,
               std::vector<AttributeView>* attr_scratch) const;
+
+  // Raw read access for devirtualized batch loops (EngineFleet::ReplayRun):
+  // consumers walk the records directly instead of paying one virtual
+  // callback per event. Views point into this batch's arena and stay valid
+  // until Clear().
+  const std::vector<BatchedEvent>& events() const { return events_; }
+  const BatchedAttribute& attribute(size_t i) const { return attributes_[i]; }
+  std::string_view text_slice(uint32_t offset, uint32_t size) const {
+    return Slice(offset, size);
+  }
 
  private:
   void AddSimple(BatchedEvent::Kind kind) {
@@ -161,6 +176,27 @@ class EventBatcher : public ContentHandler {
   // the abort in stream order after the events already shipped.
   void AbortDocument();
 
+  // Publishes the current batch (if it holds any events) without closing
+  // the document — lets a sequential driver drain buffered events so
+  // mid-stream verdicts (MatchConfirmed) stay observable.
+  void Flush() { PublishCurrent(); }
+
+  // Adaptive batch sizing (ParallelFleet publish coalescing): budgets apply
+  // from the next fullness check, the batch currently being filled included.
+  void set_max_events(size_t max_events) { max_events_ = max_events; }
+  size_t max_events() const { return max_events_; }
+  void set_max_text_bytes(size_t max_text_bytes) {
+    max_text_bytes_ = max_text_bytes;
+  }
+
+  // Lean payload capture: when every consumer has declared it never reads
+  // end-element names or character data (no text predicates, no subtree
+  // captures), those events are recorded without copying their bytes into
+  // the arena. Event counts and ordering — and therefore replay-side node
+  // ids — are unaffected. Takes effect from the next event.
+  void set_lean_payload(bool lean) { lean_payload_ = lean; }
+  bool lean_payload() const { return lean_payload_; }
+
  private:
   EventBatch* Current() {
     if (current_ == nullptr) current_ = sink_->AcquireBatch();
@@ -172,6 +208,7 @@ class EventBatcher : public ContentHandler {
   Sink* sink_;
   size_t max_events_;
   size_t max_text_bytes_;
+  bool lean_payload_ = false;
   EventBatch* current_ = nullptr;
 };
 

@@ -63,5 +63,9 @@ TEST(FuzzCorpusTest, SharedIndexSeeds) {
   Replay("shared", fuzz::RunSharedIndexDiffInput);
 }
 
+TEST(FuzzCorpusTest, BatchedDispatchSeeds) {
+  Replay("batched", fuzz::RunBatchedDispatchDiffInput);
+}
+
 }  // namespace
 }  // namespace xaos
